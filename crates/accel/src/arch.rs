@@ -1,0 +1,267 @@
+//! Architecture configuration and the calibrated baseline model constants.
+
+/// Which dataflow/scheduling features are enabled — the three bars of the
+/// Fig. 8 (center) ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataflowVariant {
+    /// Conventional fixed adder-tree architecture (A3-like): inner-product
+    /// only, blocking softmax stage, transpose handling for V.
+    Baseline,
+    /// Baseline + flexible-product dataflow (F): inner product for `q×Kᵀ`,
+    /// outer product for `s'×V`, no transpose, no chunk padding, causal
+    /// skip in prefill.
+    Flexible,
+    /// Flexible + element-serial scheduling (F+E): softmax/layernorm
+    /// overlapped with the PE array, SFU cost O(1). This is VEDA.
+    FlexibleElementSerial,
+}
+
+impl DataflowVariant {
+    /// All variants in ablation order.
+    pub const ALL: [DataflowVariant; 3] = [
+        DataflowVariant::Baseline,
+        DataflowVariant::Flexible,
+        DataflowVariant::FlexibleElementSerial,
+    ];
+
+    /// Label used in reports ("Baseline", "Baseline+F", "Baseline+F+E").
+    pub fn label(self) -> &'static str {
+        match self {
+            DataflowVariant::Baseline => "Baseline",
+            DataflowVariant::Flexible => "Baseline+F",
+            DataflowVariant::FlexibleElementSerial => "Baseline+F+E",
+        }
+    }
+
+    /// Whether the flexible-product dataflow is enabled.
+    pub fn flexible(self) -> bool {
+        !matches!(self, DataflowVariant::Baseline)
+    }
+
+    /// Whether element-serial scheduling is enabled.
+    pub fn element_serial(self) -> bool {
+        matches!(self, DataflowVariant::FlexibleElementSerial)
+    }
+}
+
+impl std::fmt::Display for DataflowVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Special Function Unit resource counts (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SfuConfig {
+    /// Exponentiation units.
+    pub exp_units: usize,
+    /// Divider units.
+    pub div_units: usize,
+    /// Square-root units.
+    pub sqrt_units: usize,
+    /// Multipliers.
+    pub mul_units: usize,
+    /// Adders.
+    pub add_units: usize,
+    /// Tile FIFO depth (words).
+    pub fifo_depth: usize,
+}
+
+impl Default for SfuConfig {
+    fn default() -> Self {
+        // Table I: 2 EXP, 2 dividers, 1 sqrt, 2 multipliers, 4 adders,
+        // 32×16-bit FIFO.
+        Self { exp_units: 2, div_units: 2, sqrt_units: 1, mul_units: 2, add_units: 4, fifo_depth: 32 }
+    }
+}
+
+/// Calibration constants of the baseline/ablation timing model.
+///
+/// The paper's baseline internals are not fully specified; these constants
+/// encode the documented assumptions, chosen so the model lands in the
+/// reported latency band (Baseline+F ≈ 0.72–0.75×, Baseline+F+E ≈
+/// 0.55–0.63×). Each constant has a physical justification:
+///
+/// * `gather_slowdown` — the fixed inner-product engine reads V column-wise
+///   (or maintains a transposed copy through a compromised path); modelled
+///   as the `s'×V` kernel running at half the MAC throughput.
+/// * `transpose_maintenance_per_head` — cycles per token per head to keep
+///   the transposed V layout up to date (d elements through an 8-wide
+///   serializer).
+/// * `softmax_fill_cycles` — pipeline fill/drain latency of the blocking
+///   softmax stage (deep EXP/DIV pipes + staging FIFO).
+/// * `softmax_residual_throughput` — effective elements/cycle of softmax
+///   work that is *not* hidden by cross-head overlap in the baseline
+///   (most per-element work pipelines under the next head's GEMV; the
+///   residual exposes `l / throughput` cycles).
+/// * `element_serial_drain` — the O(1) cost VEDA still pays per softmax:
+///   FIFO drain plus the final exp-sum update (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineCalibration {
+    /// Throughput divisor on `s'×V` in the baseline (V-gather path).
+    pub gather_slowdown: f64,
+    /// Per-token per-head cycles to maintain the transposed V copy.
+    pub transpose_maintenance_per_head: u64,
+    /// Blocking-softmax pipeline fill latency in cycles.
+    pub softmax_fill_cycles: u64,
+    /// Effective elements/cycle of non-overlapped softmax residual work.
+    pub softmax_residual_throughput: u64,
+    /// O(1) drain cycles of the element-serial schedule.
+    pub element_serial_drain: u64,
+}
+
+impl Default for BaselineCalibration {
+    fn default() -> Self {
+        Self {
+            gather_slowdown: 2.0,
+            transpose_maintenance_per_head: 16,
+            softmax_fill_cycles: 300,
+            softmax_residual_throughput: 20,
+            element_serial_drain: 40,
+        }
+    }
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// PE array rows (8 in VEDA).
+    pub pe_rows: usize,
+    /// PE array columns (8 in VEDA).
+    pub pe_cols: usize,
+    /// Parallel lanes / array copies (the ×2 of "8×8×2").
+    pub pe_lanes: usize,
+    /// Clock frequency in GHz (1.0 in the paper).
+    pub clock_ghz: f64,
+    /// Attention head dimension the timing model assumes (128 for Llama-2).
+    pub head_dim: usize,
+    /// Number of attention heads (32 for Llama-2 7B).
+    pub n_heads: usize,
+    /// SFU resources.
+    pub sfu: SfuConfig,
+    /// Voting-engine capacity in positions (4096×16-bit buffers, Table I).
+    pub vote_capacity: usize,
+    /// On-chip buffer size in bytes (256 KB).
+    pub sram_bytes: usize,
+    /// Calibrated baseline-model constants.
+    pub calibration: BaselineCalibration,
+}
+
+impl ArchConfig {
+    /// The paper's VEDA configuration: 8×8×2 PEs at 1 GHz, 256 KB SRAM,
+    /// 4096-entry voting engine, Llama-2-7B attention geometry.
+    pub fn veda() -> Self {
+        Self {
+            pe_rows: 8,
+            pe_cols: 8,
+            pe_lanes: 2,
+            clock_ghz: 1.0,
+            head_dim: 128,
+            n_heads: 32,
+            sfu: SfuConfig::default(),
+            vote_capacity: 4096,
+            sram_bytes: 256 * 1024,
+            calibration: BaselineCalibration::default(),
+        }
+    }
+
+    /// Total MAC units (peak per-cycle multiply-accumulates): 8·8·2 = 128.
+    pub fn macs(&self) -> usize {
+        self.pe_rows * self.pe_cols * self.pe_lanes
+    }
+
+    /// Peak throughput in GOPS (MAC = 2 ops).
+    pub fn peak_gops(&self) -> f64 {
+        self.macs() as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Cycles for a flexible GEMV of shape `(1,k) × (k,n)`:
+    /// the flexible dimension maps to time, the other spatially to the
+    /// array, chunked by [`ArchConfig::macs`].
+    ///
+    /// * inner product: `n` outputs, each `ceil(k / macs)` cycles;
+    /// * outer product: `k` inputs, each `ceil(n / macs)` cycles.
+    ///
+    /// Both reduce to `time_dim × ceil(spatial_dim / macs)`.
+    pub fn flexible_gemv_cycles(&self, time_dim: usize, spatial_dim: usize) -> u64 {
+        (time_dim as u64) * (spatial_dim as u64).div_ceil(self.macs() as u64)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.macs() == 0 {
+            return Err("PE array must have at least one MAC".into());
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.head_dim == 0 || self.n_heads == 0 {
+            return Err("attention geometry must be positive".into());
+        }
+        if self.vote_capacity == 0 {
+            return Err("vote capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::veda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn veda_has_128_macs_and_256_gops() {
+        let a = ArchConfig::veda();
+        assert_eq!(a.macs(), 128);
+        assert!((a.peak_gops() - 256.0).abs() < 1e-9);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn flexible_gemv_cycles_map_time_to_cycles() {
+        let a = ArchConfig::veda();
+        // q×Kᵀ at l=1000, d=128: 1000 cycles.
+        assert_eq!(a.flexible_gemv_cycles(1000, 128), 1000);
+        // d=129 needs two chunks per step.
+        assert_eq!(a.flexible_gemv_cycles(1000, 129), 2000);
+        // FFN: k=4096 spatial => 32 chunks per output.
+        assert_eq!(a.flexible_gemv_cycles(1, 4096), 32);
+    }
+
+    #[test]
+    fn variant_labels_match_figure() {
+        assert_eq!(DataflowVariant::Baseline.label(), "Baseline");
+        assert_eq!(DataflowVariant::Flexible.label(), "Baseline+F");
+        assert_eq!(DataflowVariant::FlexibleElementSerial.label(), "Baseline+F+E");
+        assert!(DataflowVariant::FlexibleElementSerial.flexible());
+        assert!(!DataflowVariant::Baseline.flexible());
+        assert!(!DataflowVariant::Flexible.element_serial());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut a = ArchConfig::veda();
+        a.pe_rows = 0;
+        assert!(a.validate().is_err());
+        let mut b = ArchConfig::veda();
+        b.clock_ghz = 0.0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn sfu_defaults_match_table1() {
+        let s = SfuConfig::default();
+        assert_eq!((s.exp_units, s.div_units, s.sqrt_units), (2, 2, 1));
+        assert_eq!((s.mul_units, s.add_units, s.fifo_depth), (2, 4, 32));
+    }
+}

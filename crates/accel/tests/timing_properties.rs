@@ -1,0 +1,108 @@
+//! Property-based tests on the timing model: invariants that must hold
+//! for any cache length, architecture and variant.
+
+use proptest::prelude::*;
+use veda_accel::arch::{ArchConfig, DataflowVariant};
+use veda_accel::attention::{
+    average_generation_attention_cycles, decode_attention_cycles, decode_attention_cycles_per_head,
+    eviction_speedup,
+};
+
+proptest! {
+    #[test]
+    fn latency_is_monotone_in_cache_length(
+        l in 1usize..4096,
+        delta in 1usize..512,
+        variant_idx in 0usize..3,
+    ) {
+        let arch = ArchConfig::veda();
+        let v = DataflowVariant::ALL[variant_idx];
+        prop_assert!(
+            decode_attention_cycles(&arch, v, l + delta) >= decode_attention_cycles(&arch, v, l),
+            "latency decreased with longer cache"
+        );
+    }
+
+    #[test]
+    fn variant_ordering_is_universal(l in 1usize..4096) {
+        let arch = ArchConfig::veda();
+        let base = decode_attention_cycles(&arch, DataflowVariant::Baseline, l);
+        let f = decode_attention_cycles(&arch, DataflowVariant::Flexible, l);
+        let fe = decode_attention_cycles(&arch, DataflowVariant::FlexibleElementSerial, l);
+        prop_assert!(base >= f, "baseline {base} < flexible {f} at l={l}");
+        prop_assert!(f >= fe, "flexible {f} < element-serial {fe} at l={l}");
+    }
+
+    #[test]
+    fn flexible_variants_grow_smoothly(l in 1usize..4095) {
+        // The headline flexibility property: one more cached token costs at
+        // most a few cycles per head, never a whole epoch.
+        let arch = ArchConfig::veda();
+        for v in [DataflowVariant::Flexible, DataflowVariant::FlexibleElementSerial] {
+            let delta = decode_attention_cycles_per_head(&arch, v, l + 1)
+                - decode_attention_cycles_per_head(&arch, v, l);
+            prop_assert!(delta <= 4, "{v}: jump of {delta} cycles at l={l}");
+        }
+    }
+
+    #[test]
+    fn eviction_speedup_is_at_least_one(
+        gen in 1usize..2048,
+        ratio_pct in 10u32..100,
+    ) {
+        let arch = ArchConfig::veda();
+        let s = eviction_speedup(&arch, 512, gen, f64::from(ratio_pct) / 100.0);
+        prop_assert!(s >= 0.99, "speedup {s} below 1");
+    }
+
+    #[test]
+    fn average_latency_with_budget_never_exceeds_unbudgeted(
+        gen in 1usize..1024,
+        budget in 64usize..2048,
+    ) {
+        let arch = ArchConfig::veda();
+        let v = DataflowVariant::FlexibleElementSerial;
+        let free = average_generation_attention_cycles(&arch, v, 512, gen, None);
+        let capped = average_generation_attention_cycles(&arch, v, 512, gen, Some(budget));
+        prop_assert!(capped <= free + 1e-9, "budget made things slower: {capped} vs {free}");
+    }
+
+    #[test]
+    fn more_macs_never_hurt_flexible_variants(
+        l in 1usize..2048,
+        lanes in 1usize..8,
+    ) {
+        // Only the flexible dataflow is guaranteed to benefit from a wider
+        // array; the fixed-epoch baseline can LOSE (its s'×V pads l to
+        // whole epochs of the array size — the Section I pathology). The
+        // baseline's non-monotonicity is asserted separately below.
+        let mut small = ArchConfig::veda();
+        small.pe_lanes = lanes;
+        let mut big = small.clone();
+        big.pe_lanes = lanes * 2;
+        for v in [DataflowVariant::Flexible, DataflowVariant::FlexibleElementSerial] {
+            prop_assert!(
+                decode_attention_cycles(&big, v, l) <= decode_attention_cycles(&small, v, l),
+                "{v}: doubling MACs increased latency at l={l}"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_can_get_slower_with_a_wider_array() {
+    // l = 641 on a 256-MAC array pads to 768; on a 512-MAC array it pads
+    // to 1024 — the fixed dataflow wastes the extra width. The flexible
+    // dataflow has no such pathology (property above).
+    let mut narrow = ArchConfig::veda();
+    narrow.pe_lanes = 4; // 256 MACs
+    let mut wide = ArchConfig::veda();
+    wide.pe_lanes = 8; // 512 MACs
+    let l = 641;
+    let narrow_cycles = decode_attention_cycles(&narrow, DataflowVariant::Baseline, l);
+    let wide_cycles = decode_attention_cycles(&wide, DataflowVariant::Baseline, l);
+    assert!(
+        wide_cycles > narrow_cycles,
+        "expected the fixed-epoch baseline to lose from extra width: {wide_cycles} vs {narrow_cycles}"
+    );
+}

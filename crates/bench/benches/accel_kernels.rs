@@ -1,0 +1,43 @@
+//! Functional PE-array kernel benchmarks: inner/outer GEMV on the FP16
+//! array model and the element-serial softmax unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veda_accel::arch::SfuConfig;
+use veda_accel::sfu::SoftmaxUnit;
+use veda_accel::{ArrayMode, PeArray};
+use veda_tensor::Matrix;
+
+fn bench_pe_array(c: &mut Criterion) {
+    let mut rng = veda_tensor::rng::seeded(4);
+    let keys = Matrix::from_vec(256, 64, veda_tensor::rng::normal_vec(&mut rng, 256 * 64, 0.5)).unwrap();
+    let q = veda_tensor::rng::normal_vec(&mut rng, 64, 0.5);
+    let s = veda_tensor::rng::uniform_vec(&mut rng, 256, 0.0, 0.05);
+
+    c.bench_function("pe_array_inner_256x64", |b| {
+        let mut arr = PeArray::veda_tile();
+        arr.configure(ArrayMode::InnerProduct);
+        b.iter(|| arr.inner_gemv(black_box(&q), black_box(&keys)).cycles)
+    });
+    c.bench_function("pe_array_outer_256x64", |b| {
+        let mut arr = PeArray::veda_tile();
+        arr.configure(ArrayMode::OuterProduct);
+        b.iter(|| arr.outer_gemv(black_box(&s), black_box(&keys)).cycles)
+    });
+}
+
+fn bench_sfu(c: &mut Criterion) {
+    let xs = veda_tensor::rng::normal_vec(&mut veda_tensor::rng::seeded(5), 1024, 1.0);
+    c.bench_function("sfu_element_serial_softmax_1024", |b| {
+        b.iter(|| {
+            let mut sm = SoftmaxUnit::new(SfuConfig::default());
+            for &x in &xs {
+                sm.push(black_box(x));
+            }
+            sm.finish()
+        })
+    });
+}
+
+criterion_group!(benches, bench_pe_array, bench_sfu);
+criterion_main!(benches);

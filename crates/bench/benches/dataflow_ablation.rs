@@ -1,0 +1,24 @@
+//! Fig. 8 (center) as a benchmark: cycle-model evaluation of the three
+//! dataflow variants (the figure itself is printed by the `fig8_center`
+//! binary; this tracks the model's own cost and asserts the ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use veda_accel::arch::{ArchConfig, DataflowVariant};
+use veda_accel::attention::average_generation_attention_cycles;
+
+fn bench_ablation(c: &mut Criterion) {
+    let arch = ArchConfig::veda();
+    let mut group = c.benchmark_group("dataflow_ablation");
+    for variant in DataflowVariant::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(variant), &variant, |b, &v| {
+            b.iter(|| {
+                average_generation_attention_cycles(black_box(&arch), v, 512, 1024, None)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

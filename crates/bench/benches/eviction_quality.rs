@@ -1,0 +1,28 @@
+//! Fig. 8 (left) as a benchmark: perplexity evaluation throughput of each
+//! eviction policy at a representative cache size (the quality numbers are
+//! produced by the `fig8_left` binary; this measures the evaluation loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use veda_eviction::PolicyKind;
+use veda_model::{Corpus, CorpusConfig, InductionConfig, InductionLm};
+
+fn bench_policy_eval(c: &mut Criterion) {
+    let corpus = Corpus::new(CorpusConfig::default());
+    let lm = InductionLm::new(InductionConfig::default(), &corpus);
+    let sample = corpus.sample(0, 512);
+    let mut group = c.benchmark_group("policy_eval_512tok_cache128");
+    group.sample_size(10);
+    for kind in [PolicyKind::SlidingWindow, PolicyKind::H2o, PolicyKind::Voting] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| {
+                let mut p = veda_bench::calibrated_policy(k);
+                lm.evaluate_sample(black_box(&sample), 128, p.as_mut(), &corpus).total_nll
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_eval);
+criterion_main!(benches);

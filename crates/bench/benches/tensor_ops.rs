@@ -1,0 +1,51 @@
+//! Microbenchmarks of the tensor kernels that dominate the functional
+//! model: the two GEMV interpretations, softmax variants and FP16
+//! conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use veda_tensor::{ops, softmax, Matrix, OnlineSoftmax};
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    for &l in &[128usize, 1024] {
+        let d = 128;
+        let mut rng = veda_tensor::rng::seeded(1);
+        let m = Matrix::from_vec(l, d, veda_tensor::rng::normal_vec(&mut rng, l * d, 1.0)).unwrap();
+        let q = veda_tensor::rng::normal_vec(&mut rng, d, 1.0);
+        let s = veda_tensor::rng::uniform_vec(&mut rng, l, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("inner_qk", l), &l, |b, _| {
+            b.iter(|| ops::gemv_inner(black_box(&q), black_box(&m)))
+        });
+        group.bench_with_input(BenchmarkId::new("outer_sv", l), &l, |b, _| {
+            b.iter(|| ops::gemv_outer(black_box(&s), black_box(&m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    let xs = veda_tensor::rng::normal_vec(&mut veda_tensor::rng::seeded(2), 4096, 1.0);
+    group.bench_function("two_pass_4096", |b| b.iter(|| softmax::softmax(black_box(&xs))));
+    group.bench_function("online_4096", |b| {
+        b.iter(|| {
+            let mut os = OnlineSoftmax::new();
+            for &x in &xs {
+                os.push(black_box(x));
+            }
+            os.exp_sum()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fp16(c: &mut Criterion) {
+    let xs = veda_tensor::rng::normal_vec(&mut veda_tensor::rng::seeded(3), 4096, 10.0);
+    c.bench_function("fp16_quantize_4096", |b| {
+        b.iter(|| xs.iter().map(|&x| veda_tensor::fp16::quantize_f32(black_box(x))).sum::<f32>())
+    });
+}
+
+criterion_group!(benches, bench_gemv, bench_softmax, bench_fp16);
+criterion_main!(benches);

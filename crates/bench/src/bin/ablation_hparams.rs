@@ -1,0 +1,9 @@
+//! Extension ablation: sensitivity of the voting threshold
+//! `T = a·mean − b·σ` at a fixed cache size.
+fn main() {
+    let points = veda_bench::hparam_ablation(128, 4, 1024);
+    println!("{:<8} {:<8} {:>12}", "a", "b", "perplexity");
+    for p in points {
+        println!("{:<8} {:<8} {:>12.3}", p.a, p.b, p.perplexity);
+    }
+}

@@ -1,0 +1,31 @@
+//! Calibration sweep for the Fig. 8 (left) substrate: voting threshold `b`
+//! × prediction head weights, printed as perplexity per policy.
+fn main() {
+    use veda_eviction::*;
+    use veda_model::*;
+    let corpus = Corpus::new(CorpusConfig::default());
+    for &a in &[1.0f32, 0.7, 0.5, 0.3] {
+        let lm = InductionLm::new(InductionConfig::default(), &corpus);
+        for &b in &[0.0f32, 0.05, 0.1, 0.2] {
+            let mut row = format!("a {a:.2} b {b:.2} |");
+            for cache in [96usize, 256] {
+                let mut ppl = Vec::new();
+                for (name, mut pol) in [
+                    ("slide", Box::new(SlidingWindowPolicy::new(4)) as Box<dyn EvictionPolicy>),
+                    ("h2o", Box::new(H2oPolicy::new())),
+                    ("vote", Box::new(VotingPolicy::new(VotingConfig { a, b, reserved_len: 4, per_head_votes: false }))),
+                ] {
+                    let mut nll = 0.0; let mut toks = 0;
+                    for s in 0..4u64 {
+                        let sample = corpus.sample(s, 1280);
+                        let e = lm.evaluate_sample(&sample, cache, pol.as_mut(), &corpus);
+                        nll += e.total_nll; toks += e.tokens;
+                    }
+                    ppl.push(format!("{name} {:.2}", (nll / toks as f64).exp()));
+                }
+                row += &format!("  [{cache}] {}", ppl.join(" "));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8 (center): the dataflow ablation — Baseline vs
+//! Baseline+F (flexible product) vs Baseline+F+E (element-serial
+//! scheduling) — as normalized average attention latency over generation
+//! lengths 0..1024 after a 512-token prompt.
+fn main() {
+    let points = veda_bench::fig8_center();
+    print!("{}", veda_bench::render_ablation(&points));
+}

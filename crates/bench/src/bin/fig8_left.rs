@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8 (left): perplexity vs cache size for Streaming-LLM,
+//! H2O and voting-based eviction on the synthetic corpus.
+//!
+//! Usage: `fig8_left [--paper]` — the default quick scale runs in seconds;
+//! `--paper` uses the paper's 1000 × 4096 configuration.
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let scale = if paper { veda_bench::QualityScale::paper() } else { veda_bench::QualityScale::quick() };
+    eprintln!(
+        "fig8_left: {} samples x {} tokens, cache sizes {:?}",
+        scale.samples, scale.sample_len, scale.cache_sizes
+    );
+    let points = veda_bench::fig8_left(scale);
+    print!("{}", veda_bench::render_quality(&points));
+}

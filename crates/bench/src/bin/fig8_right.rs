@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8 (right): speedup of voting-based KV cache eviction
+//! at compression ratios 0.5/0.4/0.3/0.2 over generation lengths 128..1024
+//! (prompt 512), relative to VEDA without eviction.
+fn main() {
+    let points = veda_bench::fig8_right();
+    print!("{}", veda_bench::render_speedup(&points));
+}

@@ -1,0 +1,38 @@
+//! Diagnostic: shows what each policy keeps resident at the end of a
+//! sample (ages and positions), plus its perplexity.
+fn main() {
+    use veda_model::*;
+    let corpus = Corpus::new(CorpusConfig::default());
+    let lm = InductionLm::new(InductionConfig::default(), &corpus);
+    let n = 1200;
+    let sample = corpus.sample(0, n);
+    let a: f32 = std::env::var("VA").map(|v| v.parse().unwrap()).unwrap_or(1.0);
+    let b: f32 = std::env::var("VB").map(|v| v.parse().unwrap()).unwrap_or(0.0);
+    for kind in [
+        veda_eviction::PolicyKind::H2o,
+        veda_eviction::PolicyKind::Voting,
+        veda_eviction::PolicyKind::SlidingWindow,
+    ] {
+        let mut p: Box<dyn veda_eviction::EvictionPolicy> = if kind == veda_eviction::PolicyKind::Voting {
+            Box::new(veda_eviction::VotingPolicy::new(veda_eviction::VotingConfig {
+                a, b, reserved_len: 4, per_head_votes: false,
+            }))
+        } else {
+            veda_bench::calibrated_policy(kind)
+        };
+        let (eval, residents) = lm.evaluate_sample_with_residents(&sample, 128, p.as_mut(), &corpus);
+        let recent = residents.iter().filter(|&&r| r + 200 >= n).count();
+        let stale = residents.iter().filter(|&&r| r + 600 < n).count();
+        let entities = residents.iter().filter(|&&r| corpus.is_entity(sample[r])).count();
+        let cur_topic = corpus.topic_at(n - 1);
+        let cur_entities = residents
+            .iter()
+            .filter(|&&r| corpus.is_entity(sample[r]) && corpus.topic_at(r) == cur_topic)
+            .count();
+        println!(
+            "{kind:>16}: ppl {:>7.1}  recent {recent:>4}  stale {stale:>4}  entity-anchors {entities:>3} (current topic {cur_entities:>3})  sample: {:?}",
+            eval.perplexity(),
+            residents.iter().step_by(16).collect::<Vec<_>>()
+        );
+    }
+}

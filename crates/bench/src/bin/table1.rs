@@ -1,0 +1,11 @@
+//! Regenerates Table I: the VEDA hardware area/power breakdown from the
+//! calibrated analytic module models.
+fn main() {
+    let t = veda_cost::table1(&veda_accel::ArchConfig::veda());
+    print!("{}", t.render());
+    println!(
+        "\nSFU area share: {:.2}% (claim: <3%)  Voting engine share: {:.2}% (claim: ~6.5%)",
+        t.area_fraction("Special Function Unit").unwrap_or(f64::NAN) * 100.0,
+        t.area_fraction("Voting Engine").unwrap_or(f64::NAN) * 100.0,
+    );
+}

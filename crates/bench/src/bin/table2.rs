@@ -1,0 +1,6 @@
+//! Regenerates Table II: comparison with Sanger/SpAtten (published
+//! numbers + technology scaling) and the end-to-end GPU comparison.
+fn main() {
+    let t = veda_cost::table2(&veda_accel::ArchConfig::veda());
+    print!("{}", t.render());
+}

@@ -1,0 +1,295 @@
+//! # veda-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the VEDA
+//! paper's evaluation section. Each experiment is a pure function returning
+//! structured rows, shared by the report binaries (`fig8_left`,
+//! `fig8_center`, `fig8_right`, `table1`, `table2`, `ablation_hparams`) and
+//! the Criterion benches.
+//!
+//! | artifact | function | binary |
+//! |---|---|---|
+//! | Fig. 8 left (perplexity vs cache size) | [`fig8_left`] | `fig8_left` |
+//! | Fig. 8 center (dataflow ablation) | [`fig8_center`] | `fig8_center` |
+//! | Fig. 8 right (eviction speedup) | [`fig8_right`] | `fig8_right` |
+//! | Table I (area/power breakdown) | [`veda_cost::table1`] | `table1` |
+//! | Table II (accelerator comparison) | [`veda_cost::table2`] | `table2` |
+//! | hyper-parameter ablation (extension) | [`hparam_ablation`] | `ablation_hparams` |
+
+use veda_accel::arch::{ArchConfig, DataflowVariant};
+use veda_accel::attention::{average_generation_attention_cycles, eviction_speedup};
+use veda_eviction::PolicyKind;
+use veda_model::{Corpus, CorpusConfig, InductionConfig};
+
+/// Scale of a quality experiment (trade fidelity for runtime).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScale {
+    /// Number of corpus samples.
+    pub samples: u64,
+    /// Tokens per sample (the "maximum sequence length").
+    pub sample_len: usize,
+    /// Cache sizes to sweep.
+    pub cache_sizes: &'static [usize],
+}
+
+impl QualityScale {
+    /// Fast scale for CI / default binary runs: 8 samples × 1536 tokens.
+    pub fn quick() -> Self {
+        Self { samples: 8, sample_len: 1536, cache_sizes: &[96, 128, 256, 512, 1024] }
+    }
+
+    /// Paper scale: 1000 samples × 4096 tokens, cache 128..4096.
+    pub fn paper() -> Self {
+        Self { samples: 1000, sample_len: 4096, cache_sizes: &[128, 256, 512, 1024, 2048, 4096] }
+    }
+}
+
+/// One point of Fig. 8 (left).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityPoint {
+    /// Eviction policy.
+    pub policy: PolicyKind,
+    /// Cache budget.
+    pub cache_size: usize,
+    /// Perplexity on the synthetic corpus.
+    pub perplexity: f64,
+}
+
+/// Builds a policy with parameters calibrated to the synthetic substrate:
+/// the paper sets the voting reserved length to 32 for Llama-2's multi-token
+/// attention sink and notes that hyper-parameters are "fine-tuned through
+/// model-specific calibration"; the synthetic model has a single-position
+/// sink, so the calibrated reserved length is 4 (matching Streaming-LLM's
+/// 4-token sink for fairness).
+pub fn calibrated_policy(kind: PolicyKind) -> Box<dyn veda_eviction::EvictionPolicy> {
+    match kind {
+        PolicyKind::Voting => Box::new(veda_eviction::VotingPolicy::new(veda_eviction::VotingConfig {
+            b: 1.2,
+            reserved_len: 4,
+            ..veda_eviction::VotingConfig::default()
+        })),
+        other => other.build(),
+    }
+}
+
+/// Fig. 8 (left): language-modeling perplexity of Streaming-LLM, H2O and
+/// Voting across cache sizes.
+pub fn fig8_left(scale: QualityScale) -> Vec<QualityPoint> {
+    let corpus = Corpus::new(CorpusConfig::default());
+    let lm = veda_model::InductionLm::new(InductionConfig::default(), &corpus);
+    let mut out = Vec::new();
+    for &cache in scale.cache_sizes {
+        for policy in [PolicyKind::SlidingWindow, PolicyKind::H2o, PolicyKind::Voting] {
+            let mut nll = 0.0;
+            let mut tokens = 0usize;
+            for sample_idx in 0..scale.samples {
+                let sample = corpus.sample(sample_idx, scale.sample_len);
+                let mut p = calibrated_policy(policy);
+                let eval = lm.evaluate_sample(&sample, cache, p.as_mut(), &corpus);
+                nll += eval.total_nll;
+                tokens += eval.tokens;
+            }
+            out.push(QualityPoint { policy, cache_size: cache, perplexity: (nll / tokens as f64).exp() });
+        }
+    }
+    out
+}
+
+/// One point of Fig. 8 (center).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// Generation length after the 512-token prompt.
+    pub gen_len: usize,
+    /// Dataflow variant.
+    pub variant: DataflowVariant,
+    /// Attention latency normalized to the baseline at the same length.
+    pub normalized_latency: f64,
+}
+
+/// Fig. 8 (center): dataflow ablation — Baseline vs +F vs +F+E, normalized
+/// average attention latency, prompt 512, generation 0..1024.
+pub fn fig8_center() -> Vec<AblationPoint> {
+    let arch = ArchConfig::veda();
+    let mut out = Vec::new();
+    for gen_len in [0usize, 128, 256, 512, 1024] {
+        let base = average_generation_attention_cycles(&arch, DataflowVariant::Baseline, 512, gen_len, None);
+        for variant in DataflowVariant::ALL {
+            let cycles = average_generation_attention_cycles(&arch, variant, 512, gen_len, None);
+            out.push(AblationPoint { gen_len, variant, normalized_latency: cycles / base });
+        }
+    }
+    out
+}
+
+/// One point of Fig. 8 (right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Generation length.
+    pub gen_len: usize,
+    /// KV compression ratio (cache held at `ratio × 512`).
+    pub kv_ratio: f64,
+    /// Speedup over VEDA without eviction.
+    pub speedup: f64,
+}
+
+/// Fig. 8 (right): speedup of voting-based cache eviction at KV ratios
+/// 0.5/0.4/0.3/0.2 over generation lengths 128..1024 (prompt 512).
+pub fn fig8_right() -> Vec<SpeedupPoint> {
+    let arch = ArchConfig::veda();
+    let mut out = Vec::new();
+    for &ratio in &[0.5, 0.4, 0.3, 0.2] {
+        for &gen_len in &[128usize, 256, 512, 1024] {
+            out.push(SpeedupPoint { gen_len, kv_ratio: ratio, speedup: eviction_speedup(&arch, 512, gen_len, ratio) });
+        }
+    }
+    out
+}
+
+/// One row of the threshold hyper-parameter ablation (extension beyond the
+/// paper: sensitivity of the voting threshold `T = a·mean − b·σ`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HparamPoint {
+    /// Mean coefficient.
+    pub a: f32,
+    /// Sigma coefficient.
+    pub b: f32,
+    /// Perplexity at the probe cache size.
+    pub perplexity: f64,
+}
+
+/// Sweeps the voting threshold coefficients at a fixed cache size.
+pub fn hparam_ablation(cache_size: usize, samples: u64, sample_len: usize) -> Vec<HparamPoint> {
+    use veda_eviction::{VotingConfig, VotingPolicy};
+    let corpus = Corpus::new(CorpusConfig::default());
+    let lm_cfg = InductionConfig::default();
+    let lm = veda_model::InductionLm::new(lm_cfg, &corpus);
+    let mut out = Vec::new();
+    for &a in &[0.5f32, 0.75, 1.0, 1.25] {
+        for &b in &[0.0f32, 0.1, 0.2, 0.4] {
+            let mut nll = 0.0;
+            let mut tokens = 0usize;
+            for s in 0..samples {
+                let sample = corpus.sample(s, sample_len);
+                let mut policy = VotingPolicy::new(VotingConfig { a, b, ..VotingConfig::default() });
+                let eval = lm.evaluate_sample(&sample, cache_size, &mut policy, &corpus);
+                nll += eval.total_nll;
+                tokens += eval.tokens;
+            }
+            out.push(HparamPoint { a, b, perplexity: (nll / tokens as f64).exp() });
+        }
+    }
+    out
+}
+
+/// Renders Fig. 8 (left) rows as an aligned text table.
+pub fn render_quality(points: &[QualityPoint]) -> String {
+    let mut out = format!("{:<10} {:>12} {:>12} {:>12}\n", "Cache", "Streaming", "H2O", "Voting");
+    let mut caches: Vec<usize> = points.iter().map(|p| p.cache_size).collect();
+    caches.dedup();
+    for cache in caches {
+        let get = |k: PolicyKind| {
+            points
+                .iter()
+                .find(|p| p.cache_size == cache && p.policy == k)
+                .map_or(f64::NAN, |p| p.perplexity)
+        };
+        out.push_str(&format!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3}\n",
+            cache,
+            get(PolicyKind::SlidingWindow),
+            get(PolicyKind::H2o),
+            get(PolicyKind::Voting)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 8 (center) rows as an aligned text table.
+pub fn render_ablation(points: &[AblationPoint]) -> String {
+    let mut out = format!("{:<10} {:>10} {:>12} {:>14}\n", "GenLen", "Baseline", "Baseline+F", "Baseline+F+E");
+    let mut lens: Vec<usize> = points.iter().map(|p| p.gen_len).collect();
+    lens.dedup();
+    for len in lens {
+        let get = |v: DataflowVariant| {
+            points
+                .iter()
+                .find(|p| p.gen_len == len && p.variant == v)
+                .map_or(f64::NAN, |p| p.normalized_latency)
+        };
+        out.push_str(&format!(
+            "{:<10} {:>10.2} {:>12.2} {:>14.2}\n",
+            len,
+            get(DataflowVariant::Baseline),
+            get(DataflowVariant::Flexible),
+            get(DataflowVariant::FlexibleElementSerial)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 8 (right) rows as an aligned text table.
+pub fn render_speedup(points: &[SpeedupPoint]) -> String {
+    let mut out = format!("{:<10} {:>10} {:>10} {:>10} {:>10}\n", "GenLen", "0.5KV", "0.4KV", "0.3KV", "0.2KV");
+    let mut lens: Vec<usize> = points.iter().map(|p| p.gen_len).collect();
+    lens.sort_unstable();
+    lens.dedup();
+    for len in lens {
+        let get = |r: f64| {
+            points
+                .iter()
+                .find(|p| p.gen_len == len && (p.kv_ratio - r).abs() < 1e-9)
+                .map_or(f64::NAN, |p| p.speedup)
+        };
+        out.push_str(&format!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            len,
+            get(0.5),
+            get(0.4),
+            get(0.3),
+            get(0.2)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_points_cover_grid() {
+        let pts = fig8_center();
+        assert_eq!(pts.len(), 5 * 3);
+        // Baseline normalizes to 1.0.
+        assert!(pts
+            .iter()
+            .filter(|p| p.variant == DataflowVariant::Baseline)
+            .all(|p| (p.normalized_latency - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn center_ordering_holds() {
+        for p in fig8_center() {
+            match p.variant {
+                DataflowVariant::Baseline => {}
+                DataflowVariant::Flexible => assert!(p.normalized_latency < 1.0),
+                DataflowVariant::FlexibleElementSerial => assert!(p.normalized_latency < 0.75),
+            }
+        }
+    }
+
+    #[test]
+    fn right_corners_match_paper() {
+        let pts = fig8_right();
+        let get = |len: usize, r: f64| {
+            pts.iter().find(|p| p.gen_len == len && (p.kv_ratio - r).abs() < 1e-9).unwrap().speedup
+        };
+        assert!((1.8..2.8).contains(&get(128, 0.5)), "{}", get(128, 0.5));
+        assert!((8.0..12.0).contains(&get(1024, 0.2)), "{}", get(1024, 0.2));
+    }
+
+    #[test]
+    fn renderers_produce_aligned_tables() {
+        assert!(render_ablation(&fig8_center()).contains("Baseline+F+E"));
+        assert!(render_speedup(&fig8_right()).contains("0.2KV"));
+    }
+}

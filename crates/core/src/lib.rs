@@ -1,0 +1,47 @@
+//! # veda
+//!
+//! End-to-end simulator for the VEDA reproduction (Wang et al., DAC 2025):
+//! **V**oting-based KV cache **E**viction and a **D**ataflow-flexible
+//! **A**ccelerator.
+//!
+//! This crate is the public face of the workspace. It couples:
+//!
+//! * the functional transformer substrate ([`veda_model`]),
+//! * the eviction policies ([`veda_eviction`]), driven layer-wise exactly
+//!   as the hardware voting engine drives them,
+//! * the cycle-accurate accelerator model ([`veda_accel`]),
+//! * the memory substrates ([`veda_mem`]) and cost models ([`veda_cost`]).
+//!
+//! The central type is [`Simulation`]: configure a model, an architecture,
+//! a dataflow variant and an eviction policy, then [`Simulation::run`] a
+//! prompt + generation and receive a [`SimulationReport`] with the
+//! generated tokens, per-token attention cycles, throughput and energy.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use veda::{Simulation, SimulationBuilder};
+//! use veda_eviction::PolicyKind;
+//!
+//! let mut sim = SimulationBuilder::new()
+//!     .model(veda_model::ModelConfig::tiny())
+//!     .policy(PolicyKind::Voting)
+//!     .compression_ratio(0.5)
+//!     .build()?;
+//! let report = sim.run(&[1, 5, 9, 2, 7, 3, 8, 4], 8);
+//! assert_eq!(report.generated.len(), 8);
+//! assert!(report.tokens_per_second > 0.0);
+//! # Ok::<(), veda::BuildError>(())
+//! ```
+
+pub mod simulator;
+
+pub use simulator::{BuildError, Simulation, SimulationBuilder, SimulationReport};
+
+// Re-export the workspace crates under one roof for downstream users.
+pub use veda_accel as accel;
+pub use veda_cost as cost;
+pub use veda_eviction as eviction;
+pub use veda_mem as mem;
+pub use veda_model as model;
+pub use veda_tensor as tensor;

@@ -1,0 +1,400 @@
+//! The end-to-end simulation: functional transformer + layer-wise eviction
+//! + accelerator timing + energy.
+
+use veda_accel::arch::{ArchConfig, DataflowVariant};
+use veda_accel::attention::decode_attention_cycles;
+use veda_accel::schedule::{DecodeScheduler, LlamaShape};
+use veda_cost::EnergyModel;
+use veda_eviction::{EvictionPolicy, PolicyKind};
+use veda_mem::HbmConfig;
+use veda_model::{ModelConfig, TransformerModel};
+
+/// Error building a [`Simulation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError(String);
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid simulation configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Simulation`].
+///
+/// Defaults: tiny model, VEDA architecture scaled to the model's head
+/// geometry, `FlexibleElementSerial` dataflow, voting policy, compression
+/// ratio 0.5, paper-default HBM.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    model: ModelConfig,
+    variant: DataflowVariant,
+    policy: PolicyKind,
+    compression_ratio: Option<f64>,
+    fixed_budget: Option<usize>,
+    hbm: HbmConfig,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    /// Creates a builder with defaults.
+    pub fn new() -> Self {
+        Self {
+            model: ModelConfig::tiny(),
+            variant: DataflowVariant::FlexibleElementSerial,
+            policy: PolicyKind::Voting,
+            compression_ratio: Some(0.5),
+            fixed_budget: None,
+            hbm: HbmConfig::default(),
+        }
+    }
+
+    /// Sets the functional model configuration.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the dataflow variant.
+    pub fn variant(mut self, variant: DataflowVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the compression ratio `r` (budget = `round(r × prompt_len)`,
+    /// the paper's Fig. 3 configuration). Clears any fixed budget.
+    pub fn compression_ratio(mut self, r: f64) -> Self {
+        self.compression_ratio = Some(r);
+        self.fixed_budget = None;
+        self
+    }
+
+    /// Sets a fixed cache budget (the language-modeling configuration).
+    /// Clears any compression ratio.
+    pub fn fixed_budget(mut self, budget: usize) -> Self {
+        self.fixed_budget = Some(budget);
+        self.compression_ratio = None;
+        self
+    }
+
+    /// Sets the HBM configuration.
+    pub fn hbm(mut self, hbm: HbmConfig) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the model is invalid or the budget
+    /// configuration is unusable.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        self.model.validate().map_err(BuildError)?;
+        if let Some(r) = self.compression_ratio {
+            if !(0.0..=1.0).contains(&r) || r == 0.0 {
+                return Err(BuildError(format!("compression ratio {r} outside (0, 1]")));
+            }
+        }
+        if self.fixed_budget == Some(0) {
+            return Err(BuildError("fixed budget must be positive".into()));
+        }
+
+        // Architecture shaped to the model's attention geometry; everything
+        // else stays at VEDA defaults.
+        let mut arch = ArchConfig::veda();
+        arch.head_dim = self.model.head_dim();
+        arch.n_heads = self.model.n_heads;
+        arch.validate().map_err(BuildError)?;
+
+        let shape = LlamaShape {
+            d_model: self.model.d_model,
+            n_heads: self.model.n_heads,
+            ffn_hidden: self.model.ffn_hidden,
+            n_layers: self.model.n_layers,
+            vocab_size: self.model.vocab_size,
+        };
+        let scheduler = DecodeScheduler::new(arch.clone(), shape, self.hbm, self.variant);
+        let energy = EnergyModel::for_arch(&arch);
+        let policies = (0..self.model.n_layers).map(|_| self.policy.build()).collect();
+
+        Ok(Simulation {
+            model: TransformerModel::new(self.model),
+            arch,
+            variant: self.variant,
+            policy_kind: self.policy,
+            policies,
+            compression_ratio: self.compression_ratio,
+            fixed_budget: self.fixed_budget,
+            scheduler,
+            energy,
+        })
+    }
+}
+
+/// Result of one simulated prompt + generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Greedily generated token ids.
+    pub generated: Vec<usize>,
+    /// Attention cycles of each generated token (cycle model).
+    pub attention_cycles_per_token: Vec<u64>,
+    /// Total decode cycles across generation (all components).
+    pub total_cycles: u64,
+    /// Decode throughput at the architecture clock.
+    pub tokens_per_second: f64,
+    /// Energy per generated token in millijoules (core + HBM).
+    pub energy_mj_per_token: f64,
+    /// Evictions performed across all layers.
+    pub evictions: usize,
+    /// Final KV cache length (layer 0).
+    pub final_cache_len: usize,
+    /// The budget that was enforced.
+    pub cache_budget: usize,
+}
+
+/// An end-to-end VEDA simulation (see [`crate`] docs).
+pub struct Simulation {
+    model: TransformerModel,
+    arch: ArchConfig,
+    variant: DataflowVariant,
+    policy_kind: PolicyKind,
+    policies: Vec<Box<dyn EvictionPolicy>>,
+    compression_ratio: Option<f64>,
+    fixed_budget: Option<usize>,
+    scheduler: DecodeScheduler,
+    energy: EnergyModel,
+}
+
+impl Simulation {
+    /// The configured architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The configured policy kind.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// The dataflow variant.
+    pub fn variant(&self) -> DataflowVariant {
+        self.variant
+    }
+
+    fn resolve_budget(&self, prompt_len: usize) -> usize {
+        match (self.fixed_budget, self.compression_ratio) {
+            (Some(b), _) => b,
+            (None, Some(r)) => ((prompt_len as f64 * r).round() as usize).max(1),
+            (None, None) => usize::MAX / 2,
+        }
+    }
+
+    /// Feeds one token through the model and the per-layer policies,
+    /// evicting down to `budget` when allowed.
+    fn step(&mut self, token: usize, position: usize, budget: usize, evict: bool) -> (Vec<f32>, usize) {
+        let out = self.model.forward_token(token, position);
+        let mut evictions = 0;
+        for (layer, policy) in self.policies.iter_mut().enumerate() {
+            policy.on_append();
+            policy.observe(&out.layer_scores[layer]);
+            if evict {
+                while self.model.caches()[layer].len() > budget {
+                    let len = self.model.caches()[layer].len();
+                    let Some(slot) = policy.select_victim(len) else {
+                        break;
+                    };
+                    self.model.evict(layer, slot);
+                    policy.on_evict(slot);
+                    evictions += 1;
+                }
+            }
+        }
+        (out.logits, evictions)
+    }
+
+    /// Runs prefill on `prompt` then generates `gen_len` tokens greedily,
+    /// returning the full report. Resets all state first, so a simulation
+    /// can be reused across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or contains out-of-vocabulary tokens.
+    pub fn run(&mut self, prompt: &[usize], gen_len: usize) -> SimulationReport {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        self.model.reset();
+        for p in &mut self.policies {
+            p.reset();
+        }
+        let budget = self.resolve_budget(prompt.len());
+        let mut evictions = 0;
+
+        // Prefill: voting observes, but no eviction (Fig. 3's reserved +
+        // voting stages).
+        let mut logits = Vec::new();
+        for (pos, &tok) in prompt.iter().enumerate() {
+            let (l, _) = self.step(tok, pos, budget, false);
+            logits = l;
+        }
+
+        // Generation: evict whenever the cache exceeds the budget; the
+        // first steps burst-evict down from the prompt length, after which
+        // the cache holds constant at the budget (Section VI).
+        let mut generated = Vec::with_capacity(gen_len);
+        let mut attention_cycles = Vec::with_capacity(gen_len);
+        let mut total_cycles = 0u64;
+        let mut total_energy_mj = 0.0;
+        let mut position = prompt.len();
+        for _ in 0..gen_len {
+            let next = veda_tensor::stats::argmax(&logits).expect("non-empty logits");
+            generated.push(next);
+
+            let l_before = self.model.cache_len().min(budget.max(1)).max(1);
+            let report = self.scheduler.decode_token(l_before);
+            attention_cycles.push(decode_attention_cycles(&self.arch, self.variant, l_before));
+            total_cycles += report.total_cycles;
+            let shape = self.scheduler.shape();
+            let bytes = shape.weight_bytes_per_token() + shape.kv_bytes_per_token(l_before);
+            total_energy_mj += self.energy.token_energy_mj(report.total_cycles, bytes);
+
+            let (l, e) = self.step(next, position, budget, true);
+            logits = l;
+            evictions += e;
+            position += 1;
+        }
+
+        let seconds = total_cycles as f64 / (self.arch.clock_ghz * 1e9);
+        SimulationReport {
+            tokens_per_second: if seconds > 0.0 { generated.len() as f64 / seconds } else { 0.0 },
+            energy_mj_per_token: if generated.is_empty() { 0.0 } else { total_energy_mj / generated.len() as f64 },
+            generated,
+            attention_cycles_per_token: attention_cycles,
+            total_cycles,
+            evictions,
+            final_cache_len: self.model.cache_len(),
+            cache_budget: budget,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("variant", &self.variant)
+            .field("policy", &self.policy_kind)
+            .field("arch_macs", &self.arch.macs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt() -> Vec<usize> {
+        (1..=16).collect()
+    }
+
+    fn build(policy: PolicyKind, ratio: f64) -> Simulation {
+        SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(policy)
+            .compression_ratio(ratio)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn run_produces_tokens_and_cycles() {
+        let mut sim = build(PolicyKind::Voting, 0.5);
+        let r = sim.run(&prompt(), 8);
+        assert_eq!(r.generated.len(), 8);
+        assert_eq!(r.attention_cycles_per_token.len(), 8);
+        assert!(r.total_cycles > 0);
+        assert!(r.tokens_per_second > 0.0);
+        assert!(r.energy_mj_per_token > 0.0);
+    }
+
+    #[test]
+    fn cache_converges_to_budget() {
+        let mut sim = build(PolicyKind::SlidingWindow, 0.5);
+        let r = sim.run(&prompt(), 12);
+        assert_eq!(r.cache_budget, 8);
+        assert_eq!(r.final_cache_len, 8, "cache must be held at the budget");
+        assert!(r.evictions > 0);
+    }
+
+    #[test]
+    fn full_policy_never_evicts() {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Full)
+            .fixed_budget(4)
+            .build()
+            .unwrap();
+        let r = sim.run(&prompt(), 4);
+        assert_eq!(r.evictions, 0);
+        assert_eq!(r.final_cache_len, 20);
+    }
+
+    #[test]
+    fn eviction_speeds_up_attention() {
+        let long_prompt: Vec<usize> = (0..64).map(|i| (i * 7) % 60 + 1).collect();
+        let mut full = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Full)
+            .fixed_budget(10_000)
+            .build()
+            .unwrap();
+        let mut evicting = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Voting)
+            .compression_ratio(0.25)
+            .build()
+            .unwrap();
+        let rf = full.run(&long_prompt, 16);
+        let re = evicting.run(&long_prompt, 16);
+        let full_attn: u64 = rf.attention_cycles_per_token.iter().sum();
+        let evict_attn: u64 = re.attention_cycles_per_token.iter().sum();
+        assert!(evict_attn < full_attn, "evicting {evict_attn} vs full {full_attn}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = build(PolicyKind::Voting, 0.5);
+        let mut b = build(PolicyKind::Voting, 0.5);
+        assert_eq!(a.run(&prompt(), 6), b.run(&prompt(), 6));
+        // And rerunning the same simulation gives the same result.
+        let r1 = a.run(&prompt(), 6);
+        let r2 = a.run(&prompt(), 6);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(SimulationBuilder::new().compression_ratio(0.0).build().is_err());
+        assert!(SimulationBuilder::new().compression_ratio(1.5).build().is_err());
+        assert!(SimulationBuilder::new().fixed_budget(0).build().is_err());
+        let mut bad = ModelConfig::tiny();
+        bad.n_heads = 5;
+        assert!(SimulationBuilder::new().model(bad).build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_prompt_panics() {
+        build(PolicyKind::Voting, 0.5).run(&[], 4);
+    }
+}

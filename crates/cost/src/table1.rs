@@ -1,0 +1,143 @@
+//! Table I generator: the VEDA hardware breakdown.
+
+use crate::modules::{ModuleCost, UnitCosts};
+use veda_accel::arch::ArchConfig;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Module name.
+    pub module: &'static str,
+    /// Parameter summary, as printed in the paper.
+    pub parameters: String,
+    /// Cost estimate.
+    pub cost: ModuleCost,
+}
+
+/// The full Table I: per-module rows plus the total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Per-module rows in the paper's order.
+    pub rows: Vec<Table1Row>,
+    /// Chip total.
+    pub total: ModuleCost,
+}
+
+impl Table1 {
+    /// Fraction of total area consumed by a module.
+    pub fn area_fraction(&self, module: &str) -> Option<f64> {
+        let row = self.rows.iter().find(|r| r.module == module)?;
+        Some(row.cost.area_mm2 / self.total.area_mm2)
+    }
+
+    /// The paper's §VI hardware claims as predicates: SFU below 3 % of
+    /// area, voting engine around 6.5 % overhead, PE + buffer dominant.
+    pub fn claims_hold(&self) -> bool {
+        let sfu = self.area_fraction("Special Function Unit").unwrap_or(1.0);
+        let voting = self.area_fraction("Voting Engine").unwrap_or(1.0);
+        let pe = self.area_fraction("PE Array").unwrap_or(0.0);
+        let buf = self.area_fraction("On-chip Buffer").unwrap_or(0.0);
+        sfu < 0.03 && (voting - 0.065).abs() < 0.015 && pe + buf > 0.8
+    }
+
+    /// Renders the table as aligned text (for report binaries).
+    pub fn render(&self) -> String {
+        let mut out = String::from(format!(
+            "{:<24} {:<44} {:>10} {:>10}\n",
+            "Module", "Parameters", "Area/mm2", "Power/mW"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:<44} {:>10.3} {:>10.2}\n",
+                r.module, r.parameters, r.cost.area_mm2, r.cost.power_mw
+            ));
+        }
+        out.push_str(&format!(
+            "{:<24} {:<44} {:>10.3} {:>10.2}\n",
+            "Total", "TSMC 28nm, 1GHz, FP16", self.total.area_mm2, self.total.power_mw
+        ));
+        out
+    }
+}
+
+/// Generates Table I for an architecture.
+pub fn table1(arch: &ArchConfig) -> Table1 {
+    let unit = UnitCosts::default();
+    let rows = vec![
+        Table1Row {
+            module: "PE Array",
+            parameters: format!(
+                "{}*{}*{} Reconfigurable PEs",
+                arch.pe_rows, arch.pe_cols, arch.pe_lanes
+            ),
+            cost: unit.pe_array(arch),
+        },
+        Table1Row {
+            module: "Voting Engine",
+            parameters: format!(
+                "{}*16bit FIFO, {}*16bit Vote Buffer & Others",
+                arch.vote_capacity, arch.vote_capacity
+            ),
+            cost: unit.voting_engine(arch),
+        },
+        Table1Row {
+            module: "Special Function Unit",
+            parameters: format!(
+                "{} EXP, {} Divider, {} Sqrt & {} Multiplier and {} Adder, {}x16bit FIFO",
+                arch.sfu.exp_units,
+                arch.sfu.div_units,
+                arch.sfu.sqrt_units,
+                arch.sfu.mul_units,
+                arch.sfu.add_units,
+                arch.sfu.fifo_depth
+            ),
+            cost: unit.sfu(arch),
+        },
+        Table1Row {
+            module: "Schedule",
+            parameters: "System Control & PE Array Config".to_owned(),
+            cost: unit.schedule(arch),
+        },
+        Table1Row {
+            module: "On-chip Buffer",
+            parameters: format!("{}KB SRAM", arch.sram_bytes / 1024),
+            cost: unit.sram(arch),
+        },
+    ];
+    let total = rows.iter().fold(ModuleCost::default(), |acc, r| acc.plus(r.cost));
+    Table1 { rows, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reproduces_paper_totals() {
+        let t = table1(&ArchConfig::veda());
+        assert!((t.total.area_mm2 - 1.058).abs() < 0.01, "total area {}", t.total.area_mm2);
+        assert!((t.total.power_mw - 375.26).abs() < 5.0, "total power {}", t.total.power_mw);
+    }
+
+    #[test]
+    fn paper_claims_hold() {
+        // §VI: "SFU consumes less than 3% ... voting engine incurs a small
+        // 6.5% of overhead ... PE and buffer dominate".
+        let t = table1(&ArchConfig::veda());
+        assert!(t.claims_hold(), "claims failed:\n{}", t.render());
+    }
+
+    #[test]
+    fn render_contains_all_modules() {
+        let s = table1(&ArchConfig::veda()).render();
+        for m in ["PE Array", "Voting Engine", "Special Function Unit", "Schedule", "On-chip Buffer", "Total"] {
+            assert!(s.contains(m), "missing {m} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn area_fraction_of_unknown_module_is_none() {
+        let t = table1(&ArchConfig::veda());
+        assert_eq!(t.area_fraction("FPU"), None);
+    }
+}

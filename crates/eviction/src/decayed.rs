@@ -1,0 +1,134 @@
+//! Exponentially-decayed score eviction — an extra baseline between H2O's
+//! unbounded accumulation and a pure recency heuristic.
+//!
+//! Each step the per-slot importance is `imp = decay · imp + score`; the
+//! minimum-importance slot is evicted. With `decay → 1` this approaches
+//! H2O; with `decay → 0` it approaches evict-min-of-last-step.
+
+use crate::policy::{EvictionPolicy, HeadScores};
+
+/// Decayed-score eviction baseline.
+///
+/// ```
+/// use veda_eviction::{DecayedScorePolicy, EvictionPolicy};
+/// let mut p = DecayedScorePolicy::new(0.5);
+/// for _ in 0..2 { p.on_append(); }
+/// p.observe(&[vec![0.9, 0.1]]);
+/// assert_eq!(p.select_victim(2), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayedScorePolicy {
+    decay: f32,
+    importance: Vec<f32>,
+}
+
+impl DecayedScorePolicy {
+    /// Creates a policy with decay factor in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `[0, 1]`.
+    pub fn new(decay: f32) -> Self {
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0,1], got {decay}");
+        Self { decay, importance: Vec::new() }
+    }
+
+    /// The decay factor.
+    pub fn decay(&self) -> f32 {
+        self.decay
+    }
+
+    /// Current per-slot importance.
+    pub fn importance(&self) -> &[f32] {
+        &self.importance
+    }
+}
+
+impl EvictionPolicy for DecayedScorePolicy {
+    fn name(&self) -> &'static str {
+        "decayed_score"
+    }
+
+    fn on_append(&mut self) {
+        self.importance.push(0.0);
+    }
+
+    fn observe(&mut self, scores: &HeadScores) {
+        let n_heads = scores.len().max(1) as f32;
+        for imp in self.importance.iter_mut() {
+            *imp *= self.decay;
+        }
+        for head in scores {
+            debug_assert_eq!(head.len(), self.importance.len(), "cache/policy desync");
+            for (imp, &s) in self.importance.iter_mut().zip(head.iter()) {
+                *imp += s / n_heads;
+            }
+        }
+    }
+
+    fn select_victim(&mut self, cache_len: usize) -> Option<usize> {
+        debug_assert_eq!(cache_len, self.importance.len(), "cache/policy desync");
+        veda_tensor::stats::argmin(&self.importance[..cache_len])
+    }
+
+    fn on_evict(&mut self, idx: usize) {
+        self.importance.remove(idx);
+    }
+
+    fn reset(&mut self) {
+        self.importance.clear();
+    }
+
+    fn tracked_len(&self) -> usize {
+        self.importance.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_discounts_old_scores() {
+        let mut p = DecayedScorePolicy::new(0.5);
+        for _ in 0..2 {
+            p.on_append();
+        }
+        p.observe(&[vec![1.0, 0.0]]);
+        p.observe(&[vec![0.0, 0.6]]);
+        // imp0 = 1.0*0.5 = 0.5; imp1 = 0.6 => evict slot 0.
+        assert_eq!(p.select_victim(2), Some(0));
+    }
+
+    #[test]
+    fn zero_decay_is_last_step_only() {
+        let mut p = DecayedScorePolicy::new(0.0);
+        for _ in 0..2 {
+            p.on_append();
+        }
+        p.observe(&[vec![10.0, 0.0]]);
+        p.observe(&[vec![0.1, 0.2]]);
+        assert_eq!(p.select_victim(2), Some(0));
+    }
+
+    #[test]
+    fn full_decay_matches_h2o_accumulation() {
+        let mut d = DecayedScorePolicy::new(1.0);
+        let mut h = crate::H2oPolicy::new();
+        for _ in 0..3 {
+            d.on_append();
+            h.on_append();
+        }
+        for obs in [[0.2f32, 0.3, 0.5], [0.6, 0.3, 0.1], [0.1, 0.1, 0.8]] {
+            d.observe(&[obs.to_vec()]);
+            h.observe(&[obs.to_vec()]);
+        }
+        assert_eq!(d.select_victim(3), h.select_victim(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn invalid_decay_panics() {
+        DecayedScorePolicy::new(1.5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # veda-eviction
+//!
+//! KV cache eviction policies for LLM generation, implementing Section III
+//! of the VEDA paper plus every baseline it compares against:
+//!
+//! * [`VotingPolicy`] — the paper's contribution: each generated token
+//!   "votes" for unimportant KV positions using the adaptive threshold
+//!   `T(i) = a·mean(s'(i)) − b·σ(s'(i))`; the position with the most votes is
+//!   evicted. A reserved prefix (attention sink) never receives votes.
+//! * [`H2oPolicy`] — accumulated-attention-score eviction (H2O, Zhang et
+//!   al.), which the paper analyzes as suffering from item-count, criteria
+//!   and outlier bias.
+//! * [`SlidingWindowPolicy`] — Streaming-LLM style sink + recent window.
+//! * [`DecayedScorePolicy`] — an exponentially-decayed score baseline.
+//! * [`RandomPolicy`] — a deterministic pseudo-random victim baseline.
+//! * [`FullCachePolicy`] — never evicts (the accuracy oracle).
+//!
+//! All policies implement [`EvictionPolicy`] and operate on per-head
+//! post-softmax attention-score observations; they are *pure algorithm
+//! state machines* so both the functional model (`veda-model`) and the
+//! cycle-accurate hardware voting engine (`veda-accel`) can drive them.
+//!
+//! ## Example
+//!
+//! ```
+//! use veda_eviction::{EvictionPolicy, VotingConfig, VotingPolicy};
+//!
+//! // Reserved length 1 so this tiny example can evict (the paper uses 32).
+//! let mut policy = VotingPolicy::new(VotingConfig::with_reserved_len(1));
+//! // Simulate three cached tokens and two attention observations.
+//! for _ in 0..3 { policy.on_append(); }
+//! policy.observe(&[vec![0.8, 0.15, 0.05]]);
+//! policy.observe(&[vec![0.7, 0.10, 0.20]]);
+//! // Cache over budget => pick a victim (never slot 0, the reserved sink).
+//! let victim = policy.select_victim(3);
+//! assert!(matches!(victim, Some(1) | Some(2)));
+//! ```
+
+pub mod decayed;
+pub mod full;
+pub mod h2o;
+pub mod manager;
+pub mod policy;
+pub mod random;
+pub mod sliding;
+pub mod stats;
+pub mod voting;
+
+pub use decayed::DecayedScorePolicy;
+pub use full::FullCachePolicy;
+pub use h2o::H2oPolicy;
+pub use manager::{CacheSimulator, SimulatedStep};
+pub use policy::{EvictionPolicy, PolicyKind};
+pub use random::RandomPolicy;
+pub use sliding::SlidingWindowPolicy;
+pub use stats::EvictionStats;
+pub use voting::{VotingConfig, VotingPolicy};

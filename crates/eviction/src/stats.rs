@@ -1,0 +1,110 @@
+//! Eviction statistics collected by [`crate::CacheSimulator`].
+
+/// Counters describing a policy's eviction behaviour over one sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvictionStats {
+    evictions: usize,
+    refusals: usize,
+    /// Sum of (current token − evicted token) ages, for the mean age.
+    total_age: u64,
+    min_age: Option<usize>,
+    max_age: Option<usize>,
+}
+
+impl EvictionStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `victim_token` was evicted while generating
+    /// `current_token`.
+    pub fn record_eviction(&mut self, current_token: usize, victim_token: usize) {
+        let age = current_token.saturating_sub(victim_token);
+        self.evictions += 1;
+        self.total_age += age as u64;
+        self.min_age = Some(self.min_age.map_or(age, |m| m.min(age)));
+        self.max_age = Some(self.max_age.map_or(age, |m| m.max(age)));
+    }
+
+    /// Records that the policy declined to evict while over budget.
+    pub fn record_refusal(&mut self) {
+        self.refusals += 1;
+    }
+
+    /// Number of evictions performed.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Number of times the policy refused to pick a victim.
+    pub fn refusals(&self) -> usize {
+        self.refusals
+    }
+
+    /// Mean age (in tokens) of evicted entries; 0 when none were evicted.
+    pub fn mean_age(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.total_age as f64 / self.evictions as f64
+        }
+    }
+
+    /// Youngest eviction age seen.
+    pub fn min_age(&self) -> Option<usize> {
+        self.min_age
+    }
+
+    /// Oldest eviction age seen.
+    pub fn max_age(&self) -> Option<usize> {
+        self.max_age
+    }
+}
+
+impl std::fmt::Display for EvictionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} evictions (mean age {:.1}, min {:?}, max {:?}), {} refusals",
+            self.evictions,
+            self.mean_age(),
+            self.min_age,
+            self.max_age,
+            self.refusals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_ages() {
+        let mut s = EvictionStats::new();
+        s.record_eviction(10, 2); // age 8
+        s.record_eviction(10, 6); // age 4
+        assert_eq!(s.evictions(), 2);
+        assert_eq!(s.mean_age(), 6.0);
+        assert_eq!(s.min_age(), Some(4));
+        assert_eq!(s.max_age(), Some(8));
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = EvictionStats::new();
+        assert_eq!(s.mean_age(), 0.0);
+        assert_eq!(s.min_age(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut s = EvictionStats::new();
+        s.record_eviction(5, 1);
+        s.record_refusal();
+        let out = s.to_string();
+        assert!(out.contains("1 evictions"));
+        assert!(out.contains("1 refusals"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Burst/row-buffer-level HBM model (Ramulator substitute).
+//!
+//! The generation phase of LLM inference is memory-bound: every decode step
+//! streams the weights and the KV cache once. What the cycle model needs
+//! from the memory substrate is therefore (a) sustained sequential bandwidth
+//! and (b) the penalty for irregular access — the reason VEDA stores K and V
+//! uniformly in `(l, d)` format instead of transposing.
+//!
+//! The model charges each transfer in accelerator-clock cycles:
+//!
+//! * **data cycles** — `ceil(fetched_bytes / (bytes_per_cycle × eff))`,
+//!   where strided patterns fetch whole bursts per element and thus inflate
+//!   fetched bytes far beyond the useful payload;
+//! * **row cycles** — each opened DRAM row costs an activation; activations
+//!   across `banks` proceed in parallel, so their contribution is divided by
+//!   the bank count. Sequential streams open one row per `row_bytes`;
+//!   wide-strided gathers open (up to) one row per element.
+
+/// How a transfer walks the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Dense unit-stride stream (the `(l, d)` KV layout, weight streaming).
+    Sequential,
+    /// Fixed-stride gather, e.g. reading a column of a row-major matrix
+    /// whose rows are `stride_bytes` long (the transpose access the paper
+    /// eliminates). Each useful element is `elem_bytes` long.
+    Strided {
+        /// Distance in bytes between consecutive useful elements.
+        stride_bytes: usize,
+        /// Size of each useful element in bytes (2 for one FP16 value).
+        elem_bytes: usize,
+    },
+}
+
+/// HBM configuration.
+///
+/// Defaults model the paper's setup: 256 GB/s peak bandwidth against a
+/// 1 GHz accelerator clock, 64-byte bursts, 2 KiB rows, 16 banks, and a
+/// 90 % sustained-efficiency derating on streams (refresh, bus turnaround).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmConfig {
+    /// Peak bandwidth in bytes per accelerator cycle (256 GB/s at 1 GHz =
+    /// 256 B/cycle).
+    pub bytes_per_cycle: f64,
+    /// Burst (minimum transfer) granularity in bytes.
+    pub burst_bytes: usize,
+    /// DRAM row size in bytes.
+    pub row_bytes: usize,
+    /// Cycles to activate a new row (tRP + tRCD at the accelerator clock).
+    pub row_activate_cycles: u64,
+    /// Number of banks whose activations overlap.
+    pub banks: u64,
+    /// Sustained-over-peak efficiency for streams, in (0, 1].
+    pub sequential_efficiency: f64,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        Self {
+            bytes_per_cycle: 256.0,
+            burst_bytes: 64,
+            row_bytes: 2048,
+            row_activate_cycles: 28,
+            banks: 16,
+            sequential_efficiency: 0.9,
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Config for a given bandwidth in GB/s at a given accelerator clock in
+    /// GHz, other parameters at defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn with_bandwidth(gb_per_s: f64, clock_ghz: f64) -> Self {
+        assert!(gb_per_s > 0.0 && clock_ghz > 0.0, "bandwidth and clock must be positive");
+        Self { bytes_per_cycle: gb_per_s / clock_ghz, ..Self::default() }
+    }
+}
+
+/// Stateful HBM model: accumulates cycles and bytes across transfers.
+#[derive(Debug, Clone)]
+pub struct HbmModel {
+    config: HbmConfig,
+    total_cycles: u64,
+    useful_bytes: u64,
+    fetched_bytes: u64,
+    transfers: u64,
+}
+
+impl HbmModel {
+    /// Creates a model with the given configuration.
+    pub fn new(config: HbmConfig) -> Self {
+        Self { config, total_cycles: 0, useful_bytes: 0, fetched_bytes: 0, transfers: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HbmConfig {
+        &self.config
+    }
+
+    /// Charges one transfer of `bytes` useful bytes with `pattern`,
+    /// returning the cycles it takes. State is accumulated.
+    pub fn transfer(&mut self, bytes: usize, pattern: AccessPattern) -> u64 {
+        let cycles = self.cost(bytes, pattern);
+        self.total_cycles += cycles;
+        self.useful_bytes += bytes as u64;
+        self.fetched_bytes += self.fetched_bytes_for(bytes, pattern);
+        self.transfers += 1;
+        cycles
+    }
+
+    /// Pure cost query (no state change): cycles for a transfer.
+    pub fn cost(&self, bytes: usize, pattern: AccessPattern) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let fetched = self.fetched_bytes_for(bytes, pattern);
+        let data_cycles =
+            (fetched as f64 / (self.config.bytes_per_cycle * self.config.sequential_efficiency)).ceil() as u64;
+        let rows = self.rows_opened(bytes, pattern);
+        let row_cycles = (rows * self.config.row_activate_cycles).div_ceil(self.config.banks.max(1));
+        data_cycles + row_cycles
+    }
+
+    /// Number of DRAM rows a transfer opens.
+    pub fn rows_opened(&self, bytes: usize, pattern: AccessPattern) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        match pattern {
+            AccessPattern::Sequential => {
+                (bytes as u64).div_ceil(self.config.row_bytes as u64)
+            }
+            AccessPattern::Strided { stride_bytes, elem_bytes } => {
+                let elements = (bytes as u64).div_ceil(elem_bytes.max(1) as u64);
+                if stride_bytes <= self.config.row_bytes {
+                    // Several strided elements still land in one row.
+                    let elems_per_row = (self.config.row_bytes / stride_bytes.max(1)).max(1) as u64;
+                    elements.div_ceil(elems_per_row)
+                } else {
+                    // Every element opens a new row.
+                    elements
+                }
+            }
+        }
+    }
+
+    fn fetched_bytes_for(&self, bytes: usize, pattern: AccessPattern) -> u64 {
+        let burst = self.config.burst_bytes as u64;
+        match pattern {
+            AccessPattern::Sequential => (bytes as u64).div_ceil(burst) * burst,
+            AccessPattern::Strided { stride_bytes, elem_bytes } => {
+                let elem = elem_bytes.max(1) as u64;
+                let elements = (bytes as u64).div_ceil(elem);
+                if stride_bytes as u64 <= burst {
+                    // Dense enough that bursts are mostly useful.
+                    (bytes as u64).div_ceil(burst) * burst
+                } else {
+                    // One whole burst fetched per useful element.
+                    elements * elem.div_ceil(burst).max(1) * burst
+                }
+            }
+        }
+    }
+
+    /// Total cycles charged so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Useful (requested) bytes moved so far.
+    pub fn useful_bytes(&self) -> u64 {
+        self.useful_bytes
+    }
+
+    /// Bytes actually fetched (≥ useful due to burst waste).
+    pub fn fetched_bytes(&self) -> u64 {
+        self.fetched_bytes
+    }
+
+    /// Number of transfers charged.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Achieved bandwidth utilization: useful bytes per cycle over peak.
+    pub fn utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            (self.useful_bytes as f64 / self.total_cycles as f64) / self.config.bytes_per_cycle
+        }
+    }
+
+    /// Resets the accumulated counters, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.total_cycles = 0;
+        self.useful_bytes = 0;
+        self.fetched_bytes = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Transpose-style access: one FP16 every `stride` bytes.
+    fn fp16_column(stride: usize) -> AccessPattern {
+        AccessPattern::Strided { stride_bytes: stride, elem_bytes: 2 }
+    }
+
+    #[test]
+    fn sequential_cost_tracks_bandwidth() {
+        let hbm = HbmModel::new(HbmConfig::default());
+        let c = hbm.cost(256 * 1024, AccessPattern::Sequential);
+        let data = (256.0_f64 * 1024.0 / (256.0 * 0.9)).ceil() as u64;
+        let rows = (256u64 * 1024 / 2048) * 28 / 16;
+        assert_eq!(c, data + rows);
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let hbm = HbmModel::new(HbmConfig::default());
+        assert_eq!(hbm.cost(0, AccessPattern::Sequential), 0);
+        assert_eq!(hbm.rows_opened(0, AccessPattern::Sequential), 0);
+    }
+
+    #[test]
+    fn strided_wide_stride_is_much_slower() {
+        // Reading a (4096, 128)-FP16 matrix column-wise: one 2-byte element
+        // per 256-byte row stride => whole burst per element.
+        let hbm = HbmModel::new(HbmConfig::default());
+        let useful = 4096 * 2;
+        let seq = hbm.cost(useful, AccessPattern::Sequential);
+        let strided = hbm.cost(useful, fp16_column(256));
+        assert!(strided > 10 * seq, "strided {strided} vs seq {seq}");
+    }
+
+    #[test]
+    fn beyond_row_stride_pays_activation_per_element() {
+        let hbm = HbmModel::new(HbmConfig::default());
+        let rows = hbm.rows_opened(1024 * 2, fp16_column(8192));
+        assert_eq!(rows, 1024);
+    }
+
+    #[test]
+    fn narrow_stride_close_to_sequential() {
+        let hbm = HbmModel::new(HbmConfig::default());
+        let seq = hbm.cost(64 * 1024, AccessPattern::Sequential);
+        let strided = hbm.cost(64 * 1024, AccessPattern::Strided { stride_bytes: 4, elem_bytes: 2 });
+        assert!(strided <= seq * 2, "strided {strided} vs seq {seq}");
+    }
+
+    #[test]
+    fn state_accumulates() {
+        let mut hbm = HbmModel::new(HbmConfig::default());
+        let a = hbm.transfer(4096, AccessPattern::Sequential);
+        let b = hbm.transfer(4096, AccessPattern::Sequential);
+        assert_eq!(hbm.total_cycles(), a + b);
+        assert_eq!(hbm.useful_bytes(), 8192);
+        assert_eq!(hbm.transfers(), 2);
+        hbm.reset();
+        assert_eq!(hbm.total_cycles(), 0);
+    }
+
+    #[test]
+    fn utilization_below_one_and_positive() {
+        let mut hbm = HbmModel::new(HbmConfig::default());
+        hbm.transfer(1 << 20, AccessPattern::Sequential);
+        let u = hbm.utilization();
+        assert!(u > 0.5 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn with_bandwidth_scales_bytes_per_cycle() {
+        let cfg = HbmConfig::with_bandwidth(512.0, 2.0);
+        assert!((cfg.bytes_per_cycle - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn with_bandwidth_rejects_zero() {
+        HbmConfig::with_bandwidth(0.0, 1.0);
+    }
+
+    #[test]
+    fn fetched_at_least_useful() {
+        let mut hbm = HbmModel::new(HbmConfig::default());
+        hbm.transfer(100, AccessPattern::Sequential);
+        hbm.transfer(100, fp16_column(512));
+        assert!(hbm.fetched_bytes() >= hbm.useful_bytes());
+    }
+
+    #[test]
+    fn strided_fetch_inflation_is_burst_per_element() {
+        let hbm = HbmModel::new(HbmConfig::default());
+        // 100 useful bytes of 2-byte elements at 512-byte stride:
+        // 50 elements × 64-byte bursts = 3200 fetched bytes.
+        assert_eq!(hbm.fetched_bytes_for(100, fp16_column(512)), 3200);
+    }
+}

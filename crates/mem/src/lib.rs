@@ -1,0 +1,40 @@
+//! # veda-mem
+//!
+//! Memory substrates for the VEDA reproduction.
+//!
+//! The paper evaluates VEDA with a 256 GB/s HBM modelled by Ramulator and
+//! on-chip SRAM/FIFO costs from CACTI. This crate provides the equivalent
+//! simulation substrates, built from scratch:
+//!
+//! * [`HbmModel`] — a burst/row-buffer-level off-chip memory model with
+//!   per-pattern efficiency (sequential streams hit the open row; strided
+//!   "transpose-style" access pays row activation and wasted burst bytes —
+//!   the *memory access irregularity* of Section I).
+//! * [`Sram`] — an on-chip buffer with capacity accounting and access
+//!   counters used by the energy model.
+//! * [`Fifo`] — a depth-bounded FIFO with occupancy statistics, modelling
+//!   the s' FIFO of the voting engine and the SFU tile FIFO.
+//! * [`TrafficCounter`] — byte counters per traffic class (weights, KV
+//!   cache, activations, vote counts).
+//!
+//! ## Example
+//!
+//! ```
+//! use veda_mem::{AccessPattern, HbmConfig, HbmModel};
+//!
+//! let mut hbm = HbmModel::new(HbmConfig::default());
+//! // Streaming 1 MiB sequentially is far cheaper than the same bytes strided.
+//! let seq = hbm.transfer(1 << 20, AccessPattern::Sequential);
+//! let strided = hbm.transfer(1 << 20, AccessPattern::Strided { stride_bytes: 256, elem_bytes: 2 });
+//! assert!(strided > seq);
+//! ```
+
+pub mod fifo;
+pub mod hbm;
+pub mod sram;
+pub mod traffic;
+
+pub use fifo::Fifo;
+pub use hbm::{AccessPattern, HbmConfig, HbmModel};
+pub use sram::Sram;
+pub use traffic::{TrafficClass, TrafficCounter};

@@ -1,0 +1,178 @@
+//! On-chip SRAM buffer model with capacity accounting and access counters.
+//!
+//! VEDA's 256 KB on-chip buffer holds weights (reused across tokens in the
+//! prefilling phase) and staged activations. The cycle model only needs
+//! capacity checks and access counts; the energy model (in `veda-cost`)
+//! converts the counters into pJ.
+
+/// A capacity-limited on-chip buffer.
+///
+/// ```
+/// use veda_mem::Sram;
+/// let mut buf = Sram::new(1024, 16);
+/// assert!(buf.reserve("weights", 512).is_ok());
+/// assert!(buf.reserve("kv", 600).is_err()); // would exceed capacity
+/// buf.record_read(256);
+/// assert_eq!(buf.reads(), 16); // 256 bytes / 16-byte words
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sram {
+    capacity_bytes: usize,
+    word_bytes: usize,
+    allocations: Vec<(String, usize)>,
+    reads: u64,
+    writes: u64,
+}
+
+/// Error returned when a reservation exceeds the remaining capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// What was being allocated.
+    pub label: String,
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sram allocation '{}' of {} bytes exceeds remaining capacity {} bytes",
+            self.label, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+impl Sram {
+    /// Creates an SRAM of `capacity_bytes` with `word_bytes` access
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes == 0`.
+    pub fn new(capacity_bytes: usize, word_bytes: usize) -> Self {
+        assert!(word_bytes > 0, "word size must be positive");
+        Self { capacity_bytes, word_bytes, allocations: Vec::new(), reads: 0, writes: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently reserved.
+    pub fn used_bytes(&self) -> usize {
+        self.allocations.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity_bytes - self.used_bytes()
+    }
+
+    /// Reserves `bytes` under `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] when the reservation does not fit.
+    pub fn reserve(&mut self, label: &str, bytes: usize) -> Result<(), CapacityError> {
+        if bytes > self.free_bytes() {
+            return Err(CapacityError { label: label.to_owned(), requested: bytes, available: self.free_bytes() });
+        }
+        self.allocations.push((label.to_owned(), bytes));
+        Ok(())
+    }
+
+    /// Releases the most recent reservation with `label`, returning its
+    /// size, or `None` if no such reservation exists.
+    pub fn release(&mut self, label: &str) -> Option<usize> {
+        let idx = self.allocations.iter().rposition(|(l, _)| l == label)?;
+        Some(self.allocations.remove(idx).1)
+    }
+
+    /// Records a read of `bytes`, counted in word-granular accesses.
+    pub fn record_read(&mut self, bytes: usize) {
+        self.reads += bytes.div_ceil(self.word_bytes) as u64;
+    }
+
+    /// Records a write of `bytes`, counted in word-granular accesses.
+    pub fn record_write(&mut self, bytes: usize) {
+        self.writes += bytes.div_ceil(self.word_bytes) as u64;
+    }
+
+    /// Word-granular read accesses so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Word-granular write accesses so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Clears counters and reservations.
+    pub fn reset(&mut self) {
+        self.allocations.clear();
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut s = Sram::new(100, 4);
+        s.reserve("a", 60).unwrap();
+        assert_eq!(s.free_bytes(), 40);
+        assert!(s.reserve("b", 50).is_err());
+        assert_eq!(s.release("a"), Some(60));
+        assert!(s.reserve("b", 50).is_ok());
+    }
+
+    #[test]
+    fn release_unknown_label_is_none() {
+        let mut s = Sram::new(10, 1);
+        assert_eq!(s.release("nope"), None);
+    }
+
+    #[test]
+    fn access_counters_are_word_granular() {
+        let mut s = Sram::new(1024, 16);
+        s.record_read(17); // 2 words
+        s.record_write(16); // 1 word
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    fn capacity_error_is_descriptive() {
+        let mut s = Sram::new(8, 1);
+        let e = s.reserve("kv", 16).unwrap_err();
+        assert!(e.to_string().contains("kv"));
+        assert_eq!(e.requested, 16);
+        assert_eq!(e.available, 8);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = Sram::new(64, 4);
+        s.reserve("x", 32).unwrap();
+        s.record_read(8);
+        s.reset();
+        assert_eq!(s.used_bytes(), 0);
+        assert_eq!(s.reads(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word size")]
+    fn zero_word_size_panics() {
+        Sram::new(16, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Byte counters per traffic class, feeding the energy model.
+
+/// What kind of data a transfer carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Model weights streamed from HBM.
+    Weight,
+    /// KV cache reads/writes.
+    KvCache,
+    /// Layer activations.
+    Activation,
+    /// Vote-count vector spills (Section V stores vote counts off-chip).
+    VoteCount,
+}
+
+impl TrafficClass {
+    /// All classes, in presentation order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Weight,
+        TrafficClass::KvCache,
+        TrafficClass::Activation,
+        TrafficClass::VoteCount,
+    ];
+
+    /// Stable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficClass::Weight => "weight",
+            TrafficClass::KvCache => "kv_cache",
+            TrafficClass::Activation => "activation",
+            TrafficClass::VoteCount => "vote_count",
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-class read/write byte counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficCounter {
+    reads: [u64; 4],
+    writes: [u64; 4],
+}
+
+impl TrafficCounter {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(class: TrafficClass) -> usize {
+        TrafficClass::ALL.iter().position(|&c| c == class).expect("class in ALL")
+    }
+
+    /// Adds `bytes` of reads for `class`.
+    pub fn add_read(&mut self, class: TrafficClass, bytes: u64) {
+        self.reads[Self::idx(class)] += bytes;
+    }
+
+    /// Adds `bytes` of writes for `class`.
+    pub fn add_write(&mut self, class: TrafficClass, bytes: u64) {
+        self.writes[Self::idx(class)] += bytes;
+    }
+
+    /// Read bytes for `class`.
+    pub fn reads(&self, class: TrafficClass) -> u64 {
+        self.reads[Self::idx(class)]
+    }
+
+    /// Write bytes for `class`.
+    pub fn writes(&self, class: TrafficClass) -> u64 {
+        self.writes[Self::idx(class)]
+    }
+
+    /// Total bytes moved across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        for i in 0..4 {
+            self.reads[i] += other.reads[i];
+            self.writes[i] += other.writes[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_class() {
+        let mut t = TrafficCounter::new();
+        t.add_read(TrafficClass::Weight, 100);
+        t.add_read(TrafficClass::Weight, 50);
+        t.add_write(TrafficClass::KvCache, 30);
+        assert_eq!(t.reads(TrafficClass::Weight), 150);
+        assert_eq!(t.writes(TrafficClass::KvCache), 30);
+        assert_eq!(t.reads(TrafficClass::KvCache), 0);
+        assert_eq!(t.total_bytes(), 180);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TrafficCounter::new();
+        a.add_read(TrafficClass::Activation, 10);
+        let mut b = TrafficCounter::new();
+        b.add_read(TrafficClass::Activation, 5);
+        b.add_write(TrafficClass::VoteCount, 7);
+        a.merge(&b);
+        assert_eq!(a.reads(TrafficClass::Activation), 15);
+        assert_eq!(a.writes(TrafficClass::VoteCount), 7);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrafficClass::KvCache.to_string(), "kv_cache");
+    }
+}

@@ -1,0 +1,187 @@
+//! Multi-head attention with a pluggable KV cache, computed with the two
+//! GEMV interpretations VEDA maps to hardware.
+//!
+//! One decode step per call: the query row attends over all resident cache
+//! entries (`q × Kᵀ` via [`veda_tensor::ops::gemv_inner`] over `(l, d)` rows)
+//! and aggregates values (`s' × V` via [`veda_tensor::ops::gemv_outer`]).
+//! The per-head post-softmax score vectors are returned so eviction policies
+//! and the voting engine can observe them.
+
+use crate::config::ModelConfig;
+use crate::kvcache::LayerKvCache;
+use crate::rope::apply_rope;
+use crate::weights::LayerWeights;
+use veda_tensor::ops::{dot, gemv_outer};
+use veda_tensor::softmax::softmax;
+
+/// Result of one attention step.
+#[derive(Debug, Clone)]
+pub struct AttentionOutput {
+    /// The attention output after the `W_O` projection, length `D`.
+    pub output: Vec<f32>,
+    /// Post-softmax attention scores per head over all resident cache
+    /// slots (including the current token's own new entry).
+    pub head_scores: Vec<Vec<f32>>,
+}
+
+/// Runs one attention step for a single layer.
+///
+/// `x` is the RMS-normed hidden state of the current token, `position` its
+/// absolute index. The token's K/V vectors are appended to `cache` before
+/// attending, so causality holds and the score vectors have length
+/// `cache.len()`.
+pub fn attend(
+    x: &[f32],
+    position: usize,
+    cache: &mut LayerKvCache,
+    w: &LayerWeights,
+    config: &ModelConfig,
+) -> AttentionOutput {
+    let d = config.d_model;
+    let dh = config.head_dim();
+    assert_eq!(x.len(), d, "hidden state width mismatch");
+
+    // QKV generation (Step 1 of Fig. 1): x·W via the outer-product view.
+    let mut q = gemv_outer(x, &w.wq);
+    let mut k = gemv_outer(x, &w.wk);
+    let v = gemv_outer(x, &w.wv);
+
+    // RoPE per head on q and k.
+    for h in 0..config.n_heads {
+        apply_rope(&mut q[h * dh..(h + 1) * dh], position, config.rope_theta);
+        apply_rope(&mut k[h * dh..(h + 1) * dh], position, config.rope_theta);
+    }
+
+    cache.append(position, &k, &v);
+    let l = cache.len();
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    let mut concat = vec![0.0f32; d];
+    let mut head_scores = Vec::with_capacity(config.n_heads);
+    for h in 0..config.n_heads {
+        let span = h * dh..(h + 1) * dh;
+        let qh = &q[span.clone()];
+        // q × Kᵀ: inner product over the (l, d) key rows — l is temporal.
+        let mut s: Vec<f32> = (0..l)
+            .map(|row| dot(qh, &cache.keys().row(row)[span.clone()]) * scale)
+            .collect();
+        s = softmax(&s);
+        // s' × V: outer product over the (l, d) value rows — l is temporal.
+        let out = {
+            let mut acc = vec![0.0f32; dh];
+            for (row, &sv) in s.iter().enumerate() {
+                let vrow = &cache.values().row(row)[span.clone()];
+                for (a, &vv) in acc.iter_mut().zip(vrow) {
+                    *a += sv * vv;
+                }
+            }
+            acc
+        };
+        concat[span].copy_from_slice(&out);
+        head_scores.push(s);
+    }
+
+    let output = gemv_outer(&concat, &w.wo);
+    AttentionOutput { output, head_scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::ModelWeights;
+
+    fn setup() -> (ModelConfig, ModelWeights, LayerKvCache) {
+        let cfg = ModelConfig::tiny();
+        let w = ModelWeights::synthetic(&cfg);
+        (cfg, w, LayerKvCache::new())
+    }
+
+    #[test]
+    fn scores_are_distributions_over_cache() {
+        let (cfg, w, mut cache) = setup();
+        let x = w.embed(5).to_vec();
+        for pos in 0..4 {
+            let out = attend(&x, pos, &mut cache, &w.layers[0], &cfg);
+            assert_eq!(out.head_scores.len(), cfg.n_heads);
+            for s in &out.head_scores {
+                assert_eq!(s.len(), pos + 1);
+                let sum: f32 = s.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4, "scores sum to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_token_attends_only_to_itself() {
+        let (cfg, w, mut cache) = setup();
+        let x = w.embed(3).to_vec();
+        let out = attend(&x, 0, &mut cache, &w.layers[0], &cfg);
+        for s in &out.head_scores {
+            assert!((s[0] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn output_width_is_d_model() {
+        let (cfg, w, mut cache) = setup();
+        let x = w.embed(1).to_vec();
+        let out = attend(&x, 0, &mut cache, &w.layers[0], &cfg);
+        assert_eq!(out.output.len(), cfg.d_model);
+        assert!(out.output.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cache_grows_by_one_per_step() {
+        let (cfg, w, mut cache) = setup();
+        let x = w.embed(2).to_vec();
+        for pos in 0..5 {
+            attend(&x, pos, &mut cache, &w.layers[0], &cfg);
+            assert_eq!(cache.len(), pos + 1);
+        }
+    }
+
+    #[test]
+    fn eviction_changes_attention_output() {
+        let (cfg, w, _) = setup();
+        let tokens = [5usize, 9, 13, 21, 2, 40];
+        // Run with full cache.
+        let mut full = LayerKvCache::new();
+        let mut full_out = Vec::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            full_out = attend(&w.embed(t).to_vec(), pos, &mut full, &w.layers[0], &cfg).output;
+        }
+        // Run with one mid-entry evicted before the last step.
+        let mut pruned = LayerKvCache::new();
+        let mut pruned_out = Vec::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            if pos == tokens.len() - 1 {
+                pruned.evict(2);
+            }
+            pruned_out = attend(&w.embed(t).to_vec(), pos, &mut pruned, &w.layers[0], &cfg).output;
+        }
+        let diff = veda_tensor::ops::max_abs_diff(&full_out, &pruned_out);
+        assert!(diff > 1e-6, "eviction must perturb the output, diff {diff}");
+    }
+
+    #[test]
+    fn attention_sink_emerges_on_bos() {
+        // With the structured weights, later queries put above-uniform mass
+        // on position 0 when the sequence starts with BOS (token 0).
+        let (cfg, w, mut cache) = setup();
+        let seq = [0usize, 17, 33, 21, 9, 41, 25, 13];
+        let mut sink_mass = 0.0;
+        let mut steps = 0;
+        for (pos, &t) in seq.iter().enumerate() {
+            let out = attend(&w.embed(t).to_vec(), pos, &mut cache, &w.layers[0], &cfg);
+            if pos >= 4 {
+                for s in &out.head_scores {
+                    sink_mass += s[0];
+                    steps += 1;
+                }
+            }
+        }
+        let avg = sink_mass / steps as f32;
+        let uniform = 1.0 / 6.0; // average cache length in the measured span
+        assert!(avg > uniform, "sink mass {avg} should exceed uniform {uniform}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Perplexity evaluation harness: policies × cache sizes over the synthetic
+//! corpus (the Fig. 8 left experiment), plus a transformer-based distortion
+//! metric.
+
+use crate::corpus::Corpus;
+use crate::induction::{InductionConfig, InductionLm};
+use crate::transformer::TransformerModel;
+use veda_eviction::PolicyKind;
+
+/// Aggregated result of evaluating one policy at one cache budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerplexityReport {
+    /// Which policy.
+    pub policy: PolicyKind,
+    /// The cache budget (number of resident kv vectors).
+    pub cache_budget: usize,
+    /// Perplexity `exp(mean NLL)` over all evaluated tokens.
+    pub perplexity: f64,
+    /// Mean negative log-likelihood.
+    pub mean_nll: f64,
+    /// Total tokens scored.
+    pub tokens: usize,
+    /// Total evictions performed.
+    pub evictions: usize,
+}
+
+/// Evaluates `policy` at `cache_budget` over `n_samples` corpus samples of
+/// `sample_len` tokens each.
+///
+/// This is the workhorse of the Fig. 8 (left) reproduction: call it for
+/// each (policy, cache size) pair.
+pub fn evaluate_policy_perplexity(
+    corpus: &Corpus,
+    lm_config: &InductionConfig,
+    policy: PolicyKind,
+    cache_budget: usize,
+    n_samples: u64,
+    sample_len: usize,
+) -> PerplexityReport {
+    let lm = InductionLm::new(lm_config.clone(), corpus);
+    let mut total_nll = 0.0f64;
+    let mut tokens = 0usize;
+    let mut evictions = 0usize;
+    for s in 0..n_samples {
+        let sample = corpus.sample(s, sample_len);
+        let mut p = policy.build();
+        let eval = lm.evaluate_sample(&sample, cache_budget, p.as_mut(), corpus);
+        total_nll += eval.total_nll;
+        tokens += eval.tokens;
+        evictions += eval.evictions;
+    }
+    let mean_nll = if tokens == 0 { f64::NAN } else { total_nll / tokens as f64 };
+    PerplexityReport { policy, cache_budget, perplexity: mean_nll.exp(), mean_nll, tokens, evictions }
+}
+
+/// Mean KL divergence (in nats) between the pruned-cache transformer's
+/// next-token distribution and the full-cache oracle, over one generated
+/// sequence — a direct measurement of how much an eviction policy distorts
+/// the *actual transformer* outputs.
+///
+/// Both models consume the same token stream. The policy observes the
+/// pruned model's layer-0 attention scores and evicts synchronously across
+/// layers, matching VEDA's layer-wise voting engine.
+pub fn transformer_distortion(
+    model_config: &crate::config::ModelConfig,
+    tokens: &[usize],
+    policy: PolicyKind,
+    cache_budget: usize,
+) -> f64 {
+    let mut oracle = TransformerModel::new(model_config.clone());
+    let mut pruned = TransformerModel::new(model_config.clone());
+    let mut p = policy.build();
+    let mut kl_sum = 0.0f64;
+    let mut count = 0usize;
+
+    for (pos, &tok) in tokens.iter().enumerate() {
+        let full = oracle.forward_token(tok, pos);
+        let cut = pruned.forward_token(tok, pos);
+
+        // Drive the policy with the pruned model's first-layer observation.
+        p.on_append();
+        p.observe(&cut.layer_scores[0]);
+        if pruned.cache_len() > cache_budget {
+            if let Some(slot) = p.select_victim(pruned.cache_len()) {
+                pruned.evict_all_layers(slot);
+                p.on_evict(slot);
+            }
+        }
+
+        // KL(full || pruned) over next-token distributions.
+        let lp_full = veda_tensor::softmax::log_softmax(&full.logits);
+        let lp_cut = veda_tensor::softmax::log_softmax(&cut.logits);
+        let kl: f64 = lp_full
+            .iter()
+            .zip(&lp_cut)
+            .map(|(&a, &b)| (f64::from(a).exp()) * (f64::from(a) - f64::from(b)))
+            .sum();
+        kl_sum += kl.max(0.0);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        kl_sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::corpus::CorpusConfig;
+
+    fn fast_corpus() -> Corpus {
+        Corpus::new(CorpusConfig { vocab_size: 256, seed: 5, ..CorpusConfig::default() })
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let corpus = fast_corpus();
+        let r = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::Voting, 64, 2, 256);
+        assert_eq!(r.tokens, 2 * 255);
+        assert!((r.perplexity - r.mean_nll.exp()).abs() < 1e-9);
+        assert!(r.perplexity > 1.0);
+    }
+
+    #[test]
+    fn bigger_cache_is_no_worse() {
+        let corpus = fast_corpus();
+        let small = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::SlidingWindow, 24, 2, 384);
+        let large = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::SlidingWindow, 192, 2, 384);
+        assert!(large.perplexity <= small.perplexity + 0.2, "large {} small {}", large.perplexity, small.perplexity);
+    }
+
+    #[test]
+    fn transformer_distortion_grows_as_budget_shrinks() {
+        let cfg = ModelConfig::tiny();
+        let corpus = fast_corpus();
+        let tokens: Vec<usize> = corpus.sample(0, 48).iter().map(|&t| t % cfg.vocab_size).collect();
+        let tight = transformer_distortion(&cfg, &tokens, PolicyKind::SlidingWindow, 8);
+        let loose = transformer_distortion(&cfg, &tokens, PolicyKind::SlidingWindow, 40);
+        assert!(tight >= loose, "tight {tight} loose {loose}");
+        assert!(loose >= 0.0);
+    }
+
+    #[test]
+    fn full_policy_has_zero_distortion() {
+        let cfg = ModelConfig::tiny();
+        let tokens = [1usize, 4, 9, 16, 25, 36, 7, 12];
+        let d = transformer_distortion(&cfg, &tokens, PolicyKind::Full, 1);
+        assert!(d.abs() < 1e-9, "distortion {d}");
+    }
+}

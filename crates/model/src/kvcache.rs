@@ -1,0 +1,140 @@
+//! Per-layer KV cache in the uniform `(l, d)` storage format.
+//!
+//! Keys and values are stored row-per-token — exactly the layout VEDA keeps
+//! in HBM so that both `q × Kᵀ` (inner product over rows) and `s' × V`
+//! (outer product over rows) touch memory sequentially and no transpose is
+//! ever materialized.
+
+use veda_tensor::Matrix;
+
+/// KV cache of one attention layer: all heads concatenated along the
+/// feature dimension (`d_model` columns), one row per resident token.
+#[derive(Debug, Clone, Default)]
+pub struct LayerKvCache {
+    keys: Matrix,
+    values: Matrix,
+    /// Absolute token position of each resident row.
+    positions: Vec<usize>,
+}
+
+impl LayerKvCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident tokens.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Appends the key/value vectors of the token at absolute `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` widths disagree with existing rows.
+    pub fn append(&mut self, position: usize, k: &[f32], v: &[f32]) {
+        self.keys.push_row(k).expect("key width mismatch");
+        self.values.push_row(v).expect("value width mismatch");
+        self.positions.push(position);
+    }
+
+    /// Removes the resident entry at cache slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn evict(&mut self, slot: usize) {
+        assert!(slot < self.len(), "evict slot {slot} out of bounds ({})", self.len());
+        self.keys.remove_row(slot);
+        self.values.remove_row(slot);
+        self.positions.remove(slot);
+    }
+
+    /// The key matrix `(l, d)`.
+    pub fn keys(&self) -> &Matrix {
+        &self.keys
+    }
+
+    /// The value matrix `(l, d)`.
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Absolute token positions of resident rows, oldest first.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Bytes this cache occupies in FP16 off-chip storage.
+    pub fn fp16_bytes(&self) -> usize {
+        veda_tensor::fp16::fp16_bytes(self.keys.as_slice().len() + self.values.as_slice().len())
+    }
+
+    /// Clears all residents.
+    pub fn clear(&mut self) {
+        self.keys = Matrix::default();
+        self.values = Matrix::default();
+        self.positions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_grows_rows() {
+        let mut c = LayerKvCache::new();
+        c.append(0, &[1.0, 2.0], &[3.0, 4.0]);
+        c.append(1, &[5.0, 6.0], &[7.0, 8.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys().row(1), &[5.0, 6.0]);
+        assert_eq!(c.values().row(0), &[3.0, 4.0]);
+        assert_eq!(c.positions(), &[0, 1]);
+    }
+
+    #[test]
+    fn evict_removes_matching_rows_everywhere() {
+        let mut c = LayerKvCache::new();
+        for i in 0..4 {
+            c.append(i, &[i as f32, 0.0], &[0.0, i as f32]);
+        }
+        c.evict(1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.positions(), &[0, 2, 3]);
+        assert_eq!(c.keys().row(1), &[2.0, 0.0]);
+        assert_eq!(c.values().row(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn fp16_bytes_counts_keys_and_values() {
+        let mut c = LayerKvCache::new();
+        c.append(0, &[0.0; 8], &[0.0; 8]);
+        assert_eq!(c.fp16_bytes(), 32);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LayerKvCache::new();
+        c.append(0, &[1.0], &[2.0]);
+        c.clear();
+        assert!(c.is_empty());
+        // Width resets too: a different width may be appended after clear.
+        c.append(5, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn evict_out_of_bounds_panics() {
+        let mut c = LayerKvCache::new();
+        c.append(0, &[1.0], &[1.0]);
+        c.evict(1);
+    }
+}

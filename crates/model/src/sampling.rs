@@ -1,0 +1,131 @@
+//! Token sampling strategies for the generation phase.
+//!
+//! The accelerator is agnostic to how the next token is chosen from the
+//! logits; the simulator supports the standard decoding strategies so the
+//! examples can exercise realistic generation loops.
+
+use rand::rngs::StdRng;
+use veda_tensor::softmax::softmax_with_temperature;
+
+/// A next-token selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampler {
+    /// Always the argmax token.
+    Greedy,
+    /// Softmax sampling at a temperature (> 0).
+    Temperature(f32),
+    /// Top-k truncated sampling at a temperature.
+    TopK {
+        /// How many highest-logit tokens survive truncation.
+        k: usize,
+        /// Softmax temperature (> 0).
+        temperature: f32,
+    },
+}
+
+impl Sampler {
+    /// Picks the next token from `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty, a temperature is non-positive, or
+    /// `k == 0`.
+    pub fn sample(&self, logits: &[f32], rng: &mut StdRng) -> usize {
+        assert!(!logits.is_empty(), "empty logits");
+        match *self {
+            Sampler::Greedy => veda_tensor::stats::argmax(logits).expect("non-empty"),
+            Sampler::Temperature(t) => {
+                let probs = softmax_with_temperature(logits, t);
+                veda_tensor::rng::sample_categorical(rng, &probs)
+            }
+            Sampler::TopK { k, temperature } => {
+                assert!(k > 0, "top-k requires k > 0");
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("no NaN logits"));
+                let kept = &idx[..k.min(idx.len())];
+                let kept_logits: Vec<f32> = kept.iter().map(|&i| logits[i]).collect();
+                let probs = softmax_with_temperature(&kept_logits, temperature);
+                kept[veda_tensor::rng::sample_categorical(rng, &probs)]
+            }
+        }
+    }
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Sampler::Greedy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veda_tensor::rng::seeded;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut rng = seeded(1);
+        assert_eq!(Sampler::Greedy.sample(&[0.1, 2.0, -1.0], &mut rng), 1);
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let mut rng = seeded(2);
+        let s = Sampler::Temperature(0.01);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&[0.0, 3.0, 1.0], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let mut rng = seeded(3);
+        let s = Sampler::Temperature(50.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.sample(&[0.0, 1.0, 0.5, 0.2], &mut rng));
+        }
+        assert!(seen.len() >= 3, "only {} distinct tokens", seen.len());
+    }
+
+    #[test]
+    fn top_k_never_leaves_the_top_set() {
+        let mut rng = seeded(4);
+        let logits = [5.0, 4.0, -10.0, -10.0, -10.0];
+        let s = Sampler::TopK { k: 2, temperature: 1.0 };
+        for _ in 0..100 {
+            let t = s.sample(&logits, &mut rng);
+            assert!(t == 0 || t == 1, "sampled outside top-2: {t}");
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_vocab_is_fine() {
+        let mut rng = seeded(5);
+        let s = Sampler::TopK { k: 100, temperature: 1.0 };
+        let t = s.sample(&[1.0, 0.0], &mut rng);
+        assert!(t < 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = Sampler::Temperature(1.0);
+        let logits = [0.5, 0.2, 0.9, -0.3];
+        let a: Vec<usize> = {
+            let mut rng = seeded(9);
+            (0..10).map(|_| s.sample(&logits, &mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = seeded(9);
+            (0..10).map(|_| s.sample(&logits, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        let mut rng = seeded(6);
+        Sampler::TopK { k: 0, temperature: 1.0 }.sample(&[1.0], &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! The decoder-only transformer: prefill + autoregressive decode with
+//! per-layer KV caches and eviction hooks.
+
+use crate::attention::{attend, AttentionOutput};
+use crate::config::ModelConfig;
+use crate::kvcache::LayerKvCache;
+use crate::weights::ModelWeights;
+use veda_tensor::norm::rmsnorm;
+use veda_tensor::ops::{gemv_inner, gemv_outer};
+use veda_tensor::softmax::log_softmax;
+
+/// Result of one full forward step (all layers).
+#[derive(Debug, Clone)]
+pub struct StepOutput {
+    /// Next-token logits, length `vocab_size`.
+    pub logits: Vec<f32>,
+    /// Per-layer, per-head post-softmax attention scores over the resident
+    /// cache slots — the observation stream for eviction policies.
+    pub layer_scores: Vec<Vec<Vec<f32>>>,
+}
+
+/// A runnable decoder-only transformer with synthetic structured weights.
+///
+/// ```
+/// use veda_model::{ModelConfig, TransformerModel};
+/// let mut m = TransformerModel::new(ModelConfig::tiny());
+/// let out = m.forward_token(1, 0);
+/// assert_eq!(out.logits.len(), m.config().vocab_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    config: ModelConfig,
+    weights: ModelWeights,
+    caches: Vec<LayerKvCache>,
+    eps: f32,
+}
+
+impl TransformerModel {
+    /// Builds a model with synthetic structured weights for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("valid model config");
+        let weights = ModelWeights::synthetic(&config);
+        let caches = (0..config.n_layers).map(|_| LayerKvCache::new()).collect();
+        Self { config, weights, caches, eps: veda_tensor::norm::DEFAULT_EPS }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The per-layer KV caches (read-only).
+    pub fn caches(&self) -> &[LayerKvCache] {
+        &self.caches
+    }
+
+    /// Current cache length (identical across layers by construction).
+    pub fn cache_len(&self) -> usize {
+        self.caches.first().map_or(0, LayerKvCache::len)
+    }
+
+    /// Evicts cache slot `slot` in layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn evict(&mut self, layer: usize, slot: usize) {
+        self.caches[layer].evict(slot);
+    }
+
+    /// Evicts the same slot in every layer (layer-synchronous eviction).
+    pub fn evict_all_layers(&mut self, slot: usize) {
+        for cache in &mut self.caches {
+            cache.evict(slot);
+        }
+    }
+
+    /// Clears all caches (new sequence).
+    pub fn reset(&mut self) {
+        for cache in &mut self.caches {
+            cache.clear();
+        }
+    }
+
+    /// Runs one token through all layers, returning logits and the
+    /// attention observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn forward_token(&mut self, token: usize, position: usize) -> StepOutput {
+        assert!(token < self.config.vocab_size, "token {token} outside vocabulary");
+        let mut x = self.weights.embed(token).to_vec();
+        let mut layer_scores = Vec::with_capacity(self.config.n_layers);
+
+        for (li, cache) in self.caches.iter_mut().enumerate() {
+            let w = &self.weights.layers[li];
+            // Attention block with pre-norm residual.
+            let normed = rmsnorm(&x, &w.attn_norm, self.eps);
+            let AttentionOutput { output, head_scores } = attend(&normed, position, cache, w, &self.config);
+            for (xi, oi) in x.iter_mut().zip(&output) {
+                *xi += oi;
+            }
+            layer_scores.push(head_scores);
+
+            // FFN block with pre-norm residual (Step 4 of Fig. 1).
+            let normed = rmsnorm(&x, &w.ffn_norm, self.eps);
+            let mut gate = gemv_outer(&normed, &w.w1);
+            self.config.activation.apply_slice(&mut gate);
+            let up = gemv_outer(&normed, &w.w3);
+            let hidden = veda_tensor::ops::hadamard(&gate, &up);
+            let down = gemv_outer(&hidden, &w.w2);
+            for (xi, di) in x.iter_mut().zip(&down) {
+                *xi += di;
+            }
+        }
+
+        let final_x = rmsnorm(&x, &self.weights.final_norm, self.eps);
+        // Tied LM head: logits = E · x.
+        let logits = gemv_inner(&final_x, &self.weights.embedding);
+        StepOutput { logits, layer_scores }
+    }
+
+    /// Prefills a prompt (GEMM realized as successive GEMVs, as VEDA does),
+    /// returning the output of the final prompt token.
+    pub fn prefill(&mut self, prompt: &[usize]) -> Option<StepOutput> {
+        let mut last = None;
+        for (pos, &t) in prompt.iter().enumerate() {
+            last = Some(self.forward_token(t, pos));
+        }
+        last
+    }
+
+    /// Greedy generation of `n` tokens after `prompt`. Returns the
+    /// generated token ids.
+    pub fn generate_greedy(&mut self, prompt: &[usize], n: usize) -> Vec<usize> {
+        let mut rng = veda_tensor::rng::seeded(0);
+        self.generate_with(prompt, n, crate::sampling::Sampler::Greedy, &mut rng)
+    }
+
+    /// Generation with an arbitrary [`crate::sampling::Sampler`].
+    pub fn generate_with(
+        &mut self,
+        prompt: &[usize],
+        n: usize,
+        sampler: crate::sampling::Sampler,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        let Some(mut step) = self.prefill(prompt) else {
+            return out;
+        };
+        let mut position = prompt.len();
+        for _ in 0..n {
+            let next = sampler.sample(&step.logits, rng);
+            out.push(next);
+            step = self.forward_token(next, position);
+            position += 1;
+        }
+        out
+    }
+
+    /// Negative log-likelihood of `target` under the logits of the last
+    /// step (convenience for evaluation).
+    pub fn nll(logits: &[f32], target: usize) -> f32 {
+        -log_softmax(logits)[target]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        let out = m.forward_token(5, 0);
+        assert_eq!(out.logits.len(), 64);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn layer_scores_cover_all_layers_and_heads() {
+        let cfg = ModelConfig::tiny();
+        let mut m = TransformerModel::new(cfg.clone());
+        m.forward_token(1, 0);
+        let out = m.forward_token(2, 1);
+        assert_eq!(out.layer_scores.len(), cfg.n_layers);
+        assert_eq!(out.layer_scores[0].len(), cfg.n_heads);
+        assert_eq!(out.layer_scores[0][0].len(), 2);
+    }
+
+    #[test]
+    fn caches_grow_in_lockstep() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        for pos in 0..4 {
+            m.forward_token(pos + 1, pos);
+        }
+        assert_eq!(m.cache_len(), 4);
+        assert!(m.caches().iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn evict_all_layers_shrinks_every_cache() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        for pos in 0..4 {
+            m.forward_token(1, pos);
+        }
+        m.evict_all_layers(1);
+        assert!(m.caches().iter().all(|c| c.len() == 3));
+        assert!(m.caches().iter().all(|c| c.positions() == [0, 2, 3]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let prompt = [1usize, 5, 9, 2];
+        let mut a = TransformerModel::new(ModelConfig::tiny());
+        let mut b = TransformerModel::new(ModelConfig::tiny());
+        assert_eq!(a.generate_greedy(&prompt, 8), b.generate_greedy(&prompt, 8));
+    }
+
+    #[test]
+    fn reset_allows_fresh_sequence() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        m.forward_token(1, 0);
+        m.reset();
+        assert_eq!(m.cache_len(), 0);
+        let out = m.forward_token(1, 0);
+        assert_eq!(out.layer_scores[0][0].len(), 1);
+    }
+
+    #[test]
+    fn nll_is_lower_for_higher_logit() {
+        let logits = [0.0f32, 2.0, -1.0];
+        assert!(TransformerModel::nll(&logits, 1) < TransformerModel::nll(&logits, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        m.forward_token(10_000, 0);
+    }
+}

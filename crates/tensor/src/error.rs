@@ -1,0 +1,86 @@
+//! Error types shared by the tensor kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+/// A dimension mismatch between operands of a tensor operation.
+///
+/// Carries the operation name and both offending shapes so the message is
+/// actionable without a debugger.
+///
+/// ```
+/// use veda_tensor::ShapeError;
+/// let e = ShapeError::new("gemv_inner", vec![4], vec![3, 2]);
+/// assert_eq!(e.to_string(), "shape mismatch in gemv_inner: left [4] vs right [3, 2]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the two offending shapes.
+    pub fn new(op: &'static str, left: Vec<usize>, right: Vec<usize>) -> Self {
+        Self { op, left, right }
+    }
+
+    /// The operation that rejected the operands.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left operand.
+    pub fn left(&self) -> &[usize] {
+        &self.left
+    }
+
+    /// Shape of the right operand.
+    pub fn right(&self) -> &[usize] {
+        &self.right
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: left {:?} vs right {:?}",
+            self.op, self.left, self.right
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_operation_and_shapes() {
+        let e = ShapeError::new("matmul", vec![2, 3], vec![4, 5]);
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("gemv", vec![7], vec![8, 9]);
+        assert_eq!(e.op(), "gemv");
+        assert_eq!(e.left(), &[7]);
+        assert_eq!(e.right(), &[8, 9]);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

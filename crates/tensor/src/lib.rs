@@ -1,0 +1,43 @@
+//! # veda-tensor
+//!
+//! Dense linear-algebra substrate for the VEDA reproduction.
+//!
+//! This crate provides the numeric kernels that the rest of the workspace is
+//! built on: row-major [`Matrix`] and `&[f32]` vector kernels ([`ops`]),
+//! numerically-stable and *online* softmax ([`softmax`], after
+//! Milakov–Gimelshein, the same formulation VEDA's element-serial reduction
+//! unit implements in hardware), layer/RMS normalization ([`norm`]),
+//! activation functions ([`activation`]), an IEEE-754 binary16 emulation used
+//! to model the accelerator's FP16 datapath ([`fp16`]), and small statistics
+//! helpers ([`stats`]) used by the voting threshold `T(i) = a·mean − b·σ`.
+//!
+//! Everything is deterministic and seedable; no threads, no global state.
+//!
+//! ## Example
+//!
+//! ```
+//! use veda_tensor::{Matrix, ops, softmax};
+//!
+//! // q × Kᵀ as the inner-product interpretation used by VEDA:
+//! let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+//! let q = [2.0, 1.0];
+//! let s = ops::gemv_inner(&q, &k);       // one score per cached key
+//! assert_eq!(s, vec![2.0, 1.0, 3.0]);
+//! let probs = softmax::softmax(&s);
+//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod activation;
+pub mod error;
+pub mod fp16;
+pub mod matrix;
+pub mod norm;
+pub mod ops;
+pub mod rng;
+pub mod softmax;
+pub mod stats;
+
+pub use error::{ShapeError, TensorResult};
+pub use fp16::F16;
+pub use matrix::Matrix;
+pub use softmax::OnlineSoftmax;

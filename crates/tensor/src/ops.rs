@@ -1,0 +1,229 @@
+//! Vector kernels and the two GEMV interpretations (Fig. 4 of the paper).
+//!
+//! A matrix-vector product `(1,k) × (k,n) = (1,n)` can be computed two ways:
+//!
+//! * **inner product** ([`gemv_inner`]): the whole input vector is dotted
+//!   against the matrix column by column — the output is produced element by
+//!   element. VEDA uses this for `q × Kᵀ`, mapping the sequence length to
+//!   time.
+//! * **outer product** ([`gemv_outer`]): one input element at a time is
+//!   multiplied against a whole matrix row and accumulated into a partial
+//!   output vector. VEDA uses this for `s' × V`, again mapping the sequence
+//!   length to time and consuming `s'` element-serially.
+//!
+//! Both produce bit-identical results up to f32 summation order; property
+//! tests in this module check they agree within tolerance.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::matrix::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Element-wise addition, returning a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise product (Hadamard), returning a fresh vector.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Inner-product GEMV against the **rows** of `m`: `out[i] = q · m.row(i)`.
+///
+/// This computes `q × mᵀ` — exactly the attention-score kernel
+/// `q × Kᵀ = s` with `m = K` stored in `(l, d)` format. Each output element
+/// consumes one `(1, d)` row of `m`; the row count (sequence length) is free
+/// to vary, which is the "flexible" dimension of the inner-product
+/// interpretation.
+///
+/// # Panics
+///
+/// Panics if `q.len() != m.cols()`.
+///
+/// ```
+/// use veda_tensor::{Matrix, ops::gemv_inner};
+/// let k = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]]);
+/// assert_eq!(gemv_inner(&[2.0, 4.0], &k), vec![2.0, 3.0]);
+/// ```
+pub fn gemv_inner(q: &[f32], m: &Matrix) -> Vec<f32> {
+    assert_eq!(q.len(), m.cols(), "gemv_inner: q length {} vs matrix cols {}", q.len(), m.cols());
+    m.iter_rows().map(|row| dot(q, row)).collect()
+}
+
+/// Outer-product GEMV against the rows of `m`: `out = Σ_i s[i] · m.row(i)`.
+///
+/// This computes `s × m` — exactly the attention-output kernel
+/// `s' × V = o` with `m = V` stored in `(l, d)` format. Each step consumes one
+/// scalar of `s` and one `(1, d)` row of `m`, accumulating a partial output of
+/// the final size; the row count is again the flexible dimension.
+///
+/// # Panics
+///
+/// Panics if `s.len() != m.rows()`.
+///
+/// ```
+/// use veda_tensor::{Matrix, ops::gemv_outer};
+/// let v = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// assert_eq!(gemv_outer(&[0.25, 0.75], &v), vec![0.25, 0.75]);
+/// ```
+pub fn gemv_outer(s: &[f32], m: &Matrix) -> Vec<f32> {
+    assert_eq!(s.len(), m.rows(), "gemv_outer: s length {} vs matrix rows {}", s.len(), m.rows());
+    let mut out = vec![0.0; m.cols()];
+    for (i, &si) in s.iter().enumerate() {
+        axpy(si, m.row(i), &mut out);
+    }
+    out
+}
+
+/// Checked variant of [`gemv_inner`].
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] instead of panicking on mismatched shapes.
+pub fn try_gemv_inner(q: &[f32], m: &Matrix) -> TensorResult<Vec<f32>> {
+    if q.len() != m.cols() {
+        return Err(ShapeError::new("gemv_inner", vec![q.len()], vec![m.rows(), m.cols()]));
+    }
+    Ok(gemv_inner(q, m))
+}
+
+/// Checked variant of [`gemv_outer`].
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] instead of panicking on mismatched shapes.
+pub fn try_gemv_outer(s: &[f32], m: &Matrix) -> TensorResult<Vec<f32>> {
+    if s.len() != m.rows() {
+        return Err(ShapeError::new("gemv_outer", vec![s.len()], vec![m.rows(), m.cols()]));
+    }
+    Ok(gemv_outer(s, m))
+}
+
+/// Classic column-access GEMV `out[j] = Σ_i x[i]·m[i][j]` computed per
+/// column. Functionally identical to [`gemv_outer`], but touches memory in
+/// the strided pattern a fixed inner-product engine would need — kept for
+/// modelling and for differential testing.
+pub fn gemv_by_columns(x: &[f32], m: &Matrix) -> Vec<f32> {
+    assert_eq!(x.len(), m.rows(), "gemv_by_columns: x length {} vs matrix rows {}", x.len(), m.rows());
+    (0..m.cols()).map(|j| x.iter().enumerate().map(|(i, &xi)| xi * m[(i, j)]).sum()).collect()
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn inner_and_outer_agree_on_square() {
+        // q × Mᵀ via inner == Mᵀ applied via outer on the transposed matrix.
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let q = [0.5, -1.0];
+        let inner = gemv_inner(&q, &m); // q · each row => q × Mᵀ, len 3
+        let outer = gemv_outer(&q, &m.transposed()); // q × Mᵀ via outer
+        assert!(max_abs_diff(&inner, &outer) < 1e-6);
+    }
+
+    #[test]
+    fn outer_equals_column_gemv() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 2.0]]);
+        let s = [0.3, 0.7];
+        assert!(max_abs_diff(&gemv_outer(&s, &m), &gemv_by_columns(&s, &m)) < 1e-6);
+    }
+
+    #[test]
+    fn try_variants_report_shape_errors() {
+        let m = Matrix::zeros(3, 2);
+        assert!(try_gemv_inner(&[1.0, 2.0, 3.0], &m).is_err());
+        assert!(try_gemv_inner(&[1.0, 2.0], &m).is_ok());
+        assert!(try_gemv_outer(&[1.0, 2.0], &m).is_err());
+        assert!(try_gemv_outer(&[1.0, 2.0, 3.0], &m).is_ok());
+    }
+
+    #[test]
+    fn norm2_of_pythagorean_triple() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hadamard_and_add() {
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Small statistics helpers over `f32` slices.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance (0 for an empty slice).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Index of the maximum element (first on ties). `None` for empty input.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element (first on ties). `None` for empty input.
+pub fn argmin(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Geometric mean via the log domain (for perplexity aggregation).
+/// Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if any element is non-positive.
+pub fn geometric_mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f32 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric_mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f32).exp()
+}
+
+/// Fraction of elements strictly below `threshold`.
+pub fn fraction_below(xs: &[f32], threshold: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x < threshold).count() as f32 / xs.len() as f32
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
+/// copy. `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> Option<f32> {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 4.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 0.0, 0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-5);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        assert!((fraction_below(&[1.0, 2.0, 3.0, 4.0], 3.0) - 0.5).abs() < 1e-6);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_median_and_extremes() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.0));
+        assert_eq!(quantile(&xs, 1.0), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25).unwrap() - 2.5).abs() < 1e-6);
+    }
+}

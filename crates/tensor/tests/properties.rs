@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use veda_tensor::norm::StreamingMoments;
+use veda_tensor::softmax::{log_softmax, softmax};
+use veda_tensor::{ops, Matrix, OnlineSoftmax};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-50.0f32..50.0).prop_map(|x| x)
+}
+
+fn vec_f32(len: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(finite_f32(), len)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(xs in vec_f32(1..64)) {
+        let p = softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum = {}", sum);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_preserves_order(xs in vec_f32(2..32)) {
+        let p = softmax(&xs);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_softmax_matches_two_pass(xs in vec_f32(1..128)) {
+        let mut os = OnlineSoftmax::new();
+        for &x in &xs { os.push(x); }
+        let reference = softmax(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert!((os.normalize(x) - reference[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_sums_to_one(xs in vec_f32(1..64)) {
+        let ls = log_softmax(&xs);
+        let sum: f32 = ls.iter().map(|&v| v.exp()).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn streaming_moments_match_batch(xs in vec_f32(1..256)) {
+        let mut m = StreamingMoments::new();
+        for &x in &xs { m.push(x); }
+        let n = xs.len() as f32;
+        let mean = xs.iter().sum::<f32>() / n;
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        prop_assert!((m.mean() - mean).abs() < 1e-2 * (1.0 + mean.abs()));
+        prop_assert!((m.variance() - var).abs() < 1e-1 * (1.0 + var));
+    }
+
+    #[test]
+    fn gemv_inner_outer_duality(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        // gemv_inner(q, M) computes q×Mᵀ; gemv_outer(q, Mᵀ) computes the same.
+        let mut rng = veda_tensor::rng::seeded(seed);
+        let data = veda_tensor::rng::normal_vec(&mut rng, rows * cols, 1.0);
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let q = veda_tensor::rng::normal_vec(&mut rng, cols, 1.0);
+        let inner = ops::gemv_inner(&q, &m);
+        let outer = ops::gemv_outer(&q, &m.transposed());
+        prop_assert!(ops::max_abs_diff(&inner, &outer) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        rows in 1usize..8,
+        inner in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let mut rng = veda_tensor::rng::seeded(seed);
+        let a = Matrix::from_vec(rows, inner, veda_tensor::rng::normal_vec(&mut rng, rows * inner, 1.0)).unwrap();
+        let b = Matrix::from_vec(inner, cols, veda_tensor::rng::normal_vec(&mut rng, inner * cols, 1.0)).unwrap();
+        let left = a.matmul(&b).unwrap().transposed();
+        let right = b.transposed().matmul(&a.transposed()).unwrap();
+        prop_assert!(ops::max_abs_diff(left.as_slice(), right.as_slice()) < 1e-3);
+    }
+
+    #[test]
+    fn fp16_round_trip_is_idempotent(x in -60000.0f32..60000.0) {
+        let once = veda_tensor::fp16::quantize_f32(x);
+        let twice = veda_tensor::fp16::quantize_f32(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn fp16_relative_error_bounded(x in 0.001f32..60000.0) {
+        let q = veda_tensor::fp16::quantize_f32(x);
+        prop_assert!(((q - x) / x).abs() <= (2.0f32).powi(-11) + 1e-7);
+    }
+
+    #[test]
+    fn push_remove_row_preserves_other_rows(
+        n in 2usize..10,
+        victim_seed in 0usize..100,
+    ) {
+        let mut m = Matrix::default();
+        for i in 0..n {
+            m.push_row(&[i as f32, (i * i) as f32]).unwrap();
+        }
+        let victim = victim_seed % n;
+        m.remove_row(victim);
+        prop_assert_eq!(m.rows(), n - 1);
+        let mut expect = 0usize;
+        for i in 0..n {
+            if i == victim { continue; }
+            prop_assert_eq!(m.row(expect)[0], i as f32);
+            expect += 1;
+        }
+    }
+}

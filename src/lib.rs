@@ -1,0 +1,7 @@
+//! Workspace root crate for the VEDA reproduction.
+//!
+//! The substance lives in the [`veda`] crate and its substrates; this root
+//! package hosts the runnable `examples/` and the cross-crate integration
+//! tests in `tests/`.
+
+pub use veda::*;

@@ -1,0 +1,92 @@
+//! Cross-crate integration: full simulations across every policy and
+//! dataflow variant.
+
+use veda::SimulationBuilder;
+use veda_accel::DataflowVariant;
+use veda_eviction::PolicyKind;
+use veda_model::ModelConfig;
+
+fn prompt() -> Vec<usize> {
+    (0..48).map(|i| (i * 11) % 60 + 1).collect()
+}
+
+#[test]
+fn every_policy_runs_end_to_end() {
+    for policy in PolicyKind::ALL {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(policy)
+            .compression_ratio(0.5)
+            .build()
+            .expect("valid config");
+        let r = sim.run(&prompt(), 12);
+        assert_eq!(r.generated.len(), 12, "{policy}");
+        assert!(r.tokens_per_second > 0.0, "{policy}");
+        assert!(r.attention_cycles_per_token.iter().all(|&c| c > 0), "{policy}");
+    }
+}
+
+#[test]
+fn every_variant_runs_and_orders() {
+    let mut totals = Vec::new();
+    for variant in DataflowVariant::ALL {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .variant(variant)
+            .policy(PolicyKind::Full)
+            .fixed_budget(10_000)
+            .build()
+            .expect("valid config");
+        let r = sim.run(&prompt(), 16);
+        totals.push((variant, r.total_cycles));
+    }
+    assert!(totals[0].1 > totals[1].1, "baseline {:?} <= flexible {:?}", totals[0], totals[1]);
+    assert!(totals[1].1 > totals[2].1, "flexible {:?} <= element-serial {:?}", totals[1], totals[2]);
+}
+
+#[test]
+fn eviction_policies_hold_cache_at_budget() {
+    for policy in [PolicyKind::SlidingWindow, PolicyKind::H2o, PolicyKind::Voting] {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(policy)
+            .compression_ratio(0.25)
+            .build()
+            .expect("valid config");
+        let r = sim.run(&prompt(), 24);
+        assert_eq!(r.cache_budget, 12);
+        // The voting policy's reserved length (32, the paper's attention
+        // sink) lower-bounds the cache: it never shrinks below R.
+        let expected = if policy == PolicyKind::Voting { 32 } else { 12 };
+        assert_eq!(r.final_cache_len, expected, "{policy} did not hold the budget");
+    }
+}
+
+#[test]
+fn generation_is_reproducible_across_builds() {
+    let run = || {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Voting)
+            .compression_ratio(0.5)
+            .build()
+            .expect("valid config");
+        sim.run(&prompt(), 10)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn smaller_budget_means_fewer_attention_cycles() {
+    let total_attn = |ratio: f64| {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Voting)
+            .compression_ratio(ratio)
+            .build()
+            .expect("valid config");
+        let r = sim.run(&prompt(), 16);
+        r.attention_cycles_per_token.iter().sum::<u64>()
+    };
+    assert!(total_attn(0.25) < total_attn(0.75));
+}
