@@ -18,11 +18,8 @@ pub enum DataflowVariant {
 
 impl DataflowVariant {
     /// All variants in ablation order.
-    pub const ALL: [DataflowVariant; 3] = [
-        DataflowVariant::Baseline,
-        DataflowVariant::Flexible,
-        DataflowVariant::FlexibleElementSerial,
-    ];
+    pub const ALL: [DataflowVariant; 3] =
+        [DataflowVariant::Baseline, DataflowVariant::Flexible, DataflowVariant::FlexibleElementSerial];
 
     /// Label used in reports ("Baseline", "Baseline+F", "Baseline+F+E").
     pub fn label(self) -> &'static str {
@@ -47,6 +44,43 @@ impl DataflowVariant {
 impl std::fmt::Display for DataflowVariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error parsing a [`DataflowVariant`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataflowVariantError(String);
+
+impl std::fmt::Display for ParseDataflowVariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown dataflow variant {:?} (expected one of: baseline, flexible/baseline+f, \
+             flexible-element-serial/baseline+f+e/veda)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDataflowVariantError {}
+
+impl std::str::FromStr for DataflowVariant {
+    type Err = ParseDataflowVariantError;
+
+    /// Parses a variant from a CLI-friendly name. Accepts the report labels
+    /// ("Baseline+F+E"), kebab/snake names, the short forms "f" / "fe", and
+    /// "veda"; matching is case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String =
+            s.trim().to_ascii_lowercase().chars().filter(|c| !matches!(c, '-' | '_' | ' ')).collect();
+        match normalized.as_str() {
+            "baseline" | "base" => Ok(DataflowVariant::Baseline),
+            "flexible" | "baseline+f" | "f" => Ok(DataflowVariant::Flexible),
+            "flexibleelementserial" | "baseline+f+e" | "fe" | "f+e" | "elementserial" | "veda" => {
+                Ok(DataflowVariant::FlexibleElementSerial)
+            }
+            _ => Err(ParseDataflowVariantError(s.to_string())),
+        }
     }
 }
 
@@ -256,6 +290,23 @@ mod tests {
         let mut b = ArchConfig::veda();
         b.clock_ghz = 0.0;
         assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn variant_parses_from_cli_names_and_round_trips() {
+        for v in DataflowVariant::ALL {
+            assert_eq!(v.label().parse::<DataflowVariant>().unwrap(), v, "{v} label round trip");
+        }
+        assert_eq!("veda".parse::<DataflowVariant>().unwrap(), DataflowVariant::FlexibleElementSerial);
+        assert_eq!(
+            "flexible-element-serial".parse::<DataflowVariant>().unwrap(),
+            DataflowVariant::FlexibleElementSerial
+        );
+        assert_eq!("F".parse::<DataflowVariant>().unwrap(), DataflowVariant::Flexible);
+        assert_eq!("Baseline".parse::<DataflowVariant>().unwrap(), DataflowVariant::Baseline);
+        assert!("warp".parse::<DataflowVariant>().is_err());
+        let msg = "warp".parse::<DataflowVariant>().unwrap_err().to_string();
+        assert!(msg.contains("warp"), "{msg}");
     }
 
     #[test]

@@ -166,8 +166,13 @@ mod tests {
         for gen in [0usize, 128, 256, 512, 1024] {
             let base = average_generation_attention_cycles(&a, DataflowVariant::Baseline, 512, gen, None);
             let f = average_generation_attention_cycles(&a, DataflowVariant::Flexible, 512, gen, None);
-            let fe =
-                average_generation_attention_cycles(&a, DataflowVariant::FlexibleElementSerial, 512, gen, None);
+            let fe = average_generation_attention_cycles(
+                &a,
+                DataflowVariant::FlexibleElementSerial,
+                512,
+                gen,
+                None,
+            );
             let rf = f / base;
             let rfe = fe / base;
             assert!((0.62..=0.82).contains(&rf), "gen={gen}: F ratio {rf}");
@@ -182,8 +187,13 @@ mod tests {
         let a = arch();
         let ratio = |gen| {
             let base = average_generation_attention_cycles(&a, DataflowVariant::Baseline, 512, gen, None);
-            let fe =
-                average_generation_attention_cycles(&a, DataflowVariant::FlexibleElementSerial, 512, gen, None);
+            let fe = average_generation_attention_cycles(
+                &a,
+                DataflowVariant::FlexibleElementSerial,
+                512,
+                gen,
+                None,
+            );
             fe / base
         };
         assert!(ratio(1024) > ratio(0), "F+E ratio must rise: {} vs {}", ratio(1024), ratio(0));

@@ -45,7 +45,7 @@ pub mod schedule;
 pub mod sfu;
 pub mod voting;
 
-pub use arch::{ArchConfig, DataflowVariant};
+pub use arch::{ArchConfig, DataflowVariant, ParseDataflowVariantError};
 pub use array::{ArrayMode, PeArray};
 pub use attention::decode_attention_cycles;
 pub use pipeline::AttentionPipeline;

@@ -151,7 +151,8 @@ mod tests {
                 pipe.engine_mut().on_append().unwrap();
             }
             let hw = pipe.attention_step(&q, &k, &v, 1.0 / (d as f32).sqrt());
-            let (ref_scores, ref_out) = AttentionPipeline::reference_step(&q, &k, &v, 1.0 / (d as f32).sqrt());
+            let (ref_scores, ref_out) =
+                AttentionPipeline::reference_step(&q, &k, &v, 1.0 / (d as f32).sqrt());
             assert!(max_abs_diff(&hw.scores, &ref_scores) < 0.01, "scores diverge at l={l} d={d}");
             assert!(max_abs_diff(&hw.output, &ref_out) < 0.05, "outputs diverge at l={l} d={d}");
         }

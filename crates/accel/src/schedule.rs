@@ -102,48 +102,76 @@ impl DecodeScheduler {
         &self.shape
     }
 
-    /// Cycles of a linear GEMV `(1,k)×(k,n)`: compute chunked on the array,
-    /// weights streamed from HBM, overlapped.
-    fn linear(&self, report: &mut CycleReport, name: &'static str, k: usize, n: usize) {
+    /// Cycles of a batched linear GEMV `(1,k)×(k,n)` applied to `batch`
+    /// sequences: compute runs once per sequence, chunked on the array, but
+    /// the weights stream from HBM **once** for the whole batch — the
+    /// bandwidth amortization that makes batched decode pay.
+    fn linear(&self, report: &mut CycleReport, name: &'static str, k: usize, n: usize, batch: u64) {
         // Outer-product mapping: k temporal, n spatial (weights stream row
         // by row in (k, n) layout — sequential).
-        let compute = self.arch.flexible_gemv_cycles(k, n);
+        let compute = batch * self.arch.flexible_gemv_cycles(k, n);
         let memory = self.hbm.cost(k * n * 2, AccessPattern::Sequential);
         report.add_overlapped(name, compute, memory);
     }
 
-    /// Full decode step at cache length `l`: QKV generation, attention,
-    /// output projection, gated FFN, LM head, plus layernorm handling per
-    /// variant.
+    /// Full decode step of a single sequence at cache length `l`.
+    ///
+    /// Identical to `decode_batch(&[l])`.
     pub fn decode_token(&self, l: usize) -> CycleReport {
+        self.decode_batch(&[l])
+    }
+
+    /// One batched decode tick: every sequence in the batch advances by one
+    /// token. Linear-layer weights stream from HBM once for the whole batch
+    /// (shared across sequences), while attention — whose operand is each
+    /// sequence's private KV cache — is charged per sequence at its own
+    /// cache length `cache_lens[i]`, as are the per-sequence normalizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_lens` is empty.
+    pub fn decode_batch(&self, cache_lens: &[usize]) -> CycleReport {
+        assert!(!cache_lens.is_empty(), "decode batch must be non-empty");
+        let batch = cache_lens.len() as u64;
         let d = self.shape.d_model;
         let f = self.shape.ffn_hidden;
         let mut report = CycleReport::new();
 
         for _ in 0..self.shape.n_layers {
-            self.linear(&mut report, "qkv", d, 3 * d);
+            self.linear(&mut report, "qkv", d, 3 * d, batch);
 
-            // Attention kernels + KV stream.
-            let attn_compute = decode_attention_cycles(&self.arch, self.variant, l);
-            let kv_bytes = (2 * l * d * 2 + 2 * d * 2) as usize;
-            let attn_memory = self.hbm.cost(kv_bytes, AccessPattern::Sequential);
-            report.add_overlapped("attention", attn_compute, attn_memory);
+            // Attention kernels + KV stream, per sequence: each sequence's
+            // compute overlaps with its own cache stream.
+            for &l in cache_lens {
+                let attn_compute = decode_attention_cycles(&self.arch, self.variant, l);
+                let kv_bytes = (2 * l * d * 2 + 2 * d * 2) as usize;
+                let attn_memory = self.hbm.cost(kv_bytes, AccessPattern::Sequential);
+                report.add_overlapped("attention", attn_compute, attn_memory);
+            }
 
-            self.linear(&mut report, "proj", d, d);
-            self.linear(&mut report, "ffn_gate_up", d, 2 * f);
-            self.linear(&mut report, "ffn_down", f, d);
+            self.linear(&mut report, "proj", d, d, batch);
+            self.linear(&mut report, "ffn_gate_up", d, 2 * f, batch);
+            self.linear(&mut report, "ffn_down", f, d, batch);
 
-            // Layernorm/RMSnorm: O(1) drain under element-serial
-            // scheduling; a blocking reduction+normalization otherwise.
+            // Layernorm/RMSnorm per sequence: O(1) drain under
+            // element-serial scheduling; a blocking
+            // reduction+normalization otherwise.
             if self.variant.element_serial() {
-                report.add_exposed_sfu("norm", 2 * self.arch.calibration.element_serial_drain);
+                report.add_exposed_sfu("norm", batch * 2 * self.arch.calibration.element_serial_drain);
             } else {
                 let per_norm = (d as u64).div_ceil(2) * 2; // reduce + normalize at 2/cycle
-                report.add_exposed_sfu("norm", 2 * per_norm);
+                report.add_exposed_sfu("norm", batch * 2 * per_norm);
             }
         }
-        self.linear(&mut report, "lm_head", d, self.shape.vocab_size);
+        self.linear(&mut report, "lm_head", d, self.shape.vocab_size, batch);
         report
+    }
+
+    /// Batched decode throughput in tokens/second: one tick advances every
+    /// sequence, so the tick produces `cache_lens.len()` tokens.
+    pub fn batched_tokens_per_second(&self, cache_lens: &[usize]) -> f64 {
+        let report = self.decode_batch(cache_lens);
+        cache_lens.len() as f64 / report.seconds(self.arch.clock_ghz)
     }
 
     /// Decode throughput in tokens/second at cache length `l`.
@@ -188,7 +216,8 @@ mod tests {
 
     #[test]
     fn element_serial_variant_is_fastest_end_to_end() {
-        let mk = |v| DecodeScheduler::new(ArchConfig::veda(), LlamaShape::llama2_7b(), HbmConfig::default(), v);
+        let mk =
+            |v| DecodeScheduler::new(ArchConfig::veda(), LlamaShape::llama2_7b(), HbmConfig::default(), v);
         let base = mk(DataflowVariant::Baseline).decode_token(1024).total_cycles;
         let f = mk(DataflowVariant::Flexible).decode_token(1024).total_cycles;
         let fe = mk(DataflowVariant::FlexibleElementSerial).decode_token(1024).total_cycles;
@@ -217,5 +246,57 @@ mod tests {
         let report = sched.decode_token(16);
         // 6 components per layer × 32 layers + lm_head.
         assert_eq!(report.components.len(), 6 * 32 + 1);
+    }
+
+    #[test]
+    fn single_sequence_batch_equals_decode_token() {
+        let sched = DecodeScheduler::veda_llama7b();
+        assert_eq!(sched.decode_token(512), sched.decode_batch(&[512]));
+    }
+
+    #[test]
+    fn batching_amortizes_weight_streaming() {
+        // One 8-sequence tick streams the weights once instead of 8 times,
+        // so it is cheaper than 8 single-sequence ticks — but dearer than
+        // one, and the gain is bounded: the 128-MAC array goes
+        // compute-bound once the batch multiplies the GEMV work.
+        let sched = DecodeScheduler::veda_llama7b();
+        let lens = [512usize; 8];
+        let tick = sched.decode_batch(&lens).total_cycles;
+        let single = sched.decode_token(512).total_cycles;
+        assert!(tick > single, "a batch tick cannot be cheaper than one sequence");
+        assert!(tick < 8 * single * 9 / 10, "batching saved too little: {tick} vs 8×{single}");
+        // Per-token throughput improves accordingly.
+        assert!(sched.batched_tokens_per_second(&lens) > 1.2 * sched.tokens_per_second(512));
+        // A wider array relieves the compute bound and unlocks more of the
+        // bandwidth amortization.
+        let mut wide_arch = ArchConfig::veda();
+        wide_arch.pe_lanes *= 8;
+        let wide = DecodeScheduler::new(
+            wide_arch,
+            LlamaShape::llama2_7b(),
+            HbmConfig::default(),
+            DataflowVariant::FlexibleElementSerial,
+        );
+        let wide_tick = wide.decode_batch(&lens).total_cycles;
+        let wide_single = wide.decode_token(512).total_cycles;
+        assert!(
+            wide_tick < 8 * wide_single / 2,
+            "wide array should amortize better: {wide_tick} vs 8×{wide_single}"
+        );
+    }
+
+    #[test]
+    fn mixed_length_batch_charges_each_sequence_its_own_attention() {
+        let sched = DecodeScheduler::veda_llama7b();
+        let short = sched.decode_batch(&[128, 128]).total_cycles;
+        let mixed = sched.decode_batch(&[128, 4096]).total_cycles;
+        assert!(mixed > short, "longer cache in the batch must cost more");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_batch_panics() {
+        DecodeScheduler::veda_llama7b().decode_batch(&[]);
     }
 }

@@ -18,7 +18,6 @@
 use veda_eviction::{EvictionPolicy, VotingConfig, VotingPolicy};
 use veda_mem::Fifo;
 
-
 /// Error raised when the engine's hardware capacity is exceeded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoteCapacityError {
@@ -77,7 +76,10 @@ impl VotingEngine {
     /// Returns [`VoteCapacityError`] when the buffer is full.
     pub fn on_append(&mut self) -> Result<(), VoteCapacityError> {
         if self.policy.tracked_len() >= self.capacity {
-            return Err(VoteCapacityError { requested: self.policy.tracked_len() + 1, capacity: self.capacity });
+            return Err(VoteCapacityError {
+                requested: self.policy.tracked_len() + 1,
+                capacity: self.capacity,
+            });
         }
         self.policy.on_append();
         Ok(())

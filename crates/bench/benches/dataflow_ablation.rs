@@ -12,9 +12,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataflow_ablation");
     for variant in DataflowVariant::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(variant), &variant, |b, &v| {
-            b.iter(|| {
-                average_generation_attention_cycles(black_box(&arch), v, 512, 1024, None)
-            })
+            b.iter(|| average_generation_attention_cycles(black_box(&arch), v, 512, 1024, None))
         });
     }
     group.finish();

@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_speedup_sweep(c: &mut Criterion) {
-    c.bench_function("fig8_right_sweep", |b| {
-        b.iter(|| black_box(veda_bench::fig8_right()))
-    });
+    c.bench_function("fig8_right_sweep", |b| b.iter(|| black_box(veda_bench::fig8_right())));
 }
 
 criterion_group!(benches, bench_speedup_sweep);

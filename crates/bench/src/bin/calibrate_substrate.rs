@@ -13,13 +13,23 @@ fn main() {
                 for (name, mut pol) in [
                     ("slide", Box::new(SlidingWindowPolicy::new(4)) as Box<dyn EvictionPolicy>),
                     ("h2o", Box::new(H2oPolicy::new())),
-                    ("vote", Box::new(VotingPolicy::new(VotingConfig { a, b, reserved_len: 4, per_head_votes: false }))),
+                    (
+                        "vote",
+                        Box::new(VotingPolicy::new(VotingConfig {
+                            a,
+                            b,
+                            reserved_len: 4,
+                            per_head_votes: false,
+                        })),
+                    ),
                 ] {
-                    let mut nll = 0.0; let mut toks = 0;
+                    let mut nll = 0.0;
+                    let mut toks = 0;
                     for s in 0..4u64 {
                         let sample = corpus.sample(s, 1280);
                         let e = lm.evaluate_sample(&sample, cache, pol.as_mut(), &corpus);
-                        nll += e.total_nll; toks += e.tokens;
+                        nll += e.total_nll;
+                        toks += e.tokens;
                     }
                     ppl.push(format!("{name} {:.2}", (nll / toks as f64).exp()));
                 }

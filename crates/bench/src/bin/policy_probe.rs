@@ -1,21 +1,42 @@
 //! Diagnostic: shows what each policy keeps resident at the end of a
 //! sample (ages and positions), plus its perplexity.
+//!
+//! Usage: `policy_probe [POLICY ...]` — policies by name (`h2o`,
+//! `voting`, `sliding_window`, …); defaults to h2o/voting/sliding_window.
+//! `VA`/`VB` set the voting threshold coefficients.
 fn main() {
     use veda_model::*;
+    let policies: Vec<veda_eviction::PolicyKind> = std::env::args()
+        .skip(1)
+        .map(|arg| {
+            arg.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let policies = if policies.is_empty() {
+        vec![
+            veda_eviction::PolicyKind::H2o,
+            veda_eviction::PolicyKind::Voting,
+            veda_eviction::PolicyKind::SlidingWindow,
+        ]
+    } else {
+        policies
+    };
     let corpus = Corpus::new(CorpusConfig::default());
     let lm = InductionLm::new(InductionConfig::default(), &corpus);
     let n = 1200;
     let sample = corpus.sample(0, n);
     let a: f32 = std::env::var("VA").map(|v| v.parse().unwrap()).unwrap_or(1.0);
     let b: f32 = std::env::var("VB").map(|v| v.parse().unwrap()).unwrap_or(0.0);
-    for kind in [
-        veda_eviction::PolicyKind::H2o,
-        veda_eviction::PolicyKind::Voting,
-        veda_eviction::PolicyKind::SlidingWindow,
-    ] {
+    for kind in policies {
         let mut p: Box<dyn veda_eviction::EvictionPolicy> = if kind == veda_eviction::PolicyKind::Voting {
             Box::new(veda_eviction::VotingPolicy::new(veda_eviction::VotingConfig {
-                a, b, reserved_len: 4, per_head_votes: false,
+                a,
+                b,
+                reserved_len: 4,
+                per_head_votes: false,
             }))
         } else {
             veda_bench::calibrated_policy(kind)

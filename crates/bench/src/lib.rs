@@ -138,7 +138,11 @@ pub fn fig8_right() -> Vec<SpeedupPoint> {
     let mut out = Vec::new();
     for &ratio in &[0.5, 0.4, 0.3, 0.2] {
         for &gen_len in &[128usize, 256, 512, 1024] {
-            out.push(SpeedupPoint { gen_len, kv_ratio: ratio, speedup: eviction_speedup(&arch, 512, gen_len, ratio) });
+            out.push(SpeedupPoint {
+                gen_len,
+                kv_ratio: ratio,
+                speedup: eviction_speedup(&arch, 512, gen_len, ratio),
+            });
         }
     }
     out
@@ -187,10 +191,7 @@ pub fn render_quality(points: &[QualityPoint]) -> String {
     caches.dedup();
     for cache in caches {
         let get = |k: PolicyKind| {
-            points
-                .iter()
-                .find(|p| p.cache_size == cache && p.policy == k)
-                .map_or(f64::NAN, |p| p.perplexity)
+            points.iter().find(|p| p.cache_size == cache && p.policy == k).map_or(f64::NAN, |p| p.perplexity)
         };
         out.push_str(&format!(
             "{:<10} {:>12.3} {:>12.3} {:>12.3}\n",
@@ -205,7 +206,8 @@ pub fn render_quality(points: &[QualityPoint]) -> String {
 
 /// Renders Fig. 8 (center) rows as an aligned text table.
 pub fn render_ablation(points: &[AblationPoint]) -> String {
-    let mut out = format!("{:<10} {:>10} {:>12} {:>14}\n", "GenLen", "Baseline", "Baseline+F", "Baseline+F+E");
+    let mut out =
+        format!("{:<10} {:>10} {:>12} {:>14}\n", "GenLen", "Baseline", "Baseline+F", "Baseline+F+E");
     let mut lens: Vec<usize> = points.iter().map(|p| p.gen_len).collect();
     lens.dedup();
     for len in lens {
@@ -228,7 +230,8 @@ pub fn render_ablation(points: &[AblationPoint]) -> String {
 
 /// Renders Fig. 8 (right) rows as an aligned text table.
 pub fn render_speedup(points: &[SpeedupPoint]) -> String {
-    let mut out = format!("{:<10} {:>10} {:>10} {:>10} {:>10}\n", "GenLen", "0.5KV", "0.4KV", "0.3KV", "0.2KV");
+    let mut out =
+        format!("{:<10} {:>10} {:>10} {:>10} {:>10}\n", "GenLen", "0.5KV", "0.4KV", "0.3KV", "0.2KV");
     let mut lens: Vec<usize> = points.iter().map(|p| p.gen_len).collect();
     lens.sort_unstable();
     lens.dedup();
@@ -260,10 +263,11 @@ mod tests {
         let pts = fig8_center();
         assert_eq!(pts.len(), 5 * 3);
         // Baseline normalizes to 1.0.
-        assert!(pts
-            .iter()
-            .filter(|p| p.variant == DataflowVariant::Baseline)
-            .all(|p| (p.normalized_latency - 1.0).abs() < 1e-12));
+        assert!(pts.iter().filter(|p| p.variant == DataflowVariant::Baseline).all(|p| (p
+            .normalized_latency
+            - 1.0)
+            .abs()
+            < 1e-12));
     }
 
     #[test]

@@ -1,0 +1,935 @@
+//! The session-based serving engine: long-lived substrate, per-request
+//! sessions, incremental batched decode.
+//!
+//! An [`Engine`] owns the model weights, accelerator architecture, decode
+//! scheduler and energy model **once**. Callers [`Engine::submit`]
+//! [`Request`]s — each with its own prompt, generation limit, stop tokens,
+//! eviction policy and [`Budget`] — and receive [`Session`] handles. Every
+//! [`Engine::step`] is one *batched decode tick*: all active sessions
+//! advance by one token in round-robin, the tick is costed through
+//! [`DecodeScheduler::decode_batch`] (weights stream from HBM once per
+//! tick, shared by the whole batch), and a [`TokenEvent`] per session lets
+//! callers stream tokens as they are produced.
+//!
+//! Per-request accounting stays single-sequence: each finished session
+//! yields the exact [`SimulationReport`] the legacy one-shot
+//! [`crate::Simulation::run`] would produce for the same prompt — the
+//! determinism invariant the integration tests pin down. Batch-level
+//! throughput and energy are aggregated separately into an
+//! [`EngineReport`].
+//!
+//! VEDA's layer-wise voting eviction protocol runs per session: each
+//! session instantiates its own per-layer policy stack via
+//! [`PolicyKind::build`], observes its own attention scores, and evicts
+//! from its own [`SequenceState`]. Finished sessions free their KV state
+//! immediately.
+
+use veda_accel::arch::{ArchConfig, DataflowVariant};
+use veda_accel::attention::decode_attention_cycles;
+use veda_accel::schedule::{DecodeScheduler, LlamaShape};
+use veda_cost::EnergyModel;
+use veda_eviction::{EvictionPolicy, PolicyKind};
+use veda_mem::HbmConfig;
+use veda_model::{ModelConfig, SequenceState, TransformerModel};
+
+use crate::error::BuildError;
+use crate::simulator::SimulationReport;
+
+/// KV cache budget of one request.
+///
+/// Replaces the legacy `Option<f64>` compression-ratio / `Option<usize>`
+/// fixed-budget pair (and its `usize::MAX / 2` "no budget" sentinel) with
+/// one explicit enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Never evict for capacity (the full-cache configuration).
+    Unbounded,
+    /// Hold the cache at a fixed number of resident tokens (the
+    /// language-modeling configuration).
+    Fixed(usize),
+    /// Hold the cache at `round(r × prompt_len)` tokens, `r ∈ (0, 1]` (the
+    /// paper's Fig. 3 configuration).
+    Ratio(f64),
+}
+
+impl Budget {
+    /// Checks the budget is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidBudget`] for `Fixed(0)` or a ratio
+    /// outside `(0, 1]`.
+    pub fn validate(self) -> Result<(), BuildError> {
+        match self {
+            Budget::Unbounded => Ok(()),
+            Budget::Fixed(0) => Err(BuildError::InvalidBudget("fixed budget must be positive".into())),
+            Budget::Fixed(_) => Ok(()),
+            Budget::Ratio(r) if !(0.0..=1.0).contains(&r) || r == 0.0 || r.is_nan() => {
+                Err(BuildError::InvalidBudget(format!("compression ratio {r} outside (0, 1]")))
+            }
+            Budget::Ratio(_) => Ok(()),
+        }
+    }
+
+    /// Resolves to a concrete resident-token cap for a prompt of
+    /// `prompt_len` tokens. `Unbounded` maps to a cap no sequence reaches.
+    pub fn resolve(self, prompt_len: usize) -> usize {
+        match self {
+            Budget::Unbounded => usize::MAX / 2,
+            Budget::Fixed(n) => n,
+            Budget::Ratio(r) => ((prompt_len as f64 * r).round() as usize).max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Budget::Unbounded => write!(f, "unbounded"),
+            Budget::Fixed(n) => write!(f, "fixed:{n}"),
+            Budget::Ratio(r) => write!(f, "ratio:{r}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Budget {
+    type Err = BuildError;
+
+    /// Parses `"unbounded"` / `"full"`, `"fixed:N"` (or a bare integer),
+    /// and `"ratio:R"` (or a bare float in `(0, 1]`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        let budget = match t.as_str() {
+            "unbounded" | "full" | "none" => Budget::Unbounded,
+            _ => {
+                if let Some(n) = t.strip_prefix("fixed:") {
+                    Budget::Fixed(n.parse().map_err(|_| {
+                        BuildError::InvalidBudget(format!("cannot parse fixed budget from {s:?}"))
+                    })?)
+                } else if let Some(r) = t.strip_prefix("ratio:") {
+                    Budget::Ratio(r.parse().map_err(|_| {
+                        BuildError::InvalidBudget(format!("cannot parse ratio budget from {s:?}"))
+                    })?)
+                } else if let Ok(n) = t.parse::<usize>() {
+                    Budget::Fixed(n)
+                } else if let Ok(r) = t.parse::<f64>() {
+                    Budget::Ratio(r)
+                } else {
+                    return Err(BuildError::InvalidBudget(format!("cannot parse budget from {s:?}")));
+                }
+            }
+        };
+        budget.validate()?;
+        Ok(budget)
+    }
+}
+
+/// One generation request: a prompt plus per-request decode configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Prompt token ids (must be non-empty and in-vocabulary).
+    pub prompt: Vec<usize>,
+    /// Maximum number of tokens to generate.
+    pub max_new_tokens: usize,
+    /// Eviction policy for this request's sessions.
+    pub policy: PolicyKind,
+    /// KV cache budget for this request.
+    pub budget: Budget,
+    /// Token ids that end generation early (the stop token is kept in the
+    /// output).
+    pub stop_tokens: Vec<usize>,
+}
+
+impl Request {
+    /// A request with the workspace-default policy (voting) and budget
+    /// (ratio 0.5), matching [`crate::SimulationBuilder`] defaults.
+    pub fn new(prompt: impl Into<Vec<usize>>, max_new_tokens: usize) -> Self {
+        Self {
+            prompt: prompt.into(),
+            max_new_tokens,
+            policy: PolicyKind::Voting,
+            budget: Budget::Ratio(0.5),
+            stop_tokens: Vec::new(),
+        }
+    }
+
+    /// Sets the eviction policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the cache budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the stop tokens.
+    pub fn stop_tokens(mut self, stop_tokens: impl Into<Vec<usize>>) -> Self {
+        self.stop_tokens = stop_tokens.into();
+        self
+    }
+}
+
+/// Handle of one submitted request within an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Session(usize);
+
+impl Session {
+    /// The numeric session id (submission order).
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One token emitted by one session during an [`Engine::step`] tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// The emitting session.
+    pub session: Session,
+    /// The generated token id.
+    pub token: usize,
+    /// Attention cycles of this token at the session's pre-step cache
+    /// length (single-sequence cycle model).
+    pub attention_cycles: u64,
+    /// Evictions performed across all layers after appending this token.
+    pub evictions: usize,
+    /// The session's cache length after eviction.
+    pub cache_len: usize,
+    /// Whether this token finished the session (limit or stop token).
+    pub finished: bool,
+}
+
+/// Result of one [`Engine::step`] tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineTick {
+    /// One event per session that advanced this tick, in session order.
+    pub events: Vec<TokenEvent>,
+    /// Number of sessions batched in this tick.
+    pub batch_size: usize,
+    /// Critical-path cycles of the batched tick
+    /// ([`DecodeScheduler::decode_batch`]).
+    pub batch_cycles: u64,
+    /// Energy of the batched tick in millijoules (core + HBM, weights
+    /// streamed once).
+    pub batch_energy_mj: f64,
+}
+
+/// Outcome of one finished request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// The session handle.
+    pub session: Session,
+    /// The policy the request ran with.
+    pub policy: PolicyKind,
+    /// The budget the request ran with.
+    pub budget: Budget,
+    /// Per-request report, identical to what the legacy one-shot
+    /// [`crate::Simulation::run`] produces for the same prompt.
+    pub report: SimulationReport,
+}
+
+/// Aggregated result of an engine run: per-request reports plus
+/// batched-tick throughput/energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Finished requests in completion order.
+    pub requests: Vec<RequestOutcome>,
+    /// Batched decode ticks executed.
+    pub ticks: u64,
+    /// Total tokens generated across all requests.
+    pub total_tokens: usize,
+    /// Sum of batched-tick critical-path cycles.
+    pub batched_total_cycles: u64,
+    /// Batched decode throughput at the architecture clock.
+    pub batched_tokens_per_second: f64,
+    /// Batched energy per generated token in millijoules.
+    pub batched_energy_mj_per_token: f64,
+    /// Sum of the per-request single-sequence cycle totals — what serving
+    /// the same requests one at a time would have cost.
+    pub sequential_total_cycles: u64,
+    /// Largest batch observed in one tick.
+    pub max_concurrency: usize,
+}
+
+impl EngineReport {
+    /// How much cheaper the batched schedule was than serving each request
+    /// alone (`sequential / batched` cycles; 1.0 when nothing batched).
+    pub fn batching_speedup(&self) -> f64 {
+        if self.batched_total_cycles == 0 {
+            1.0
+        } else {
+            self.sequential_total_cycles as f64 / self.batched_total_cycles as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine report: {} requests, {} ticks, max concurrency {}",
+            self.requests.len(),
+            self.ticks,
+            self.max_concurrency
+        )?;
+        writeln!(f, "  tokens generated       : {}", self.total_tokens)?;
+        writeln!(f, "  batched cycles         : {}", self.batched_total_cycles)?;
+        writeln!(f, "  batched tokens/s       : {:.1}", self.batched_tokens_per_second)?;
+        writeln!(f, "  batched energy/token   : {:.3} mJ", self.batched_energy_mj_per_token)?;
+        writeln!(f, "  sequential cycles      : {}", self.sequential_total_cycles)?;
+        writeln!(f, "  batching speedup       : {:.2}x", self.batching_speedup())?;
+        for r in &self.requests {
+            let budget = match r.budget {
+                Budget::Unbounded => "∞".to_string(),
+                _ => r.report.cache_budget.to_string(),
+            };
+            writeln!(
+                f,
+                "  {:<4} {:<14} {:<12} {:>4} tokens  {:>8.1} tok/s  {:>8.3} mJ/tok  cache {} / budget {}",
+                r.session.to_string(),
+                r.policy.as_str(),
+                r.budget.to_string(),
+                r.report.generated.len(),
+                r.report.tokens_per_second,
+                r.report.energy_mj_per_token,
+                r.report.final_cache_len,
+                budget,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Engine`].
+///
+/// Defaults match the legacy [`crate::SimulationBuilder`]: tiny model,
+/// VEDA architecture scaled to the model's head geometry,
+/// `FlexibleElementSerial` dataflow, paper-default HBM.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    model: ModelConfig,
+    variant: DataflowVariant,
+    hbm: HbmConfig,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Creates a builder with defaults.
+    pub fn new() -> Self {
+        Self {
+            model: ModelConfig::tiny(),
+            variant: DataflowVariant::FlexibleElementSerial,
+            hbm: HbmConfig::default(),
+        }
+    }
+
+    /// Sets the functional model configuration.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the dataflow variant.
+    pub fn variant(mut self, variant: DataflowVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the HBM configuration.
+    pub fn hbm(mut self, hbm: HbmConfig) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Builds the engine: allocates the shared weights, shapes the
+    /// architecture to the model's attention geometry and derives the
+    /// scheduler and energy model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidModel`] / [`BuildError::InvalidArch`]
+    /// when the configuration is inconsistent.
+    pub fn build(self) -> Result<Engine, BuildError> {
+        self.model.validate().map_err(BuildError::InvalidModel)?;
+
+        // Architecture shaped to the model's attention geometry; everything
+        // else stays at VEDA defaults.
+        let mut arch = ArchConfig::veda();
+        arch.head_dim = self.model.head_dim();
+        arch.n_heads = self.model.n_heads;
+        arch.validate().map_err(BuildError::InvalidArch)?;
+
+        let shape = LlamaShape {
+            d_model: self.model.d_model,
+            n_heads: self.model.n_heads,
+            ffn_hidden: self.model.ffn_hidden,
+            n_layers: self.model.n_layers,
+            vocab_size: self.model.vocab_size,
+        };
+        let scheduler = DecodeScheduler::new(arch.clone(), shape, self.hbm, self.variant);
+        let energy = EnergyModel::for_arch(&arch);
+
+        Ok(Engine {
+            model: TransformerModel::new(self.model),
+            arch,
+            variant: self.variant,
+            scheduler,
+            energy,
+            active: Vec::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            ticks: 0,
+            tokens_emitted: 0,
+            batched_cycles: 0,
+            batched_energy_mj: 0.0,
+            sequential_cycles: 0,
+            max_concurrency: 0,
+        })
+    }
+}
+
+/// State of one in-flight session.
+struct ActiveSession {
+    id: Session,
+    policy_kind: PolicyKind,
+    budget: Budget,
+    resident_cap: usize,
+    policies: Vec<Box<dyn EvictionPolicy>>,
+    state: SequenceState,
+    logits: Vec<f32>,
+    position: usize,
+    max_new_tokens: usize,
+    stop_tokens: Vec<usize>,
+    generated: Vec<usize>,
+    attention_cycles: Vec<u64>,
+    total_cycles: u64,
+    total_energy_mj: f64,
+    evictions: usize,
+}
+
+impl ActiveSession {
+    /// The cache length the cycle model charges for the next decode step
+    /// (mirrors the legacy `Simulation::run` clamping).
+    fn costed_len(&self) -> usize {
+        self.state.cache_len().min(self.resident_cap.max(1)).max(1)
+    }
+}
+
+/// The long-lived serving engine (see the [module docs](self)).
+pub struct Engine {
+    model: TransformerModel,
+    arch: ArchConfig,
+    variant: DataflowVariant,
+    scheduler: DecodeScheduler,
+    energy: EnergyModel,
+    active: Vec<ActiveSession>,
+    finished: Vec<RequestOutcome>,
+    next_id: usize,
+    ticks: u64,
+    tokens_emitted: usize,
+    batched_cycles: u64,
+    batched_energy_mj: f64,
+    sequential_cycles: u64,
+    max_concurrency: usize,
+}
+
+impl Engine {
+    /// The configured architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The dataflow variant.
+    pub fn variant(&self) -> DataflowVariant {
+        self.variant
+    }
+
+    /// The shared model configuration.
+    pub fn model_config(&self) -> &ModelConfig {
+        self.model.config()
+    }
+
+    /// Number of sessions currently decoding.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether `session` is still decoding.
+    pub fn is_active(&self, session: Session) -> bool {
+        self.active.iter().any(|s| s.id == session)
+    }
+
+    /// Whether `session` has finished (report available).
+    pub fn is_finished(&self, session: Session) -> bool {
+        self.finished.iter().any(|r| r.session == session)
+    }
+
+    /// The finished report of `session`, if any.
+    pub fn report(&self, session: Session) -> Option<&SimulationReport> {
+        self.finished.iter().find(|r| r.session == session).map(|r| &r.report)
+    }
+
+    /// Removes and returns the finished report of `session`.
+    pub fn take_report(&mut self, session: Session) -> Option<SimulationReport> {
+        let idx = self.finished.iter().position(|r| r.session == session)?;
+        Some(self.finished.remove(idx).report)
+    }
+
+    /// Admits a request: validates it, runs prefill (policies observe, no
+    /// eviction — Fig. 3's reserved + voting stages), and returns the
+    /// session handle. The session then advances one token per
+    /// [`Engine::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidRequest`] for an empty or
+    /// out-of-vocabulary prompt and [`BuildError::InvalidBudget`] for an
+    /// unusable budget.
+    pub fn submit(&mut self, request: Request) -> Result<Session, BuildError> {
+        if request.prompt.is_empty() {
+            return Err(BuildError::InvalidRequest("prompt must be non-empty".into()));
+        }
+        let vocab = self.model.config().vocab_size;
+        if let Some(&bad) = request.prompt.iter().find(|&&t| t >= vocab) {
+            return Err(BuildError::InvalidRequest(format!(
+                "prompt token {bad} outside vocabulary of {vocab}"
+            )));
+        }
+        request.budget.validate()?;
+        let resident_cap = request.budget.resolve(request.prompt.len());
+
+        let mut session = ActiveSession {
+            id: Session(self.next_id),
+            policy_kind: request.policy,
+            budget: request.budget,
+            resident_cap,
+            policies: (0..self.model.config().n_layers).map(|_| request.policy.build()).collect(),
+            state: self.model.new_state(),
+            logits: Vec::new(),
+            position: 0,
+            max_new_tokens: request.max_new_tokens,
+            stop_tokens: request.stop_tokens,
+            generated: Vec::new(),
+            attention_cycles: Vec::new(),
+            total_cycles: 0,
+            total_energy_mj: 0.0,
+            evictions: 0,
+        };
+        self.next_id += 1;
+
+        // Prefill: voting observes, but no eviction.
+        for &token in &request.prompt {
+            let out = self.model.forward_in(&mut session.state, token, session.position);
+            for (layer, policy) in session.policies.iter_mut().enumerate() {
+                policy.on_append();
+                policy.observe(&out.layer_scores[layer]);
+            }
+            session.logits = out.logits;
+            session.position += 1;
+        }
+
+        let id = session.id;
+        if session.max_new_tokens == 0 {
+            self.retire(session);
+        } else {
+            self.active.push(session);
+        }
+        Ok(id)
+    }
+
+    /// Advances every active session by one token in a single batched
+    /// decode tick and returns the per-session [`TokenEvent`]s plus the
+    /// tick's batched cost. A no-op returning an empty tick when nothing
+    /// is active.
+    pub fn step(&mut self) -> EngineTick {
+        if self.active.is_empty() {
+            return EngineTick::default();
+        }
+        let lens: Vec<usize> = self.active.iter().map(ActiveSession::costed_len).collect();
+
+        // Cost the batch: weights stream once per tick across sessions.
+        let batch_report = self.scheduler.decode_batch(&lens);
+        let shape = *self.scheduler.shape();
+        let batch_bytes =
+            shape.weight_bytes_per_token() + lens.iter().map(|&l| shape.kv_bytes_per_token(l)).sum::<u64>();
+        let batch_energy_mj = self.energy.token_energy_mj(batch_report.total_cycles, batch_bytes);
+
+        let mut solo_cycles_by_len: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut events = Vec::with_capacity(self.active.len());
+        // Split field borrows instead of moving `active` out: a panic in a
+        // downstream policy or model step must not vanish every in-flight
+        // session (same guarantee class as `TransformerModel::forward_token`).
+        let Engine { active, scheduler, model, arch, energy, variant, .. } = self;
+        for (session, &l_before) in active.iter_mut().zip(&lens) {
+            // Greedy next token from the logits of the previous step.
+            let token = veda_tensor::stats::argmax(&session.logits).expect("non-empty logits");
+            session.generated.push(token);
+
+            // Per-request accounting stays single-sequence so the report is
+            // identical to a lone `Simulation::run` of the same request.
+            // Capped sessions share a handful of cache lengths in steady
+            // state, so the solo cost is memoized per length within a tick.
+            let solo_cycles = *solo_cycles_by_len
+                .entry(l_before)
+                .or_insert_with(|| scheduler.decode_token(l_before).total_cycles);
+            let attention_cycles = decode_attention_cycles(arch, *variant, l_before);
+            session.attention_cycles.push(attention_cycles);
+            session.total_cycles += solo_cycles;
+            let solo_bytes = shape.weight_bytes_per_token() + shape.kv_bytes_per_token(l_before);
+            session.total_energy_mj += energy.token_energy_mj(solo_cycles, solo_bytes);
+
+            // Feed the token through the model; policies observe and evict
+            // down to the session's budget.
+            let out = model.forward_in(&mut session.state, token, session.position);
+            let mut evictions = 0;
+            for (layer, policy) in session.policies.iter_mut().enumerate() {
+                policy.on_append();
+                policy.observe(&out.layer_scores[layer]);
+                while session.state.caches()[layer].len() > session.resident_cap {
+                    let len = session.state.caches()[layer].len();
+                    let Some(slot) = policy.select_victim(len) else {
+                        break;
+                    };
+                    session.state.evict(layer, slot);
+                    policy.on_evict(slot);
+                    evictions += 1;
+                }
+            }
+            session.logits = out.logits;
+            session.position += 1;
+            session.evictions += evictions;
+
+            let finished =
+                session.generated.len() >= session.max_new_tokens || session.stop_tokens.contains(&token);
+            events.push(TokenEvent {
+                session: session.id,
+                token,
+                attention_cycles,
+                evictions,
+                cache_len: session.state.cache_len(),
+                finished,
+            });
+        }
+
+        // Retire finished sessions (frees their KV state and policies). No
+        // user code runs past this point, so draining here is panic-safe.
+        let sessions: Vec<ActiveSession> = self.active.drain(..).collect();
+        for (session, event) in sessions.into_iter().zip(&events) {
+            if event.finished {
+                self.retire(session);
+            } else {
+                self.active.push(session);
+            }
+        }
+
+        self.ticks += 1;
+        self.tokens_emitted += events.len();
+        self.batched_cycles += batch_report.total_cycles;
+        self.batched_energy_mj += batch_energy_mj;
+        self.max_concurrency = self.max_concurrency.max(lens.len());
+
+        EngineTick {
+            batch_size: lens.len(),
+            batch_cycles: batch_report.total_cycles,
+            batch_energy_mj,
+            events,
+        }
+    }
+
+    /// Steps until every active session finishes, then drains all finished
+    /// requests and batching statistics into an [`EngineReport`].
+    pub fn run_to_completion(&mut self) -> EngineReport {
+        while !self.active.is_empty() {
+            self.step();
+        }
+        self.drain_report()
+    }
+
+    /// Drains every finished request and the accumulated batching
+    /// statistics into an [`EngineReport`], resetting the accumulators so
+    /// the engine can serve the next wave of requests from a clean slate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sessions are still active: draining mid-flight would
+    /// split one wave's batched/sequential accounting across two reports.
+    /// Step the engine until [`Engine::active_sessions`] is zero (or use
+    /// [`Engine::run_to_completion`]) first.
+    pub fn drain_report(&mut self) -> EngineReport {
+        assert!(
+            self.active.is_empty(),
+            "drain_report with {} active session(s): finish the wave first",
+            self.active.len()
+        );
+        let requests = std::mem::take(&mut self.finished);
+        let seconds = self.batched_cycles as f64 / (self.arch.clock_ghz * 1e9);
+        let report = EngineReport {
+            ticks: self.ticks,
+            total_tokens: self.tokens_emitted,
+            batched_total_cycles: self.batched_cycles,
+            batched_tokens_per_second: if seconds > 0.0 { self.tokens_emitted as f64 / seconds } else { 0.0 },
+            batched_energy_mj_per_token: if self.tokens_emitted == 0 {
+                0.0
+            } else {
+                self.batched_energy_mj / self.tokens_emitted as f64
+            },
+            sequential_total_cycles: self.sequential_cycles,
+            max_concurrency: self.max_concurrency,
+            requests,
+        };
+        self.ticks = 0;
+        self.tokens_emitted = 0;
+        self.batched_cycles = 0;
+        self.batched_energy_mj = 0.0;
+        self.sequential_cycles = 0;
+        self.max_concurrency = 0;
+        report
+    }
+
+    /// Finalizes a session into its per-request report and frees its KV
+    /// state.
+    fn retire(&mut self, mut session: ActiveSession) {
+        let seconds = session.total_cycles as f64 / (self.arch.clock_ghz * 1e9);
+        let report = SimulationReport {
+            tokens_per_second: if seconds > 0.0 { session.generated.len() as f64 / seconds } else { 0.0 },
+            energy_mj_per_token: if session.generated.is_empty() {
+                0.0
+            } else {
+                session.total_energy_mj / session.generated.len() as f64
+            },
+            generated: std::mem::take(&mut session.generated),
+            attention_cycles_per_token: std::mem::take(&mut session.attention_cycles),
+            total_cycles: session.total_cycles,
+            evictions: session.evictions,
+            final_cache_len: session.state.cache_len(),
+            cache_budget: session.resident_cap,
+        };
+        session.state.clear(); // free the KV memory eagerly
+        self.sequential_cycles += session.total_cycles;
+        self.finished.push(RequestOutcome {
+            session: session.id,
+            policy: session.policy_kind,
+            budget: session.budget,
+            report,
+        });
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("variant", &self.variant)
+            .field("active_sessions", &self.active.len())
+            .field("finished", &self.finished.len())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prompt() -> Vec<usize> {
+        (1..=16).collect()
+    }
+
+    fn engine() -> Engine {
+        EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config")
+    }
+
+    #[test]
+    fn budget_resolution_and_validation() {
+        assert_eq!(Budget::Fixed(8).resolve(100), 8);
+        assert_eq!(Budget::Ratio(0.5).resolve(16), 8);
+        assert_eq!(Budget::Ratio(0.01).resolve(3), 1, "ratio floors at one resident token");
+        assert_eq!(Budget::Unbounded.resolve(5), usize::MAX / 2);
+
+        assert!(Budget::Unbounded.validate().is_ok());
+        assert!(Budget::Fixed(1).validate().is_ok());
+        assert!(Budget::Ratio(1.0).validate().is_ok());
+        assert!(matches!(Budget::Fixed(0).validate(), Err(BuildError::InvalidBudget(_))));
+        assert!(matches!(Budget::Ratio(0.0).validate(), Err(BuildError::InvalidBudget(_))));
+        assert!(matches!(Budget::Ratio(1.5).validate(), Err(BuildError::InvalidBudget(_))));
+        assert!(matches!(Budget::Ratio(-0.5).validate(), Err(BuildError::InvalidBudget(_))));
+        assert!(matches!(Budget::Ratio(f64::NAN).validate(), Err(BuildError::InvalidBudget(_))));
+    }
+
+    #[test]
+    fn budget_parses_from_strings() {
+        assert_eq!("unbounded".parse::<Budget>().unwrap(), Budget::Unbounded);
+        assert_eq!("fixed:12".parse::<Budget>().unwrap(), Budget::Fixed(12));
+        assert_eq!("12".parse::<Budget>().unwrap(), Budget::Fixed(12));
+        assert_eq!("ratio:0.25".parse::<Budget>().unwrap(), Budget::Ratio(0.25));
+        assert_eq!("0.25".parse::<Budget>().unwrap(), Budget::Ratio(0.25));
+        assert!("ratio:2.0".parse::<Budget>().is_err());
+        assert!("0".parse::<Budget>().is_err());
+        assert!("banana".parse::<Budget>().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_model() {
+        let mut bad = ModelConfig::tiny();
+        bad.n_heads = 5;
+        assert!(matches!(EngineBuilder::new().model(bad).build(), Err(BuildError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn submit_rejects_bad_requests() {
+        let mut engine = engine();
+        assert!(matches!(engine.submit(Request::new(vec![], 4)), Err(BuildError::InvalidRequest(_))));
+        assert!(matches!(
+            engine.submit(Request::new(vec![1, 10_000], 4)),
+            Err(BuildError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            engine.submit(Request::new(prompt(), 4).budget(Budget::Fixed(0))),
+            Err(BuildError::InvalidBudget(_))
+        ));
+        assert_eq!(engine.active_sessions(), 0);
+    }
+
+    #[test]
+    fn streaming_emits_one_event_per_session_per_tick() {
+        let mut engine = engine();
+        let a = engine.submit(Request::new(prompt(), 4)).unwrap();
+        let b = engine.submit(Request::new(vec![2, 4, 6, 8], 6).policy(PolicyKind::H2o)).unwrap();
+        assert_eq!(engine.active_sessions(), 2);
+
+        let tick = engine.step();
+        assert_eq!(tick.batch_size, 2);
+        assert_eq!(tick.events.len(), 2);
+        assert_eq!(tick.events[0].session, a);
+        assert_eq!(tick.events[1].session, b);
+        assert!(tick.batch_cycles > 0);
+        assert!(tick.batch_energy_mj > 0.0);
+
+        // Session a finishes after 4 ticks, b after 6.
+        let mut ticks = 1;
+        while engine.active_sessions() > 0 {
+            engine.step();
+            ticks += 1;
+        }
+        assert_eq!(ticks, 6);
+        assert!(engine.is_finished(a) && engine.is_finished(b));
+        assert_eq!(engine.report(a).unwrap().generated.len(), 4);
+        assert_eq!(engine.report(b).unwrap().generated.len(), 6);
+    }
+
+    #[test]
+    fn stop_tokens_end_a_session_early() {
+        let mut engine = engine();
+        // Find what the first generated token will be, then use it as stop.
+        let probe = engine.submit(Request::new(prompt(), 1)).unwrap();
+        engine.step();
+        let first = engine.take_report(probe).unwrap().generated[0];
+
+        let s = engine.submit(Request::new(prompt(), 64).stop_tokens(vec![first])).unwrap();
+        engine.step();
+        assert!(engine.is_finished(s), "stop token must end the session");
+        let report = engine.take_report(s).unwrap();
+        assert_eq!(report.generated, vec![first], "stop token is kept in the output");
+    }
+
+    #[test]
+    fn finished_sessions_free_their_kv_state() {
+        let mut engine = engine();
+        let s = engine.submit(Request::new(prompt(), 2)).unwrap();
+        engine.step();
+        engine.step();
+        assert_eq!(engine.active_sessions(), 0);
+        assert!(engine.is_finished(s));
+        // The engine's accumulators survive; the report drains them.
+        let report = engine.drain_report();
+        assert_eq!(report.requests.len(), 1);
+        assert_eq!(report.ticks, 2);
+        assert_eq!(report.total_tokens, 2);
+        // Drained: a second drain is empty.
+        let empty = engine.drain_report();
+        assert!(empty.requests.is_empty());
+        assert_eq!(empty.ticks, 0);
+    }
+
+    #[test]
+    fn zero_token_request_finishes_at_submit() {
+        let mut engine = engine();
+        let s = engine.submit(Request::new(prompt(), 0)).unwrap();
+        assert!(engine.is_finished(s));
+        let report = engine.take_report(s).unwrap();
+        assert!(report.generated.is_empty());
+        assert_eq!(report.total_cycles, 0);
+        assert_eq!(report.tokens_per_second, 0.0);
+        assert_eq!(report.final_cache_len, prompt().len());
+    }
+
+    #[test]
+    fn batched_tick_is_cheaper_than_solo_ticks() {
+        let mut engine = engine();
+        for _ in 0..4 {
+            engine.submit(Request::new(prompt(), 8)).unwrap();
+        }
+        let report = engine.run_to_completion();
+        assert_eq!(report.requests.len(), 4);
+        assert_eq!(report.max_concurrency, 4);
+        assert!(report.batching_speedup() > 1.0, "speedup {}", report.batching_speedup());
+        assert!(report.batched_tokens_per_second > 0.0);
+        assert!(report.batched_energy_mj_per_token > 0.0);
+        assert_eq!(report.total_tokens, 32);
+        assert_eq!(report.ticks, 8);
+    }
+
+    #[test]
+    fn taking_a_report_midway_keeps_aggregates_consistent() {
+        // `sequential_total_cycles` must cover every session the batched
+        // accumulators cover, even when its report was taken before the
+        // drain (the streaming pattern Simulation::run uses).
+        let run = |take_midway: bool| {
+            let mut engine = engine();
+            let short = engine.submit(Request::new(prompt(), 2)).unwrap();
+            engine.submit(Request::new(prompt(), 6)).unwrap();
+            engine.step();
+            engine.step();
+            if take_midway {
+                engine.take_report(short).unwrap();
+            }
+            engine.run_to_completion()
+        };
+        let full = run(false);
+        let taken = run(true);
+        assert_eq!(taken.sequential_total_cycles, full.sequential_total_cycles);
+        assert_eq!(taken.batched_total_cycles, full.batched_total_cycles);
+        assert_eq!(taken.requests.len(), 1, "taken report is no longer listed");
+    }
+
+    #[test]
+    #[should_panic(expected = "active session")]
+    fn draining_mid_flight_panics() {
+        let mut engine = engine();
+        engine.submit(Request::new(prompt(), 10)).unwrap();
+        engine.step();
+        engine.drain_report();
+    }
+
+    #[test]
+    fn report_display_lists_requests() {
+        let mut engine = engine();
+        engine.submit(Request::new(prompt(), 3).policy(PolicyKind::SlidingWindow)).unwrap();
+        let report = engine.run_to_completion();
+        let text = report.to_string();
+        assert!(text.contains("sliding_window"), "{text}");
+        assert!(text.contains("batching speedup"), "{text}");
+    }
+}

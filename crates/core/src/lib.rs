@@ -6,18 +6,71 @@
 //!
 //! This crate is the public face of the workspace. It couples:
 //!
-//! * the functional transformer substrate ([`veda_model`]),
+//! * the functional transformer substrate ([`veda_model`]) — one set of
+//!   weights shared by every concurrent sequence,
 //! * the eviction policies ([`veda_eviction`]), driven layer-wise exactly
-//!   as the hardware voting engine drives them,
-//! * the cycle-accurate accelerator model ([`veda_accel`]),
+//!   as the hardware voting engine drives them, one policy stack per
+//!   session,
+//! * the cycle-accurate accelerator model ([`veda_accel`]), including the
+//!   batched-tick decode costing,
 //! * the memory substrates ([`veda_mem`]) and cost models ([`veda_cost`]).
 //!
-//! The central type is [`Simulation`]: configure a model, an architecture,
-//! a dataflow variant and an eviction policy, then [`Simulation::run`] a
-//! prompt + generation and receive a [`SimulationReport`] with the
-//! generated tokens, per-token attention cycles, throughput and energy.
+//! The central type is the serving [`Engine`]: a long-lived object that
+//! owns the substrate once and serves many concurrent requests. Submit
+//! [`Request`]s — each with its own prompt, token limit, stop tokens,
+//! [`veda_eviction::PolicyKind`] and [`Budget`] — and drive decode
+//! incrementally with [`Engine::step`]: every step is one *batched decode
+//! tick* in which all active [`Session`]s advance by one token, linear
+//! layer weights stream from HBM once for the whole batch, and a
+//! [`TokenEvent`] per session lets callers stream output as it is
+//! produced. Finished sessions free their KV state and yield a
+//! per-request [`SimulationReport`]; [`Engine::run_to_completion`] (or
+//! [`Engine::drain_report`]) additionally aggregates batched
+//! throughput/energy into an [`EngineReport`].
 //!
-//! ## Quickstart
+//! ## Quickstart: the serving engine
+//!
+//! ```
+//! use veda::{Budget, EngineBuilder, Request};
+//! use veda_eviction::PolicyKind;
+//!
+//! let mut engine = EngineBuilder::new()
+//!     .model(veda_model::ModelConfig::tiny())
+//!     .build()?;
+//!
+//! // Two concurrent requests with different policies and budgets.
+//! let a = engine.submit(
+//!     Request::new(vec![1, 5, 9, 2, 7, 3, 8, 4], 8)
+//!         .policy(PolicyKind::Voting)
+//!         .budget(Budget::Ratio(0.5)),
+//! )?;
+//! let b = engine.submit(
+//!     Request::new(vec![2, 4, 6, 8, 10, 12], 6)
+//!         .policy(PolicyKind::H2o)
+//!         .budget(Budget::Fixed(4)),
+//! )?;
+//!
+//! // Stream: each step advances every active session by one token.
+//! let tick = engine.step();
+//! assert_eq!(tick.batch_size, 2);
+//! for event in &tick.events {
+//!     // event.session, event.token, event.attention_cycles, ...
+//! }
+//!
+//! let report = engine.run_to_completion();
+//! assert_eq!(report.requests.len(), 2);
+//! assert!(report.batched_tokens_per_second > 0.0);
+//! assert!(engine.take_report(a).is_none(), "drained into the report");
+//! # let _ = b;
+//! # Ok::<(), veda::BuildError>(())
+//! ```
+//!
+//! ## Legacy one-shot API
+//!
+//! The pre-engine entry point survives as a thin shim over a
+//! single-session engine: configure a [`Simulation`], then
+//! [`Simulation::run`] a prompt + generation and receive the same
+//! [`SimulationReport`] the engine produces per request.
 //!
 //! ```
 //! use veda::{Simulation, SimulationBuilder};
@@ -34,9 +87,15 @@
 //! # Ok::<(), veda::BuildError>(())
 //! ```
 
+pub mod engine;
+pub mod error;
 pub mod simulator;
 
-pub use simulator::{BuildError, Simulation, SimulationBuilder, SimulationReport};
+pub use engine::{
+    Budget, Engine, EngineBuilder, EngineReport, EngineTick, Request, RequestOutcome, Session, TokenEvent,
+};
+pub use error::BuildError;
+pub use simulator::{Simulation, SimulationBuilder, SimulationReport};
 
 // Re-export the workspace crates under one roof for downstream users.
 pub use veda_accel as accel;

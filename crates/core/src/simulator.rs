@@ -1,25 +1,20 @@
-//! The end-to-end simulation: functional transformer + layer-wise eviction
-//! + accelerator timing + energy.
+//! Legacy one-shot simulation API, now a thin compatibility shim over a
+//! single-session [`crate::Engine`].
+//!
+//! [`Simulation::run`] submits the prompt as one [`crate::Request`] to a
+//! persistent engine, steps it to completion and returns the per-request
+//! report — token-for-token and cycle-for-cycle identical to what the
+//! pre-engine implementation produced (the integration tests pin this
+//! down). New code should use [`crate::Engine`] directly; it serves many
+//! concurrent requests against one set of weights.
 
 use veda_accel::arch::{ArchConfig, DataflowVariant};
-use veda_accel::attention::decode_attention_cycles;
-use veda_accel::schedule::{DecodeScheduler, LlamaShape};
-use veda_cost::EnergyModel;
-use veda_eviction::{EvictionPolicy, PolicyKind};
+use veda_eviction::PolicyKind;
 use veda_mem::HbmConfig;
-use veda_model::{ModelConfig, TransformerModel};
+use veda_model::ModelConfig;
 
-/// Error building a [`Simulation`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BuildError(String);
-
-impl std::fmt::Display for BuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid simulation configuration: {}", self.0)
-    }
-}
-
-impl std::error::Error for BuildError {}
+use crate::engine::{Budget, Engine, EngineBuilder, Request};
+use crate::error::BuildError;
 
 /// Builder for [`Simulation`].
 ///
@@ -31,8 +26,7 @@ pub struct SimulationBuilder {
     model: ModelConfig,
     variant: DataflowVariant,
     policy: PolicyKind,
-    compression_ratio: Option<f64>,
-    fixed_budget: Option<usize>,
+    budget: Budget,
     hbm: HbmConfig,
 }
 
@@ -49,8 +43,7 @@ impl SimulationBuilder {
             model: ModelConfig::tiny(),
             variant: DataflowVariant::FlexibleElementSerial,
             policy: PolicyKind::Voting,
-            compression_ratio: Some(0.5),
-            fixed_budget: None,
+            budget: Budget::Ratio(0.5),
             hbm: HbmConfig::default(),
         }
     }
@@ -73,20 +66,23 @@ impl SimulationBuilder {
         self
     }
 
-    /// Sets the compression ratio `r` (budget = `round(r × prompt_len)`,
-    /// the paper's Fig. 3 configuration). Clears any fixed budget.
-    pub fn compression_ratio(mut self, r: f64) -> Self {
-        self.compression_ratio = Some(r);
-        self.fixed_budget = None;
+    /// Sets the cache budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
+    /// Sets the compression ratio `r` (budget = `round(r × prompt_len)`,
+    /// the paper's Fig. 3 configuration). Equivalent to
+    /// `budget(Budget::Ratio(r))`.
+    pub fn compression_ratio(self, r: f64) -> Self {
+        self.budget(Budget::Ratio(r))
+    }
+
     /// Sets a fixed cache budget (the language-modeling configuration).
-    /// Clears any compression ratio.
-    pub fn fixed_budget(mut self, budget: usize) -> Self {
-        self.fixed_budget = Some(budget);
-        self.compression_ratio = None;
-        self
+    /// Equivalent to `budget(Budget::Fixed(budget))`.
+    pub fn fixed_budget(self, budget: usize) -> Self {
+        self.budget(Budget::Fixed(budget))
     }
 
     /// Sets the HBM configuration.
@@ -102,45 +98,9 @@ impl SimulationBuilder {
     /// Returns [`BuildError`] when the model is invalid or the budget
     /// configuration is unusable.
     pub fn build(self) -> Result<Simulation, BuildError> {
-        self.model.validate().map_err(BuildError)?;
-        if let Some(r) = self.compression_ratio {
-            if !(0.0..=1.0).contains(&r) || r == 0.0 {
-                return Err(BuildError(format!("compression ratio {r} outside (0, 1]")));
-            }
-        }
-        if self.fixed_budget == Some(0) {
-            return Err(BuildError("fixed budget must be positive".into()));
-        }
-
-        // Architecture shaped to the model's attention geometry; everything
-        // else stays at VEDA defaults.
-        let mut arch = ArchConfig::veda();
-        arch.head_dim = self.model.head_dim();
-        arch.n_heads = self.model.n_heads;
-        arch.validate().map_err(BuildError)?;
-
-        let shape = LlamaShape {
-            d_model: self.model.d_model,
-            n_heads: self.model.n_heads,
-            ffn_hidden: self.model.ffn_hidden,
-            n_layers: self.model.n_layers,
-            vocab_size: self.model.vocab_size,
-        };
-        let scheduler = DecodeScheduler::new(arch.clone(), shape, self.hbm, self.variant);
-        let energy = EnergyModel::for_arch(&arch);
-        let policies = (0..self.model.n_layers).map(|_| self.policy.build()).collect();
-
-        Ok(Simulation {
-            model: TransformerModel::new(self.model),
-            arch,
-            variant: self.variant,
-            policy_kind: self.policy,
-            policies,
-            compression_ratio: self.compression_ratio,
-            fixed_budget: self.fixed_budget,
-            scheduler,
-            energy,
-        })
+        self.budget.validate()?;
+        let engine = EngineBuilder::new().model(self.model).variant(self.variant).hbm(self.hbm).build()?;
+        Ok(Simulation { engine, policy: self.policy, budget: self.budget })
     }
 }
 
@@ -165,136 +125,64 @@ pub struct SimulationReport {
     pub cache_budget: usize,
 }
 
-/// An end-to-end VEDA simulation (see [`crate`] docs).
+/// An end-to-end VEDA simulation (see [`crate`] docs): one-shot runs over
+/// a single-session [`Engine`].
 pub struct Simulation {
-    model: TransformerModel,
-    arch: ArchConfig,
-    variant: DataflowVariant,
-    policy_kind: PolicyKind,
-    policies: Vec<Box<dyn EvictionPolicy>>,
-    compression_ratio: Option<f64>,
-    fixed_budget: Option<usize>,
-    scheduler: DecodeScheduler,
-    energy: EnergyModel,
+    engine: Engine,
+    policy: PolicyKind,
+    budget: Budget,
 }
 
 impl Simulation {
     /// The configured architecture.
     pub fn arch(&self) -> &ArchConfig {
-        &self.arch
+        self.engine.arch()
     }
 
     /// The configured policy kind.
     pub fn policy_kind(&self) -> PolicyKind {
-        self.policy_kind
+        self.policy
     }
 
     /// The dataflow variant.
     pub fn variant(&self) -> DataflowVariant {
-        self.variant
+        self.engine.variant()
     }
 
-    fn resolve_budget(&self, prompt_len: usize) -> usize {
-        match (self.fixed_budget, self.compression_ratio) {
-            (Some(b), _) => b,
-            (None, Some(r)) => ((prompt_len as f64 * r).round() as usize).max(1),
-            (None, None) => usize::MAX / 2,
-        }
-    }
-
-    /// Feeds one token through the model and the per-layer policies,
-    /// evicting down to `budget` when allowed.
-    fn step(&mut self, token: usize, position: usize, budget: usize, evict: bool) -> (Vec<f32>, usize) {
-        let out = self.model.forward_token(token, position);
-        let mut evictions = 0;
-        for (layer, policy) in self.policies.iter_mut().enumerate() {
-            policy.on_append();
-            policy.observe(&out.layer_scores[layer]);
-            if evict {
-                while self.model.caches()[layer].len() > budget {
-                    let len = self.model.caches()[layer].len();
-                    let Some(slot) = policy.select_victim(len) else {
-                        break;
-                    };
-                    self.model.evict(layer, slot);
-                    policy.on_evict(slot);
-                    evictions += 1;
-                }
-            }
-        }
-        (out.logits, evictions)
+    /// The configured cache budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
     }
 
     /// Runs prefill on `prompt` then generates `gen_len` tokens greedily,
-    /// returning the full report. Resets all state first, so a simulation
-    /// can be reused across runs.
+    /// returning the full report. Each run is an independent session, so a
+    /// simulation can be reused across runs; the model weights are built
+    /// once and shared.
     ///
     /// # Panics
     ///
     /// Panics if the prompt is empty or contains out-of-vocabulary tokens.
     pub fn run(&mut self, prompt: &[usize], gen_len: usize) -> SimulationReport {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
-        self.model.reset();
-        for p in &mut self.policies {
-            p.reset();
+        let request = Request::new(prompt.to_vec(), gen_len).policy(self.policy).budget(self.budget);
+        let session = self.engine.submit(request).expect("valid request");
+        while self.engine.is_active(session) {
+            self.engine.step();
         }
-        let budget = self.resolve_budget(prompt.len());
-        let mut evictions = 0;
-
-        // Prefill: voting observes, but no eviction (Fig. 3's reserved +
-        // voting stages).
-        let mut logits = Vec::new();
-        for (pos, &tok) in prompt.iter().enumerate() {
-            let (l, _) = self.step(tok, pos, budget, false);
-            logits = l;
-        }
-
-        // Generation: evict whenever the cache exceeds the budget; the
-        // first steps burst-evict down from the prompt length, after which
-        // the cache holds constant at the budget (Section VI).
-        let mut generated = Vec::with_capacity(gen_len);
-        let mut attention_cycles = Vec::with_capacity(gen_len);
-        let mut total_cycles = 0u64;
-        let mut total_energy_mj = 0.0;
-        let mut position = prompt.len();
-        for _ in 0..gen_len {
-            let next = veda_tensor::stats::argmax(&logits).expect("non-empty logits");
-            generated.push(next);
-
-            let l_before = self.model.cache_len().min(budget.max(1)).max(1);
-            let report = self.scheduler.decode_token(l_before);
-            attention_cycles.push(decode_attention_cycles(&self.arch, self.variant, l_before));
-            total_cycles += report.total_cycles;
-            let shape = self.scheduler.shape();
-            let bytes = shape.weight_bytes_per_token() + shape.kv_bytes_per_token(l_before);
-            total_energy_mj += self.energy.token_energy_mj(report.total_cycles, bytes);
-
-            let (l, e) = self.step(next, position, budget, true);
-            logits = l;
-            evictions += e;
-            position += 1;
-        }
-
-        let seconds = total_cycles as f64 / (self.arch.clock_ghz * 1e9);
-        SimulationReport {
-            tokens_per_second: if seconds > 0.0 { generated.len() as f64 / seconds } else { 0.0 },
-            energy_mj_per_token: if generated.is_empty() { 0.0 } else { total_energy_mj / generated.len() as f64 },
-            generated,
-            attention_cycles_per_token: attention_cycles,
-            total_cycles,
-            evictions,
-            final_cache_len: self.model.cache_len(),
-            cache_budget: budget,
-        }
+        // Keep the engine's cross-run aggregates from growing unboundedly:
+        // a one-shot run has no use for them.
+        let report = self.engine.take_report(session).expect("finished session has a report");
+        self.engine.drain_report();
+        report
     }
 }
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("variant", &self.variant)
-            .field("policy", &self.policy_kind)
-            .field("arch_macs", &self.arch.macs())
+            .field("variant", &self.engine.variant())
+            .field("policy", &self.policy)
+            .field("arch_macs", &self.engine.arch().macs())
             .finish()
     }
 }
@@ -350,6 +238,19 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_budget_never_evicts_either() {
+        let mut sim = SimulationBuilder::new()
+            .model(ModelConfig::tiny())
+            .policy(PolicyKind::Voting)
+            .budget(Budget::Unbounded)
+            .build()
+            .unwrap();
+        let r = sim.run(&prompt(), 4);
+        assert_eq!(r.evictions, 0);
+        assert_eq!(r.final_cache_len, 20);
+    }
+
+    #[test]
     fn eviction_speeds_up_attention() {
         let long_prompt: Vec<usize> = (0..64).map(|i| (i * 7) % 60 + 1).collect();
         let mut full = SimulationBuilder::new()
@@ -390,6 +291,17 @@ mod tests {
         let mut bad = ModelConfig::tiny();
         bad.n_heads = 5;
         assert!(SimulationBuilder::new().model(bad).build().is_err());
+    }
+
+    #[test]
+    fn builder_errors_are_structured() {
+        assert!(matches!(
+            SimulationBuilder::new().compression_ratio(0.0).build(),
+            Err(BuildError::InvalidBudget(_))
+        ));
+        let mut bad = ModelConfig::tiny();
+        bad.n_heads = 5;
+        assert!(matches!(SimulationBuilder::new().model(bad).build(), Err(BuildError::InvalidModel(_))));
     }
 
     #[test]

@@ -29,7 +29,13 @@ impl GpuModel {
     /// NVIDIA GeForce RTX 4090 (public specifications), with a measured
     /// single-batch decode efficiency of 0.7.
     pub fn rtx4090() -> Self {
-        Self { name: "RTX 4090", bandwidth_gb_s: 1008.0, fp16_tflops: 82.58, power_w: 450.0, decode_efficiency: 0.7 }
+        Self {
+            name: "RTX 4090",
+            bandwidth_gb_s: 1008.0,
+            fp16_tflops: 82.58,
+            power_w: 450.0,
+            decode_efficiency: 0.7,
+        }
     }
 
     /// Decode throughput in tokens/s for a model streaming

@@ -66,10 +66,7 @@ pub fn table1(arch: &ArchConfig) -> Table1 {
     let rows = vec![
         Table1Row {
             module: "PE Array",
-            parameters: format!(
-                "{}*{}*{} Reconfigurable PEs",
-                arch.pe_rows, arch.pe_cols, arch.pe_lanes
-            ),
+            parameters: format!("{}*{}*{} Reconfigurable PEs", arch.pe_rows, arch.pe_cols, arch.pe_lanes),
             cost: unit.pe_array(arch),
         },
         Table1Row {
@@ -130,7 +127,8 @@ mod tests {
     #[test]
     fn render_contains_all_modules() {
         let s = table1(&ArchConfig::veda()).render();
-        for m in ["PE Array", "Voting Engine", "Special Function Unit", "Schedule", "On-chip Buffer", "Total"] {
+        for m in ["PE Array", "Voting Engine", "Special Function Unit", "Schedule", "On-chip Buffer", "Total"]
+        {
             assert!(s.contains(m), "missing {m} in:\n{s}");
         }
     }

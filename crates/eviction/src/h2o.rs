@@ -150,7 +150,7 @@ mod tests {
         }
         p.on_append(); // fresh recent token
         p.observe(&[vec![0.2, 0.8]]); // recent token gets 0.8 once
-        // Old token: 10*0.1 + 0.2 = 1.2 > recent 0.8 => recent evicted.
+                                      // Old token: 10*0.1 + 0.2 = 1.2 > recent 0.8 => recent evicted.
         assert_eq!(p.select_victim(2), Some(1));
     }
 

@@ -50,7 +50,7 @@ pub use decayed::DecayedScorePolicy;
 pub use full::FullCachePolicy;
 pub use h2o::H2oPolicy;
 pub use manager::{CacheSimulator, SimulatedStep};
-pub use policy::{EvictionPolicy, PolicyKind};
+pub use policy::{EvictionPolicy, ParsePolicyKindError, PolicyKind};
 pub use random::RandomPolicy;
 pub use sliding::SlidingWindowPolicy;
 pub use stats::EvictionStats;

@@ -147,6 +147,44 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// Error parsing a [`PolicyKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyKindError(String);
+
+impl std::fmt::Display for ParsePolicyKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown eviction policy {:?} (expected one of: {})",
+            self.0,
+            PolicyKind::ALL.map(PolicyKind::as_str).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyKindError {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = ParsePolicyKindError;
+
+    /// Parses a policy from its stable identifier ([`PolicyKind::as_str`])
+    /// or common CLI aliases; matching is case-insensitive and ignores
+    /// `-`/`_` differences.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String =
+            s.trim().to_ascii_lowercase().chars().filter(|c| !matches!(c, '-' | '_')).collect();
+        match normalized.as_str() {
+            "full" | "oracle" => Ok(PolicyKind::Full),
+            "slidingwindow" | "sliding" | "slide" | "streamingllm" => Ok(PolicyKind::SlidingWindow),
+            "h2o" => Ok(PolicyKind::H2o),
+            "voting" | "vote" | "veda" => Ok(PolicyKind::Voting),
+            "decayedscore" | "decayed" | "decay" => Ok(PolicyKind::DecayedScore),
+            "random" => Ok(PolicyKind::Random),
+            _ => Err(ParsePolicyKindError(s.to_string())),
+        }
+    }
+}
+
 /// Averages per-head scores into a single layer-wise score vector, the
 /// aggregation VEDA's voting engine performs ("all heads are aggregated and
 /// averaged", Section V).
@@ -209,5 +247,23 @@ mod tests {
     fn display_matches_as_str() {
         assert_eq!(PolicyKind::Voting.to_string(), "voting");
         assert_eq!(PolicyKind::H2o.to_string(), "h2o");
+    }
+
+    #[test]
+    fn from_str_round_trips_every_kind() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.as_str().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(kind.to_string().parse::<PolicyKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_aliases_and_rejects_unknown() {
+        assert_eq!("VEDA".parse::<PolicyKind>().unwrap(), PolicyKind::Voting);
+        assert_eq!("sliding-window".parse::<PolicyKind>().unwrap(), PolicyKind::SlidingWindow);
+        assert_eq!("Decayed".parse::<PolicyKind>().unwrap(), PolicyKind::DecayedScore);
+        let err = "lru".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("lru"), "{err}");
+        assert!(err.to_string().contains("voting"), "{err}");
     }
 }

@@ -84,12 +84,8 @@ pub fn votes_for(scores: &[f32], threshold: f32) -> Vec<usize> {
         return Vec::new();
     }
     if threshold > 0.0 {
-        let below: Vec<usize> = scores
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s < threshold)
-            .map(|(j, _)| j)
-            .collect();
+        let below: Vec<usize> =
+            scores.iter().enumerate().filter(|(_, &s)| s < threshold).map(|(j, _)| j).collect();
         if !below.is_empty() {
             return below;
         }
@@ -357,7 +353,11 @@ mod tests {
 
     #[test]
     fn layerwise_aggregation_option_still_votes() {
-        let mut p = VotingPolicy::new(VotingConfig { per_head_votes: false, reserved_len: 0, ..VotingConfig::default() });
+        let mut p = VotingPolicy::new(VotingConfig {
+            per_head_votes: false,
+            reserved_len: 0,
+            ..VotingConfig::default()
+        });
         for _ in 0..3 {
             p.on_append();
         }

@@ -47,7 +47,12 @@ impl<T> Fifo<T> {
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "fifo depth must be positive");
-        Self { depth, items: std::collections::VecDeque::with_capacity(depth), high_water: 0, total_pushed: 0 }
+        Self {
+            depth,
+            items: std::collections::VecDeque::with_capacity(depth),
+            high_water: 0,
+            total_pushed: 0,
+        }
     }
 
     /// Configured depth.

@@ -118,8 +118,8 @@ impl HbmModel {
             return 0;
         }
         let fetched = self.fetched_bytes_for(bytes, pattern);
-        let data_cycles =
-            (fetched as f64 / (self.config.bytes_per_cycle * self.config.sequential_efficiency)).ceil() as u64;
+        let data_cycles = (fetched as f64 / (self.config.bytes_per_cycle * self.config.sequential_efficiency))
+            .ceil() as u64;
         let rows = self.rows_opened(bytes, pattern);
         let row_cycles = (rows * self.config.row_activate_cycles).div_ceil(self.config.banks.max(1));
         data_cycles + row_cycles
@@ -131,9 +131,7 @@ impl HbmModel {
             return 0;
         }
         match pattern {
-            AccessPattern::Sequential => {
-                (bytes as u64).div_ceil(self.config.row_bytes as u64)
-            }
+            AccessPattern::Sequential => (bytes as u64).div_ceil(self.config.row_bytes as u64),
             AccessPattern::Strided { stride_bytes, elem_bytes } => {
                 let elements = (bytes as u64).div_ceil(elem_bytes.max(1) as u64);
                 if stride_bytes <= self.config.row_bytes {

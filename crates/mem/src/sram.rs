@@ -81,7 +81,11 @@ impl Sram {
     /// Returns [`CapacityError`] when the reservation does not fit.
     pub fn reserve(&mut self, label: &str, bytes: usize) -> Result<(), CapacityError> {
         if bytes > self.free_bytes() {
-            return Err(CapacityError { label: label.to_owned(), requested: bytes, available: self.free_bytes() });
+            return Err(CapacityError {
+                label: label.to_owned(),
+                requested: bytes,
+                available: self.free_bytes(),
+            });
         }
         self.allocations.push((label.to_owned(), bytes));
         Ok(())

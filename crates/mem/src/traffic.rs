@@ -15,12 +15,8 @@ pub enum TrafficClass {
 
 impl TrafficClass {
     /// All classes, in presentation order.
-    pub const ALL: [TrafficClass; 4] = [
-        TrafficClass::Weight,
-        TrafficClass::KvCache,
-        TrafficClass::Activation,
-        TrafficClass::VoteCount,
-    ];
+    pub const ALL: [TrafficClass; 4] =
+        [TrafficClass::Weight, TrafficClass::KvCache, TrafficClass::Activation, TrafficClass::VoteCount];
 
     /// Stable label.
     pub fn as_str(self) -> &'static str {

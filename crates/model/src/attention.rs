@@ -62,9 +62,8 @@ pub fn attend(
         let span = h * dh..(h + 1) * dh;
         let qh = &q[span.clone()];
         // q × Kᵀ: inner product over the (l, d) key rows — l is temporal.
-        let mut s: Vec<f32> = (0..l)
-            .map(|row| dot(qh, &cache.keys().row(row)[span.clone()]) * scale)
-            .collect();
+        let mut s: Vec<f32> =
+            (0..l).map(|row| dot(qh, &cache.keys().row(row)[span.clone()]) * scale).collect();
         s = softmax(&s);
         // s' × V: outer product over the (l, d) value rows — l is temporal.
         let out = {

@@ -160,7 +160,9 @@ impl Corpus {
     pub fn attribute(&self, topic: usize, entity_index: usize) -> usize {
         let (start, len) = self.topic_slice(topic);
         let usable = len - self.config.entities_per_topic.min(len);
-        start + (entity_index.wrapping_mul(0x9E3779B9).wrapping_add(topic.wrapping_mul(0x85EBCA6B)) % usable.max(1))
+        start
+            + (entity_index.wrapping_mul(0x9E3779B9).wrapping_add(topic.wrapping_mul(0x85EBCA6B))
+                % usable.max(1))
     }
 
     /// The configuration.
@@ -209,10 +211,10 @@ impl Corpus {
         }
         // Per-slice Zipf weights are shared across topics; entity ranks
         // (the tail of each slice) are never drawn.
-        let usable = Self::slice_len(&self.config) - self.config.entities_per_topic.min(Self::slice_len(&self.config));
-        let slice_weights: Vec<f32> = (0..usable)
-            .map(|i| (1.0 / ((i + 1) as f64).powf(self.config.zipf_exponent)) as f32)
-            .collect();
+        let usable =
+            Self::slice_len(&self.config) - self.config.entities_per_topic.min(Self::slice_len(&self.config));
+        let slice_weights: Vec<f32> =
+            (0..usable).map(|i| (1.0 / ((i + 1) as f64).powf(self.config.zipf_exponent)) as f32).collect();
         out.push(0); // BOS
         let mut copy: Option<(usize, usize)> = None; // (source cursor, remaining)
         let mut forced: Option<usize> = None; // pending attribute after a query
@@ -261,7 +263,9 @@ impl Corpus {
                 out.push(self.entity(topic, i));
                 continue;
             }
-            if u < self.config.query_prob + self.config.copy_start_prob && in_topic > self.config.copy_len.0 + 2 {
+            if u < self.config.query_prob + self.config.copy_start_prob
+                && in_topic > self.config.copy_len.0 + 2
+            {
                 // Start copying an earlier segment of this topic. Sources
                 // are skewed toward the topic opening (documents introduce
                 // entities early and reference them throughout), so useful
@@ -366,11 +370,7 @@ mod tests {
     fn bigram_chain_is_followed_often() {
         let c = Corpus::new(CorpusConfig::default());
         let s = c.sample(2, 4096);
-        let follows = s
-            .windows(2)
-            .enumerate()
-            .filter(|(i, w)| c.successor_at(w[0], i + 1) == w[1])
-            .count();
+        let follows = s.windows(2).enumerate().filter(|(i, w)| c.successor_at(w[0], i + 1) == w[1]).count();
         let frac = follows as f64 / (s.len() - 1) as f64;
         // Intros, queries and copies dilute the raw bigram share; the chain
         // must still be a visible fraction of transitions.

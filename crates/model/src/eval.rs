@@ -118,7 +118,8 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let corpus = fast_corpus();
-        let r = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::Voting, 64, 2, 256);
+        let r =
+            evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::Voting, 64, 2, 256);
         assert_eq!(r.tokens, 2 * 255);
         assert!((r.perplexity - r.mean_nll.exp()).abs() < 1e-9);
         assert!(r.perplexity > 1.0);
@@ -127,9 +128,28 @@ mod tests {
     #[test]
     fn bigger_cache_is_no_worse() {
         let corpus = fast_corpus();
-        let small = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::SlidingWindow, 24, 2, 384);
-        let large = evaluate_policy_perplexity(&corpus, &InductionConfig::default(), PolicyKind::SlidingWindow, 192, 2, 384);
-        assert!(large.perplexity <= small.perplexity + 0.2, "large {} small {}", large.perplexity, small.perplexity);
+        let small = evaluate_policy_perplexity(
+            &corpus,
+            &InductionConfig::default(),
+            PolicyKind::SlidingWindow,
+            24,
+            2,
+            384,
+        );
+        let large = evaluate_policy_perplexity(
+            &corpus,
+            &InductionConfig::default(),
+            PolicyKind::SlidingWindow,
+            192,
+            2,
+            384,
+        );
+        assert!(
+            large.perplexity <= small.perplexity + 0.2,
+            "large {} small {}",
+            large.perplexity,
+            small.perplexity
+        );
     }
 
     #[test]

@@ -79,9 +79,30 @@ impl Default for InductionConfig {
     fn default() -> Self {
         Self {
             heads: vec![
-                HeadParams { match_gain: 6.0, recency_tau: 1.0e9, sink_gain: 0.5, salience_gain: 2.5, topic_gain: 2.5, predict_weight: 0.55 },
-                HeadParams { match_gain: 1.5, recency_tau: 32.0, sink_gain: 1.0, salience_gain: 0.5, topic_gain: 0.5, predict_weight: 0.35 },
-                HeadParams { match_gain: 2.0, recency_tau: 256.0, sink_gain: 3.0, salience_gain: 3.0, topic_gain: 2.0, predict_weight: 0.10 },
+                HeadParams {
+                    match_gain: 6.0,
+                    recency_tau: 1.0e9,
+                    sink_gain: 0.5,
+                    salience_gain: 2.5,
+                    topic_gain: 2.5,
+                    predict_weight: 0.55,
+                },
+                HeadParams {
+                    match_gain: 1.5,
+                    recency_tau: 32.0,
+                    sink_gain: 1.0,
+                    salience_gain: 0.5,
+                    topic_gain: 0.5,
+                    predict_weight: 0.35,
+                },
+                HeadParams {
+                    match_gain: 2.0,
+                    recency_tau: 256.0,
+                    sink_gain: 3.0,
+                    salience_gain: 3.0,
+                    topic_gain: 2.0,
+                    predict_weight: 0.10,
+                },
             ],
             recency_cap: 6.0,
             score_noise: 0.2,
@@ -321,7 +342,8 @@ impl InductionLm {
         corpus: &Corpus,
     ) -> (SampleEval, Vec<usize>) {
         policy.reset();
-        let mut rng = veda_tensor::rng::seeded(self.config.noise_seed ^ (tokens.len() as u64).wrapping_mul(0x9E37));
+        let mut rng =
+            veda_tensor::rng::seeded(self.config.noise_seed ^ (tokens.len() as u64).wrapping_mul(0x9E37));
         let mut entries: Vec<Entry> = Vec::new();
         let mut eval = SampleEval { total_nll: 0.0, tokens: 0, evictions: 0 };
         // Pending prediction distribution context from the previous step.

@@ -43,4 +43,4 @@ pub use induction::{InductionConfig, InductionLm};
 pub use kvcache::LayerKvCache;
 pub use sampling::Sampler;
 pub use trace::{AttentionTrace, SyntheticTraceConfig};
-pub use transformer::TransformerModel;
+pub use transformer::{SequenceState, StepOutput, TransformerModel};

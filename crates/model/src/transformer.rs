@@ -19,38 +19,26 @@ pub struct StepOutput {
     pub layer_scores: Vec<Vec<Vec<f32>>>,
 }
 
-/// A runnable decoder-only transformer with synthetic structured weights.
+/// Per-sequence decoding state: the per-layer KV caches of one sequence.
 ///
-/// ```
-/// use veda_model::{ModelConfig, TransformerModel};
-/// let mut m = TransformerModel::new(ModelConfig::tiny());
-/// let out = m.forward_token(1, 0);
-/// assert_eq!(out.logits.len(), m.config().vocab_size);
-/// ```
-#[derive(Debug, Clone)]
-pub struct TransformerModel {
-    config: ModelConfig,
-    weights: ModelWeights,
+/// Weights live in [`TransformerModel`] and are shared; each concurrent
+/// sequence (a serving-engine session) owns exactly one `SequenceState`,
+/// which is cheap to create and to free. [`TransformerModel::forward_in`]
+/// advances a sequence against the shared weights.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceState {
     caches: Vec<LayerKvCache>,
-    eps: f32,
 }
 
-impl TransformerModel {
-    /// Builds a model with synthetic structured weights for `config`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
-    pub fn new(config: ModelConfig) -> Self {
-        config.validate().expect("valid model config");
-        let weights = ModelWeights::synthetic(&config);
-        let caches = (0..config.n_layers).map(|_| LayerKvCache::new()).collect();
-        Self { config, weights, caches, eps: veda_tensor::norm::DEFAULT_EPS }
+impl SequenceState {
+    /// Creates empty per-layer caches for `n_layers` layers.
+    pub fn new(n_layers: usize) -> Self {
+        Self { caches: (0..n_layers).map(|_| LayerKvCache::new()).collect() }
     }
 
-    /// The model configuration.
-    pub fn config(&self) -> &ModelConfig {
-        &self.config
+    /// Number of layers this state tracks.
+    pub fn n_layers(&self) -> usize {
+        self.caches.len()
     }
 
     /// The per-layer KV caches (read-only).
@@ -79,25 +67,136 @@ impl TransformerModel {
         }
     }
 
-    /// Clears all caches (new sequence).
-    pub fn reset(&mut self) {
+    /// Total FP16 bytes the sequence's KV residents occupy off-chip.
+    pub fn fp16_bytes(&self) -> usize {
+        self.caches.iter().map(LayerKvCache::fp16_bytes).sum()
+    }
+
+    /// Clears all caches (start over / free the sequence's KV memory).
+    pub fn clear(&mut self) {
         for cache in &mut self.caches {
             cache.clear();
         }
     }
+}
 
-    /// Runs one token through all layers, returning logits and the
-    /// attention observations.
+/// A runnable decoder-only transformer with synthetic structured weights.
+///
+/// The struct owns the *shared* substrate (config + weights) plus one
+/// built-in [`SequenceState`] so the classic single-sequence API
+/// ([`TransformerModel::forward_token`], [`TransformerModel::prefill`], …)
+/// keeps working. Serving engines that decode many sequences against one
+/// set of weights allocate extra states via [`TransformerModel::new_state`]
+/// and drive them through [`TransformerModel::forward_in`].
+///
+/// ```
+/// use veda_model::{ModelConfig, TransformerModel};
+/// let mut m = TransformerModel::new(ModelConfig::tiny());
+/// let out = m.forward_token(1, 0);
+/// assert_eq!(out.logits.len(), m.config().vocab_size);
+///
+/// // Two independent sequences against the same weights:
+/// let (mut a, mut b) = (m.new_state(), m.new_state());
+/// m.forward_in(&mut a, 1, 0);
+/// m.forward_in(&mut b, 2, 0);
+/// assert_eq!(a.cache_len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    config: ModelConfig,
+    weights: ModelWeights,
+    state: SequenceState,
+    eps: f32,
+}
+
+impl TransformerModel {
+    /// Builds a model with synthetic structured weights for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate().expect("valid model config");
+        let weights = ModelWeights::synthetic(&config);
+        let state = SequenceState::new(config.n_layers);
+        Self { config, weights, state, eps: veda_tensor::norm::DEFAULT_EPS }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Creates a fresh per-sequence state sized for this model.
+    pub fn new_state(&self) -> SequenceState {
+        SequenceState::new(self.config.n_layers)
+    }
+
+    /// The built-in sequence's per-layer KV caches (read-only).
+    pub fn caches(&self) -> &[LayerKvCache] {
+        self.state.caches()
+    }
+
+    /// Current cache length of the built-in sequence.
+    pub fn cache_len(&self) -> usize {
+        self.state.cache_len()
+    }
+
+    /// Evicts cache slot `slot` in layer `layer` of the built-in sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn evict(&mut self, layer: usize, slot: usize) {
+        self.state.evict(layer, slot);
+    }
+
+    /// Evicts the same slot in every layer (layer-synchronous eviction).
+    pub fn evict_all_layers(&mut self, slot: usize) {
+        self.state.evict_all_layers(slot);
+    }
+
+    /// Clears the built-in sequence's caches (new sequence).
+    pub fn reset(&mut self) {
+        self.state.clear();
+    }
+
+    /// Runs one token of the built-in sequence through all layers,
+    /// returning logits and the attention observations.
     ///
     /// # Panics
     ///
     /// Panics if `token` is outside the vocabulary.
     pub fn forward_token(&mut self, token: usize, position: usize) -> StepOutput {
+        // Validate before the take below: a panic must not leave the
+        // built-in state swapped out (a recovered caller would silently
+        // continue on an empty cache).
         assert!(token < self.config.vocab_size, "token {token} outside vocabulary");
+        let mut state = std::mem::take(&mut self.state);
+        let out = self.forward_in(&mut state, token, position);
+        self.state = state;
+        out
+    }
+
+    /// Runs one token of an arbitrary sequence through all layers against
+    /// the shared weights. The model itself is untouched (`&self`), so any
+    /// number of sequences can interleave steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary or the state's layer
+    /// count disagrees with the model.
+    pub fn forward_in(&self, state: &mut SequenceState, token: usize, position: usize) -> StepOutput {
+        assert!(token < self.config.vocab_size, "token {token} outside vocabulary");
+        if state.caches.is_empty() {
+            // Allow `SequenceState::default()` to be used directly.
+            *state = self.new_state();
+        }
+        assert_eq!(state.n_layers(), self.config.n_layers, "sequence state layer count mismatch");
         let mut x = self.weights.embed(token).to_vec();
         let mut layer_scores = Vec::with_capacity(self.config.n_layers);
 
-        for (li, cache) in self.caches.iter_mut().enumerate() {
+        for (li, cache) in state.caches.iter_mut().enumerate() {
             let w = &self.weights.layers[li];
             // Attention block with pre-norm residual.
             let normed = rmsnorm(&x, &w.attn_norm, self.eps);
@@ -244,5 +343,67 @@ mod tests {
     fn out_of_vocab_token_panics() {
         let mut m = TransformerModel::new(ModelConfig::tiny());
         m.forward_token(10_000, 0);
+    }
+
+    #[test]
+    fn recovered_out_of_vocab_panic_leaves_cache_intact() {
+        let mut m = TransformerModel::new(ModelConfig::tiny());
+        m.forward_token(1, 0);
+        m.forward_token(2, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.forward_token(10_000, 2);
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.cache_len(), 2, "panic must not wipe the built-in sequence state");
+    }
+
+    #[test]
+    fn independent_states_share_weights_without_interference() {
+        // Interleaving two sequences against one model must produce exactly
+        // the streams each would produce alone — KV state is per-sequence,
+        // weights are shared.
+        let tokens_a = [1usize, 5, 9, 2];
+        let tokens_b = [3usize, 7, 7, 7];
+
+        let mut solo = TransformerModel::new(ModelConfig::tiny());
+        let solo_a: Vec<Vec<f32>> =
+            tokens_a.iter().enumerate().map(|(p, &t)| solo.forward_token(t, p).logits).collect();
+        solo.reset();
+        let solo_b: Vec<Vec<f32>> =
+            tokens_b.iter().enumerate().map(|(p, &t)| solo.forward_token(t, p).logits).collect();
+
+        let shared = TransformerModel::new(ModelConfig::tiny());
+        let mut state_a = shared.new_state();
+        let mut state_b = shared.new_state();
+        for (p, (&ta, &tb)) in tokens_a.iter().zip(&tokens_b).enumerate() {
+            let la = shared.forward_in(&mut state_a, ta, p).logits;
+            let lb = shared.forward_in(&mut state_b, tb, p).logits;
+            assert_eq!(la, solo_a[p], "sequence A diverged at {p}");
+            assert_eq!(lb, solo_b[p], "sequence B diverged at {p}");
+        }
+        assert_eq!(state_a.cache_len(), 4);
+        assert_eq!(state_b.cache_len(), 4);
+    }
+
+    #[test]
+    fn sequence_state_clear_frees_kv() {
+        let m = TransformerModel::new(ModelConfig::tiny());
+        let mut st = m.new_state();
+        m.forward_in(&mut st, 1, 0);
+        assert!(st.fp16_bytes() > 0);
+        st.clear();
+        assert_eq!(st.cache_len(), 0);
+        assert_eq!(st.fp16_bytes(), 0);
+        // Cleared state is reusable.
+        m.forward_in(&mut st, 2, 0);
+        assert_eq!(st.cache_len(), 1);
+    }
+
+    #[test]
+    fn default_state_is_lazily_sized() {
+        let m = TransformerModel::new(ModelConfig::tiny());
+        let mut st = SequenceState::default();
+        m.forward_in(&mut st, 1, 0);
+        assert_eq!(st.n_layers(), m.config().n_layers);
     }
 }

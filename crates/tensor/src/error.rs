@@ -47,11 +47,7 @@ impl ShapeError {
 
 impl fmt::Display for ShapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "shape mismatch in {}: left {:?} vs right {:?}",
-            self.op, self.left, self.right
-        )
+        write!(f, "shape mismatch in {}: left {:?} vs right {:?}", self.op, self.left, self.right)
     }
 }
 

@@ -27,11 +27,7 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -166,7 +162,11 @@ impl Matrix {
     /// Returns a [`ShapeError`] when `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> TensorResult<Matrix> {
         if self.cols != rhs.rows {
-            return Err(ShapeError::new("Matrix::matmul", vec![self.rows, self.cols], vec![rhs.rows, rhs.cols]));
+            return Err(ShapeError::new(
+                "Matrix::matmul",
+                vec![self.rows, self.cols],
+                vec![rhs.rows, rhs.cols],
+            ));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -221,14 +221,24 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

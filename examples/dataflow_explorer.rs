@@ -17,10 +17,8 @@ fn main() {
     println!("== Decode attention cycles per head (d = 128, 8x8x2 PEs) ==\n");
     println!("{:<8} {:>12} {:>14} {:>16}", "l", "Baseline", "Baseline+F", "Baseline+F+E");
     for l in [128usize, 256, 257, 512, 1024, 2048, 4096] {
-        let row: Vec<u64> = DataflowVariant::ALL
-            .iter()
-            .map(|&v| decode_attention_cycles_per_head(&arch, v, l))
-            .collect();
+        let row: Vec<u64> =
+            DataflowVariant::ALL.iter().map(|&v| decode_attention_cycles_per_head(&arch, v, l)).collect();
         println!("{:<8} {:>12} {:>14} {:>16}", l, row[0], row[1], row[2]);
     }
 

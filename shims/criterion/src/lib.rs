@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of the Criterion benchmarking API the
+//! workspace benches use: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no registry access, so this path crate keeps
+//! `cargo bench` runnable. It is a *timer*, not a statistics engine: each
+//! benchmark runs a short warm-up, then timed batches until a wall-clock
+//! budget is spent, and prints the mean iteration time. Numbers are
+//! indicative, not publication-grade.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Per-benchmark timing driver passed to `iter`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    /// Iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also an estimate of the per-iteration cost.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(10));
+
+        let batch = (MEASURE_BUDGET.as_nanos() / (8 * estimate.as_nanos()).max(1)).clamp(1, 10_000) as u64;
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e9 {
+        (b.mean_ns / 1e9, "s")
+    } else if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "us")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("{label:<48} {value:>10.2} {unit}/iter   ({} iters)", b.iters);
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId2>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().0), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a bare benchmark id (`&str` or [`BenchmarkId`]).
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.label)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId2>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().0, &mut f);
+        self
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `fn main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &n| b.iter(|| n * 2));
+        g.bench_function("bare", |b| b.iter(|| black_box(42)));
+        g.finish();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of the proptest API the workspace's
+//! property tests use: the `proptest!` macro, range strategies,
+//! `prop_map`, `proptest::collection::vec`, and the `prop_assert*` macros.
+//!
+//! The build environment has no registry access, so this path crate keeps
+//! the property tests running. Each `proptest!` test runs a fixed number
+//! of deterministic cases ([`NUM_CASES`], overridable via the
+//! `PROPTEST_CASES` environment variable): the RNG seed is derived from
+//! the test name and case index, so failures reproduce exactly. There is
+//! no shrinking — a failing case panics with its values where the
+//! assertion formats them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = StdRng;
+
+/// Default number of cases each `proptest!` test executes.
+pub const NUM_CASES: usize = 64;
+
+/// Number of cases to run, honoring `PROPTEST_CASES` when set.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(NUM_CASES)
+}
+
+/// Deterministic RNG for one (test, case) pair.
+pub fn rng_for_case(test_name: &str, case: usize) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A source of test values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    };
+}
+
+impl_range_strategy!(f32);
+impl_range_strategy!(f64);
+impl_range_strategy!(usize);
+impl_range_strategy!(u64);
+impl_range_strategy!(u32);
+impl_range_strategy!(u16);
+impl_range_strategy!(u8);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive-start, exclusive-end size bounds for generated
+    /// collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Mirrors `proptest::proptest!`: each listed test runs [`cases`] sampled
+/// cases with a per-test deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::cases() {
+                    let mut proptest_rng = $crate::rng_for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Mirrors `prop_assert!` (panics instead of returning a test error).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f32..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in crate::collection::vec(0.0f64..1.0, 2..8)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<f64> = (0..4)
+            .map(|c| crate::Strategy::sample(&(0.0f64..1.0), &mut crate::rng_for_case("t", c)))
+            .collect();
+        let b: Vec<f64> = (0..4)
+            .map(|c| crate::Strategy::sample(&(0.0f64..1.0), &mut crate::rng_for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (0usize..5).prop_map(|x| x * 2);
+        let mut rng = crate::rng_for_case("map", 0);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -12,10 +12,20 @@ fn fig8_center_bands_and_ordering() {
         match p.variant {
             DataflowVariant::Baseline => assert!((p.normalized_latency - 1.0).abs() < 1e-12),
             DataflowVariant::Flexible => {
-                assert!((0.55..0.85).contains(&p.normalized_latency), "F at gen {}: {}", p.gen_len, p.normalized_latency)
+                assert!(
+                    (0.55..0.85).contains(&p.normalized_latency),
+                    "F at gen {}: {}",
+                    p.gen_len,
+                    p.normalized_latency
+                )
             }
             DataflowVariant::FlexibleElementSerial => {
-                assert!((0.40..0.70).contains(&p.normalized_latency), "F+E at gen {}: {}", p.gen_len, p.normalized_latency)
+                assert!(
+                    (0.40..0.70).contains(&p.normalized_latency),
+                    "F+E at gen {}: {}",
+                    p.gen_len,
+                    p.normalized_latency
+                )
             }
         }
     }
@@ -56,7 +66,9 @@ fn fig8_left_voting_beats_h2o_and_improves_with_cache() {
     // as the cache grows.
     let scale = veda_bench::QualityScale { samples: 2, sample_len: 1024, cache_sizes: &[96, 192, 384] };
     let points = veda_bench::fig8_left(scale);
-    let get = |k: PolicyKind, c: usize| points.iter().find(|p| p.policy == k && p.cache_size == c).unwrap().perplexity;
+    let get = |k: PolicyKind, c: usize| {
+        points.iter().find(|p| p.policy == k && p.cache_size == c).unwrap().perplexity
+    };
     for &c in scale.cache_sizes {
         assert!(
             get(PolicyKind::Voting, c) < get(PolicyKind::H2o, c),
@@ -93,7 +105,9 @@ fn table2_reproduces_paper_claims() {
 fn attention_sparsity_claim_holds_on_synthetic_traces() {
     // Section I: attention sparsity approaching 95 %. At long contexts the
     // synthetic trace generator must reach high sparsity.
-    let trace = veda_model::SyntheticTraceConfig { steps: 768, ..veda_model::SyntheticTraceConfig::default() }.generate();
+    let trace =
+        veda_model::SyntheticTraceConfig { steps: 768, ..veda_model::SyntheticTraceConfig::default() }
+            .generate();
     let s = trace.sparsity(0.9, 384);
     assert!(s > 0.75, "sparsity {s}");
 }
