@@ -54,7 +54,7 @@ impl PeArray {
                 // Within each row, odd positions (1-indexed 1,3,5,7) are
                 // type-A, even positions type-B (Fig. 5 (d)).
                 let col = i % cols;
-                Pe::new(if col % 2 == 0 { PeKind::TypeA } else { PeKind::TypeB })
+                Pe::new(if col.is_multiple_of(2) { PeKind::TypeA } else { PeKind::TypeB })
             })
             .collect();
         let mut array = Self { rows, cols, mode: ArrayMode::OuterProduct, pes };

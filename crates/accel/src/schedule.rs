@@ -144,7 +144,7 @@ impl DecodeScheduler {
             // compute overlaps with its own cache stream.
             for &l in cache_lens {
                 let attn_compute = decode_attention_cycles(&self.arch, self.variant, l);
-                let kv_bytes = (2 * l * d * 2 + 2 * d * 2) as usize;
+                let kv_bytes = 2 * l * d * 2 + 2 * d * 2;
                 let attn_memory = self.hbm.cost(kv_bytes, AccessPattern::Sequential);
                 report.add_overlapped("attention", attn_compute, attn_memory);
             }

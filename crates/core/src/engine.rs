@@ -23,6 +23,16 @@
 //! [`PolicyKind::build`], observes its own attention scores, and evicts
 //! from its own [`SequenceState`]. Finished sessions free their KV state
 //! immediately.
+//!
+//! For serving layers (admission control, preemptive scheduling) the
+//! engine exposes capacity introspection and session lifecycle hooks:
+//! [`Engine::kv_bytes_active`] / [`Engine::session_kv_bytes`] account
+//! resident KV bytes, [`Engine::pause`] / [`Engine::resume`] take a
+//! session out of (and back into) the batched tick without touching its
+//! KV state — a paused session's token stream continues exactly where it
+//! left off, because each session decodes greedily from its own logits —
+//! and [`Engine::tighten_budget`] shrinks a session's resident cap under
+//! memory pressure (the next tick evicts down to it).
 
 use veda_accel::arch::{ArchConfig, DataflowVariant};
 use veda_accel::attention::decode_attention_cycles;
@@ -220,6 +230,10 @@ pub struct EngineTick {
     /// Energy of the batched tick in millijoules (core + HBM, weights
     /// streamed once).
     pub batch_energy_mj: f64,
+    /// KV bytes resident in device memory after the tick (active sessions
+    /// only — paused sessions are the serving layer's to account, finished
+    /// sessions free their state before this is sampled).
+    pub kv_bytes_resident: u64,
 }
 
 /// Outcome of one finished request.
@@ -389,6 +403,7 @@ impl EngineBuilder {
             scheduler,
             energy,
             active: Vec::new(),
+            paused: Vec::new(),
             finished: Vec::new(),
             next_id: 0,
             ticks: 0,
@@ -436,6 +451,7 @@ pub struct Engine {
     scheduler: DecodeScheduler,
     energy: EnergyModel,
     active: Vec<ActiveSession>,
+    paused: Vec<ActiveSession>,
     finished: Vec<RequestOutcome>,
     next_id: usize,
     ticks: u64,
@@ -470,6 +486,94 @@ impl Engine {
     /// Whether `session` is still decoding.
     pub fn is_active(&self, session: Session) -> bool {
         self.active.iter().any(|s| s.id == session)
+    }
+
+    /// Number of sessions currently paused.
+    pub fn paused_sessions(&self) -> usize {
+        self.paused.len()
+    }
+
+    /// Whether `session` is paused.
+    pub fn is_paused(&self, session: Session) -> bool {
+        self.paused.iter().any(|s| s.id == session)
+    }
+
+    /// KV bytes (FP16) resident in device memory across all *active*
+    /// sessions. Paused sessions are excluded: the serving layer that
+    /// paused them decides whether their KV state stays resident or is
+    /// swapped to the host.
+    pub fn kv_bytes_active(&self) -> u64 {
+        self.active.iter().map(|s| s.state.fp16_bytes() as u64).sum()
+    }
+
+    /// KV bytes (FP16) of one in-flight session, active or paused.
+    pub fn session_kv_bytes(&self, session: Session) -> Option<u64> {
+        self.active.iter().chain(&self.paused).find(|s| s.id == session).map(|s| s.state.fp16_bytes() as u64)
+    }
+
+    /// Tokens `session` may still generate before hitting its limit
+    /// (ignores stop tokens, which can end it earlier). Scheduling
+    /// policies use this for shortest-remaining-budget ordering.
+    pub fn session_remaining_tokens(&self, session: Session) -> Option<usize> {
+        self.active
+            .iter()
+            .chain(&self.paused)
+            .find(|s| s.id == session)
+            .map(|s| s.max_new_tokens.saturating_sub(s.generated.len()))
+    }
+
+    /// KV bytes (FP16) one resident token occupies across all layers —
+    /// the unit admission controllers multiply resident-token estimates
+    /// by. Consistent with [`veda_model::SequenceState::fp16_bytes`].
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        let cfg = self.model.config();
+        // K and V rows of d_model FP16 values per layer.
+        (cfg.n_layers as u64) * 2 * (cfg.d_model as u64) * 2
+    }
+
+    /// Pauses an active session: it keeps its KV state, logits and policy
+    /// stack but stops advancing in [`Engine::step`] until
+    /// [`Engine::resume`]d. Returns the session's resident KV bytes (what
+    /// a preempting scheduler must move over the host link to actually
+    /// free device memory), or `None` if the session is not active.
+    ///
+    /// Pausing never changes the session's generated token sequence: each
+    /// session decodes greedily from its own logits against its own
+    /// state, so a pause only delays its remaining tokens.
+    pub fn pause(&mut self, session: Session) -> Option<u64> {
+        let idx = self.active.iter().position(|s| s.id == session)?;
+        let s = self.active.remove(idx);
+        let bytes = s.state.fp16_bytes() as u64;
+        self.paused.push(s);
+        Some(bytes)
+    }
+
+    /// Resumes a paused session into the active batch (it rejoins at the
+    /// end of the round-robin order). Returns its resident KV bytes (the
+    /// swap-in volume if it had been swapped out), or `None` if the
+    /// session is not paused.
+    pub fn resume(&mut self, session: Session) -> Option<u64> {
+        let idx = self.paused.iter().position(|s| s.id == session)?;
+        let s = self.paused.remove(idx);
+        let bytes = s.state.fp16_bytes() as u64;
+        self.active.push(s);
+        Some(bytes)
+    }
+
+    /// Shrinks the resident-token cap of an in-flight session (active or
+    /// paused) to `min(current cap, max(1, new_cap))` — budget shrink
+    /// under memory pressure. The next tick the session decodes, its
+    /// policies evict down to the new cap. Returns the effective cap, or
+    /// `None` if the session is not in flight.
+    ///
+    /// Unlike [`Engine::pause`], tightening a budget *does* change the
+    /// session's subsequent token stream (evicting cache entries changes
+    /// attention), so serving layers expose it as a distinct, opt-in
+    /// pressure response.
+    pub fn tighten_budget(&mut self, session: Session, new_cap: usize) -> Option<usize> {
+        let s = self.active.iter_mut().chain(&mut self.paused).find(|s| s.id == session)?;
+        s.resident_cap = s.resident_cap.min(new_cap.max(1));
+        Some(s.resident_cap)
     }
 
     /// Whether `session` has finished (report available).
@@ -645,6 +749,7 @@ impl Engine {
             batch_size: lens.len(),
             batch_cycles: batch_report.total_cycles,
             batch_energy_mj,
+            kv_bytes_resident: self.kv_bytes_active(),
             events,
         }
     }
@@ -670,9 +775,10 @@ impl Engine {
     /// [`Engine::run_to_completion`]) first.
     pub fn drain_report(&mut self) -> EngineReport {
         assert!(
-            self.active.is_empty(),
-            "drain_report with {} active session(s): finish the wave first",
-            self.active.len()
+            self.active.is_empty() && self.paused.is_empty(),
+            "drain_report with {} active session(s) and {} paused session(s): finish the wave first",
+            self.active.len(),
+            self.paused.len()
         );
         let requests = std::mem::take(&mut self.finished);
         let seconds = self.batched_cycles as f64 / (self.arch.clock_ghz * 1e9);
@@ -733,6 +839,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("variant", &self.variant)
             .field("active_sessions", &self.active.len())
+            .field("paused_sessions", &self.paused.len())
             .field("finished", &self.finished.len())
             .field("ticks", &self.ticks)
             .finish()
@@ -920,6 +1027,111 @@ mod tests {
         let mut engine = engine();
         engine.submit(Request::new(prompt(), 10)).unwrap();
         engine.step();
+        engine.drain_report();
+    }
+
+    #[test]
+    fn pause_and_resume_do_not_change_token_streams() {
+        // Reference run: two sessions decode uninterrupted.
+        let mut reference = engine();
+        let ra = reference.submit(Request::new(prompt(), 8)).unwrap();
+        let rb = reference.submit(Request::new(vec![3, 6, 9, 12], 8).policy(PolicyKind::H2o)).unwrap();
+        let ref_report = reference.run_to_completion();
+        let ref_tokens = |s: Session| {
+            ref_report.requests.iter().find(|r| r.session == s).unwrap().report.generated.clone()
+        };
+
+        // Preempted run: same requests, but session a is paused for three
+        // ticks in the middle.
+        let mut engine = engine();
+        let a = engine.submit(Request::new(prompt(), 8)).unwrap();
+        let b = engine.submit(Request::new(vec![3, 6, 9, 12], 8).policy(PolicyKind::H2o)).unwrap();
+        engine.step();
+        engine.step();
+        let bytes_out = engine.pause(a).expect("a is active");
+        assert!(bytes_out > 0);
+        assert!(engine.is_paused(a) && !engine.is_active(a));
+        assert_eq!(engine.active_sessions(), 1);
+        for _ in 0..3 {
+            let tick = engine.step();
+            assert_eq!(tick.batch_size, 1, "paused session must not advance");
+            assert!(tick.events.iter().all(|e| e.session == b));
+        }
+        let bytes_in = engine.resume(a).expect("a is paused");
+        assert_eq!(bytes_out, bytes_in, "pause leaves KV state untouched");
+        let report = engine.run_to_completion();
+        for (session, reference_session) in [(a, ra), (b, rb)] {
+            let got = &report.requests.iter().find(|r| r.session == session).unwrap().report.generated;
+            assert_eq!(got, &ref_tokens(reference_session), "preemption changed a token stream");
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_reject_unknown_sessions() {
+        let mut engine = engine();
+        let s = engine.submit(Request::new(prompt(), 2)).unwrap();
+        assert!(engine.pause(Session(99)).is_none());
+        assert!(engine.resume(s).is_none(), "active session is not paused");
+        engine.pause(s).unwrap();
+        assert!(engine.pause(s).is_none(), "paused session is not active");
+        engine.resume(s).unwrap();
+        engine.run_to_completion();
+    }
+
+    #[test]
+    fn kv_byte_accounting_tracks_sessions() {
+        let mut engine = engine();
+        assert_eq!(engine.kv_bytes_active(), 0);
+        let per_token = engine.kv_bytes_per_token();
+        assert!(per_token > 0);
+
+        let s = engine.submit(Request::new(prompt(), 4).budget(Budget::Unbounded)).unwrap();
+        // After prefill every layer holds exactly the prompt.
+        assert_eq!(engine.kv_bytes_active(), prompt().len() as u64 * per_token);
+        assert_eq!(engine.session_kv_bytes(s), Some(prompt().len() as u64 * per_token));
+
+        let tick = engine.step();
+        assert_eq!(tick.kv_bytes_resident, (prompt().len() as u64 + 1) * per_token);
+
+        // Paused sessions leave the active pool but stay queryable.
+        engine.pause(s).unwrap();
+        assert_eq!(engine.kv_bytes_active(), 0);
+        assert!(engine.session_kv_bytes(s).is_some());
+        engine.resume(s).unwrap();
+        engine.run_to_completion();
+        assert_eq!(engine.kv_bytes_active(), 0, "finished sessions free their KV state");
+        assert!(engine.session_kv_bytes(s).is_none());
+    }
+
+    #[test]
+    fn tighten_budget_shrinks_resident_cap() {
+        let mut engine = engine();
+        // Sliding-window can always name a victim beyond its sink, so the
+        // shrunk cap is actually reached.
+        let request = Request::new(prompt(), 8).policy(PolicyKind::SlidingWindow).budget(Budget::Unbounded);
+        let s = engine.submit(request).unwrap();
+        assert_eq!(engine.session_remaining_tokens(s), Some(8));
+        engine.step();
+        assert_eq!(engine.session_remaining_tokens(s), Some(7));
+
+        assert_eq!(engine.tighten_budget(s, 6), Some(6));
+        assert_eq!(engine.tighten_budget(s, 10), Some(6), "tighten never raises the cap");
+        assert_eq!(engine.tighten_budget(Session(99), 4), None);
+
+        let tick = engine.step();
+        assert!(tick.events[0].evictions > 0, "next tick evicts down to the new cap");
+        assert_eq!(tick.events[0].cache_len, 6);
+        assert_eq!(engine.tighten_budget(s, 0), Some(1), "cap floors at one resident token");
+        engine.run_to_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "paused session")]
+    fn draining_with_paused_sessions_panics() {
+        let mut engine = engine();
+        let s = engine.submit(Request::new(prompt(), 10)).unwrap();
+        engine.step();
+        engine.pause(s).unwrap();
         engine.drain_report();
     }
 

@@ -16,7 +16,18 @@
 //! * the memory substrates ([`veda_mem`]) and cost models ([`veda_cost`]).
 //!
 //! The central type is the serving [`Engine`]: a long-lived object that
-//! owns the substrate once and serves many concurrent requests. Submit
+//! owns the substrate once and serves many concurrent requests. On top of
+//! it, the `veda-serving` crate runs the full serving stack — Workload
+//! (seeded arrival processes) → Admission (KV bytes accounted against HBM
+//! capacity) → Scheduler (FCFS / round-robin / shortest-remaining-budget /
+//! priority tiers, with preemption and host-link KV swap) → Engine — under
+//! a virtual clock; the engine's contribution is the session lifecycle:
+//! capacity introspection ([`Engine::kv_bytes_active`],
+//! [`Engine::kv_bytes_per_token`]), [`Engine::pause`] / [`Engine::resume`]
+//! (preemption that never changes a session's token stream), and
+//! [`Engine::tighten_budget`] (budget shrink under memory pressure).
+//!
+//! Submit
 //! [`Request`]s — each with its own prompt, token limit, stop tokens,
 //! [`veda_eviction::PolicyKind`] and [`Budget`] — and drive decode
 //! incrementally with [`Engine::step`]: every step is one *batched decode

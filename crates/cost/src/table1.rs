@@ -42,10 +42,8 @@ impl Table1 {
 
     /// Renders the table as aligned text (for report binaries).
     pub fn render(&self) -> String {
-        let mut out = String::from(format!(
-            "{:<24} {:<44} {:>10} {:>10}\n",
-            "Module", "Parameters", "Area/mm2", "Power/mW"
-        ));
+        let mut out =
+            format!("{:<24} {:<44} {:>10} {:>10}\n", "Module", "Parameters", "Area/mm2", "Power/mW");
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<24} {:<44} {:>10.3} {:>10.2}\n",

@@ -41,6 +41,7 @@ pub mod full;
 pub mod h2o;
 pub mod manager;
 pub mod policy;
+pub mod pressure;
 pub mod random;
 pub mod sliding;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use full::FullCachePolicy;
 pub use h2o::H2oPolicy;
 pub use manager::{CacheSimulator, SimulatedStep};
 pub use policy::{EvictionPolicy, ParsePolicyKindError, PolicyKind};
+pub use pressure::{BudgetController, PressureConfig};
 pub use random::RandomPolicy;
 pub use sliding::SlidingWindowPolicy;
 pub use stats::EvictionStats;

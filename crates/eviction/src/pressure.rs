@@ -1,0 +1,173 @@
+//! Budget shrink under memory pressure.
+//!
+//! Eviction policies enforce a *per-session* resident-token cap; this
+//! module decides how that cap responds to *global* device-memory
+//! pressure. When the KV bytes resident across all sessions approach the
+//! HBM capacity, a serving layer can either preempt sessions (swap their
+//! KV state to the host) or shrink every session's budget so the policies
+//! evict harder — trading a little accuracy for staying on-device. The
+//! [`BudgetController`] implements the second response as a pure,
+//! deterministic watermark controller so it can be unit-tested and shared
+//! by any serving layer.
+
+/// Watermark configuration for [`BudgetController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureConfig {
+    /// Occupancy (resident / capacity) above which shrinking engages.
+    pub high_watermark: f64,
+    /// Occupancy the controller aims for once engaged. Must not exceed
+    /// `high_watermark`.
+    pub low_watermark: f64,
+    /// Per-session floor: shrunk caps never drop below this many resident
+    /// tokens (policies also protect their own sinks, e.g. the voting
+    /// reserved prefix).
+    pub floor_tokens: usize,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        Self { high_watermark: 0.9, low_watermark: 0.7, floor_tokens: 8 }
+    }
+}
+
+impl PressureConfig {
+    /// Checks the watermarks are ordered and in (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics on watermarks outside (0, 1] or `low > high`.
+    pub fn validate(self) {
+        assert!(
+            self.high_watermark > 0.0 && self.high_watermark <= 1.0,
+            "high watermark {} outside (0, 1]",
+            self.high_watermark
+        );
+        assert!(
+            self.low_watermark > 0.0 && self.low_watermark <= self.high_watermark,
+            "low watermark {} outside (0, high]",
+            self.low_watermark
+        );
+    }
+}
+
+/// Deterministic watermark controller mapping global occupancy to a
+/// per-session cap shrink factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetController {
+    config: PressureConfig,
+}
+
+impl Default for BudgetController {
+    fn default() -> Self {
+        Self::new(PressureConfig::default())
+    }
+}
+
+impl BudgetController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`PressureConfig::validate`]).
+    pub fn new(config: PressureConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PressureConfig {
+        &self.config
+    }
+
+    /// Occupancy ratio `resident / capacity` (0.0 for zero capacity).
+    pub fn occupancy(&self, resident_bytes: u64, capacity_bytes: u64) -> f64 {
+        if capacity_bytes == 0 {
+            0.0
+        } else {
+            resident_bytes as f64 / capacity_bytes as f64
+        }
+    }
+
+    /// The factor to multiply resident caps by: `1.0` below the high
+    /// watermark; otherwise the ratio that would bring occupancy down to
+    /// the low watermark (KV bytes scale linearly with resident tokens).
+    pub fn shrink_factor(&self, resident_bytes: u64, capacity_bytes: u64) -> f64 {
+        let occupancy = self.occupancy(resident_bytes, capacity_bytes);
+        if occupancy <= self.config.high_watermark {
+            1.0
+        } else {
+            (self.config.low_watermark / occupancy).min(1.0)
+        }
+    }
+
+    /// Applies a shrink factor to one session's resident cap, honoring the
+    /// floor. A factor of `1.0` returns the cap unchanged.
+    pub fn shrunk_cap(&self, cap: usize, factor: f64) -> usize {
+        if factor >= 1.0 {
+            return cap;
+        }
+        ((cap as f64 * factor).floor() as usize).max(self.config.floor_tokens).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_shrink_below_high_watermark() {
+        let c = BudgetController::default();
+        assert_eq!(c.shrink_factor(0, 1000), 1.0);
+        assert_eq!(c.shrink_factor(900, 1000), 1.0, "exactly at the watermark");
+        assert_eq!(c.shrunk_cap(64, 1.0), 64);
+    }
+
+    #[test]
+    fn shrink_targets_low_watermark() {
+        let c = BudgetController::default();
+        let f = c.shrink_factor(1000, 1000);
+        assert!((f - 0.7).abs() < 1e-12, "full occupancy shrinks to the low watermark, got {f}");
+        // Over-subscribed: resident exceeds capacity (estimates admitted
+        // optimistically); the factor keeps scaling down.
+        let over = c.shrink_factor(1400, 1000);
+        assert!((over - 0.5).abs() < 1e-12, "got {over}");
+        assert_eq!(c.shrunk_cap(64, over), 32);
+    }
+
+    #[test]
+    fn floor_protects_small_caps() {
+        let c = BudgetController::new(PressureConfig {
+            high_watermark: 0.5,
+            low_watermark: 0.25,
+            floor_tokens: 8,
+        });
+        assert_eq!(c.shrunk_cap(10, 0.1), 8, "floor wins over the scaled cap");
+        let no_floor = BudgetController::new(PressureConfig { floor_tokens: 0, ..PressureConfig::default() });
+        assert_eq!(no_floor.shrunk_cap(10, 0.01), 1, "caps never reach zero");
+    }
+
+    #[test]
+    fn zero_capacity_reads_as_idle() {
+        let c = BudgetController::default();
+        assert_eq!(c.occupancy(500, 0), 0.0);
+        assert_eq!(c.shrink_factor(500, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn rejects_inverted_watermarks() {
+        BudgetController::new(PressureConfig { high_watermark: 0.5, low_watermark: 0.9, floor_tokens: 0 });
+    }
+
+    #[test]
+    fn shrinking_is_monotone_in_occupancy() {
+        let c = BudgetController::default();
+        let mut last = 1.0;
+        for resident in (900..3000).step_by(100) {
+            let f = c.shrink_factor(resident, 1000);
+            assert!(f <= last, "factor must not grow with occupancy");
+            last = f;
+        }
+    }
+}

@@ -35,8 +35,9 @@ pub enum AccessPattern {
 /// HBM configuration.
 ///
 /// Defaults model the paper's setup: 256 GB/s peak bandwidth against a
-/// 1 GHz accelerator clock, 64-byte bursts, 2 KiB rows, 16 banks, and a
-/// 90 % sustained-efficiency derating on streams (refresh, bus turnaround).
+/// 1 GHz accelerator clock, 64-byte bursts, 2 KiB rows, 16 banks, a 90 %
+/// sustained-efficiency derating on streams (refresh, bus turnaround),
+/// and an 8 GiB stack capacity for serving-side admission accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HbmConfig {
     /// Peak bandwidth in bytes per accelerator cycle (256 GB/s at 1 GHz =
@@ -52,6 +53,10 @@ pub struct HbmConfig {
     pub banks: u64,
     /// Sustained-over-peak efficiency for streams, in (0, 1].
     pub sequential_efficiency: f64,
+    /// Device memory capacity in bytes (one HBM2 stack: 8 GiB). Serving
+    /// layers account resident KV bytes against this when deciding whether
+    /// to admit, queue, or preempt sessions.
+    pub capacity_bytes: u64,
 }
 
 impl Default for HbmConfig {
@@ -63,6 +68,7 @@ impl Default for HbmConfig {
             row_activate_cycles: 28,
             banks: 16,
             sequential_efficiency: 0.9,
+            capacity_bytes: 8 << 30,
         }
     }
 }

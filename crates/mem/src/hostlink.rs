@@ -1,0 +1,213 @@
+//! Host-link (PCIe-style) traffic model for KV cache swap-out/swap-in.
+//!
+//! When a serving layer preempts a session under HBM capacity pressure, its
+//! KV cache moves over the host link to CPU memory and back on resume. The
+//! link is an order of magnitude slower than HBM (PCIe 4.0 x16 sustains
+//! ~26 GB/s against the paper's 256 GB/s HBM), so swap traffic is the cost
+//! that admission control and scheduling policies trade against queueing
+//! delay. The model mirrors [`crate::HbmModel`]: a configuration in
+//! accelerator-clock units plus a stateful accumulator with per-direction
+//! counters.
+
+/// Direction of a host-link transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapDirection {
+    /// Device → host (preemption: KV cache leaves HBM).
+    Out,
+    /// Host → device (resume: KV cache returns to HBM).
+    In,
+}
+
+impl SwapDirection {
+    /// Stable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwapDirection::Out => "swap_out",
+            SwapDirection::In => "swap_in",
+        }
+    }
+}
+
+impl std::fmt::Display for SwapDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Host-link configuration.
+///
+/// Defaults model a PCIe 4.0 x16 link against a 1 GHz accelerator clock:
+/// 32 GB/s peak (32 B/cycle), 85 % sustained efficiency (protocol and DMA
+/// overhead), and a 1 µs per-transfer setup latency (1000 cycles at 1 GHz)
+/// covering doorbell, descriptor fetch and completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostLinkConfig {
+    /// Peak link bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Sustained-over-peak efficiency in (0, 1].
+    pub efficiency: f64,
+    /// Fixed setup cycles charged once per transfer.
+    pub setup_cycles: u64,
+}
+
+impl Default for HostLinkConfig {
+    fn default() -> Self {
+        Self { bytes_per_cycle: 32.0, efficiency: 0.85, setup_cycles: 1000 }
+    }
+}
+
+impl HostLinkConfig {
+    /// Config for a given link bandwidth in GB/s at a given accelerator
+    /// clock in GHz, other parameters at defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn with_bandwidth(gb_per_s: f64, clock_ghz: f64) -> Self {
+        assert!(gb_per_s > 0.0 && clock_ghz > 0.0, "bandwidth and clock must be positive");
+        Self { bytes_per_cycle: gb_per_s / clock_ghz, ..Self::default() }
+    }
+}
+
+/// Stateful host-link model: accumulates swap traffic per direction.
+#[derive(Debug, Clone)]
+pub struct HostLink {
+    config: HostLinkConfig,
+    bytes: [u64; 2],
+    cycles: [u64; 2],
+    transfers: [u64; 2],
+}
+
+impl HostLink {
+    /// Creates a model with the given configuration.
+    pub fn new(config: HostLinkConfig) -> Self {
+        Self { config, bytes: [0; 2], cycles: [0; 2], transfers: [0; 2] }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HostLinkConfig {
+        &self.config
+    }
+
+    fn idx(direction: SwapDirection) -> usize {
+        match direction {
+            SwapDirection::Out => 0,
+            SwapDirection::In => 1,
+        }
+    }
+
+    /// Pure cost query (no state change): cycles to move `bytes` one way.
+    pub fn cost(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let data = (bytes as f64 / (self.config.bytes_per_cycle * self.config.efficiency)).ceil() as u64;
+        self.config.setup_cycles + data
+    }
+
+    /// Charges one transfer of `bytes` in `direction`, returning its
+    /// cycles. State is accumulated.
+    pub fn transfer(&mut self, bytes: u64, direction: SwapDirection) -> u64 {
+        let cycles = self.cost(bytes);
+        let i = Self::idx(direction);
+        self.bytes[i] += bytes;
+        self.cycles[i] += cycles;
+        if bytes > 0 {
+            self.transfers[i] += 1;
+        }
+        cycles
+    }
+
+    /// Bytes moved in `direction` so far.
+    pub fn bytes(&self, direction: SwapDirection) -> u64 {
+        self.bytes[Self::idx(direction)]
+    }
+
+    /// Cycles charged in `direction` so far.
+    pub fn cycles(&self, direction: SwapDirection) -> u64 {
+        self.cycles[Self::idx(direction)]
+    }
+
+    /// Transfers charged in `direction` so far.
+    pub fn transfers(&self, direction: SwapDirection) -> u64 {
+        self.transfers[Self::idx(direction)]
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total cycles charged in both directions.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Resets the accumulated counters, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.bytes = [0; 2];
+        self.cycles = [0; 2];
+        self.transfers = [0; 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        let link = HostLink::new(HostLinkConfig::default());
+        assert_eq!(link.cost(0), 0);
+    }
+
+    #[test]
+    fn cost_is_setup_plus_bandwidth() {
+        let link = HostLink::new(HostLinkConfig::default());
+        let c = link.cost(1 << 20);
+        let data = ((1u64 << 20) as f64 / (32.0 * 0.85)).ceil() as u64;
+        assert_eq!(c, 1000 + data);
+    }
+
+    #[test]
+    fn directions_accumulate_separately() {
+        let mut link = HostLink::new(HostLinkConfig::default());
+        let out = link.transfer(4096, SwapDirection::Out);
+        let back = link.transfer(4096, SwapDirection::In);
+        assert_eq!(out, back, "symmetric link");
+        assert_eq!(link.bytes(SwapDirection::Out), 4096);
+        assert_eq!(link.bytes(SwapDirection::In), 4096);
+        assert_eq!(link.transfers(SwapDirection::Out), 1);
+        assert_eq!(link.total_bytes(), 8192);
+        assert_eq!(link.total_cycles(), out + back);
+        link.reset();
+        assert_eq!(link.total_bytes(), 0);
+    }
+
+    #[test]
+    fn swap_is_much_slower_than_hbm_stream() {
+        use crate::{AccessPattern, HbmConfig, HbmModel};
+        let link = HostLink::new(HostLinkConfig::default());
+        let hbm = HbmModel::new(HbmConfig::default());
+        let bytes = 8 << 20;
+        assert!(link.cost(bytes as u64) > 5 * hbm.cost(bytes, AccessPattern::Sequential));
+    }
+
+    #[test]
+    fn with_bandwidth_scales_bytes_per_cycle() {
+        let cfg = HostLinkConfig::with_bandwidth(64.0, 2.0);
+        assert!((cfg.bytes_per_cycle - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn with_bandwidth_rejects_zero() {
+        HostLinkConfig::with_bandwidth(32.0, 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SwapDirection::Out.to_string(), "swap_out");
+        assert_eq!(SwapDirection::In.to_string(), "swap_in");
+    }
+}

@@ -16,6 +16,9 @@
 //!   the s' FIFO of the voting engine and the SFU tile FIFO.
 //! * [`TrafficCounter`] — byte counters per traffic class (weights, KV
 //!   cache, activations, vote counts).
+//! * [`HostLink`] — a PCIe-style device↔host link for KV cache
+//!   swap-out/swap-in when a serving layer preempts sessions under HBM
+//!   capacity pressure ([`HbmConfig::capacity_bytes`]).
 //!
 //! ## Example
 //!
@@ -31,10 +34,12 @@
 
 pub mod fifo;
 pub mod hbm;
+pub mod hostlink;
 pub mod sram;
 pub mod traffic;
 
 pub use fifo::Fifo;
 pub use hbm::{AccessPattern, HbmConfig, HbmModel};
+pub use hostlink::{HostLink, HostLinkConfig, SwapDirection};
 pub use sram::Sram;
 pub use traffic::{TrafficClass, TrafficCounter};

@@ -147,7 +147,7 @@ mod tests {
         let mut full = LayerKvCache::new();
         let mut full_out = Vec::new();
         for (pos, &t) in tokens.iter().enumerate() {
-            full_out = attend(&w.embed(t).to_vec(), pos, &mut full, &w.layers[0], &cfg).output;
+            full_out = attend(w.embed(t), pos, &mut full, &w.layers[0], &cfg).output;
         }
         // Run with one mid-entry evicted before the last step.
         let mut pruned = LayerKvCache::new();
@@ -156,7 +156,7 @@ mod tests {
             if pos == tokens.len() - 1 {
                 pruned.evict(2);
             }
-            pruned_out = attend(&w.embed(t).to_vec(), pos, &mut pruned, &w.layers[0], &cfg).output;
+            pruned_out = attend(w.embed(t), pos, &mut pruned, &w.layers[0], &cfg).output;
         }
         let diff = veda_tensor::ops::max_abs_diff(&full_out, &pruned_out);
         assert!(diff > 1e-6, "eviction must perturb the output, diff {diff}");
@@ -171,7 +171,7 @@ mod tests {
         let mut sink_mass = 0.0;
         let mut steps = 0;
         for (pos, &t) in seq.iter().enumerate() {
-            let out = attend(&w.embed(t).to_vec(), pos, &mut cache, &w.layers[0], &cfg);
+            let out = attend(w.embed(t), pos, &mut cache, &w.layers[0], &cfg);
             if pos >= 4 {
                 for s in &out.head_scores {
                     sink_mass += s[0];

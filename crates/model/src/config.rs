@@ -126,7 +126,7 @@ impl ModelConfig {
         if self.d_model == 0 || self.n_heads == 0 || self.n_layers == 0 {
             return Err("dimensions must be positive".into());
         }
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!("n_heads {} must divide d_model {}", self.n_heads, self.d_model));
         }
         if self.vocab_size < 2 {

@@ -235,7 +235,7 @@ impl Corpus {
             let n_ent = self.config.entities_per_topic;
             if in_topic_now < 2 * n_ent && pos > 0 {
                 let i = in_topic_now / 2;
-                if in_topic_now % 2 == 0 {
+                if in_topic_now.is_multiple_of(2) {
                     out.push(self.entity(topic, i));
                 } else {
                     out.push(self.attribute(topic, i));

@@ -202,8 +202,8 @@ impl InductionLm {
         let mut token_topic = vec![usize::MAX; v];
         for topic in 0..corpus.config().n_topics {
             let (start, len) = corpus.topic_slice(topic);
-            for t in start..(start + len).min(v) {
-                token_topic[t] = topic;
+            for slot in token_topic[start..(start + len).min(v)].iter_mut() {
+                *slot = topic;
             }
         }
         for (t, sal) in salience.iter_mut().enumerate() {

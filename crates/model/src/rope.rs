@@ -12,7 +12,7 @@
 ///
 /// Panics if `x.len()` is odd.
 pub fn apply_rope(x: &mut [f32], position: usize, theta: f32) {
-    assert!(x.len() % 2 == 0, "RoPE requires an even head dimension, got {}", x.len());
+    assert!(x.len().is_multiple_of(2), "RoPE requires an even head dimension, got {}", x.len());
     let half = x.len() / 2;
     for i in 0..half {
         let freq = theta.powf(-2.0 * i as f32 / x.len() as f32);

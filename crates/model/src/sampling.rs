@@ -8,9 +8,10 @@ use rand::rngs::StdRng;
 use veda_tensor::softmax::softmax_with_temperature;
 
 /// A next-token selection strategy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Sampler {
     /// Always the argmax token.
+    #[default]
     Greedy,
     /// Softmax sampling at a temperature (> 0).
     Temperature(f32),
@@ -48,12 +49,6 @@ impl Sampler {
                 kept[veda_tensor::rng::sample_categorical(rng, &probs)]
             }
         }
-    }
-}
-
-impl Default for Sampler {
-    fn default() -> Self {
-        Sampler::Greedy
     }
 }
 

@@ -253,12 +253,10 @@ impl TransformerModel {
         let Some(mut step) = self.prefill(prompt) else {
             return out;
         };
-        let mut position = prompt.len();
-        for _ in 0..n {
+        for position in prompt.len()..prompt.len() + n {
             let next = sampler.sample(&step.logits, rng);
             out.push(next);
             step = self.forward_token(next, position);
-            position += 1;
         }
         out
     }

@@ -1,0 +1,179 @@
+//! Admission control: KV byte accounting against HBM capacity.
+//!
+//! Every admitted session reserves a conservative *peak* KV footprint —
+//! `(prompt_len + max_new_tokens) × kv_bytes_per_token` — against the
+//! device capacity ([`veda_mem::HbmConfig::capacity_bytes`]). The peak
+//! bound deliberately ignores the request's cache budget: eviction
+//! policies may refuse to evict below their protected prefix (the voting
+//! policy never evicts inside its reserved length), so the budget is not
+//! a guaranteed ceiling, while `prompt + generated` is. Reserving peaks
+//! makes the core serving invariant — admitted KV bytes never exceed
+//! capacity — hold unconditionally, at the cost of admitting slightly
+//! fewer sessions than a tighter estimate would.
+
+use veda::Request;
+
+/// Why a request was turned away rather than queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The request's peak KV footprint exceeds the device capacity even
+    /// with an empty machine; it can never be admitted.
+    NeverFits,
+    /// The wait queue is at its configured depth limit.
+    QueueFull,
+    /// The request itself is malformed (empty or out-of-vocabulary
+    /// prompt, zero-token generation limit, unusable budget) — possible
+    /// only through hand-built trace workloads.
+    Invalid,
+}
+
+impl RejectReason {
+    /// Stable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::NeverFits => "never_fits",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Invalid => "invalid",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Admission configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Device KV capacity in bytes. Model weights are accounted
+    /// separately (they are resident regardless of load), so this is the
+    /// budget available to session KV state.
+    pub capacity_bytes: u64,
+    /// Maximum number of requests waiting for admission; arrivals beyond
+    /// this are rejected with [`RejectReason::QueueFull`].
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { capacity_bytes: veda_mem::HbmConfig::default().capacity_bytes, max_queue_depth: 64 }
+    }
+}
+
+/// Byte-accounting admission controller (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    reserved: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller with nothing admitted.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Self { config, reserved: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Bytes currently reserved by admitted sessions.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Unreserved capacity.
+    pub fn headroom_bytes(&self) -> u64 {
+        self.config.capacity_bytes.saturating_sub(self.reserved)
+    }
+
+    /// Conservative peak resident-token count of a request (see the
+    /// [module docs](self) for why the cache budget is ignored).
+    pub fn peak_resident_tokens(request: &Request) -> usize {
+        request.prompt.len() + request.max_new_tokens
+    }
+
+    /// Peak KV bytes of a request given the engine's per-token KV cost
+    /// ([`veda::Engine::kv_bytes_per_token`]).
+    pub fn estimate_bytes(request: &Request, kv_bytes_per_token: u64) -> u64 {
+        Self::peak_resident_tokens(request) as u64 * kv_bytes_per_token
+    }
+
+    /// Screens an arrival: `Err` rejects it outright, `Ok` means it may
+    /// wait in the queue (whether it is admitted *now* is the scheduler's
+    /// call via [`AdmissionController::would_fit`]).
+    pub fn screen(&self, est_bytes: u64, queue_depth: usize) -> Result<(), RejectReason> {
+        if est_bytes > self.config.capacity_bytes {
+            Err(RejectReason::NeverFits)
+        } else if queue_depth >= self.config.max_queue_depth {
+            Err(RejectReason::QueueFull)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether reserving `est_bytes` more would stay within capacity.
+    pub fn would_fit(&self, est_bytes: u64) -> bool {
+        self.reserved + est_bytes <= self.config.capacity_bytes
+    }
+
+    /// Reserves an admitted session's peak bytes.
+    pub fn reserve(&mut self, est_bytes: u64) {
+        self.reserved += est_bytes;
+        debug_assert!(self.reserved <= self.config.capacity_bytes, "over-reserved device memory");
+    }
+
+    /// Releases a finished (or swapped-out) session's reservation.
+    pub fn release(&mut self, est_bytes: u64) {
+        debug_assert!(est_bytes <= self.reserved, "releasing more than reserved");
+        self.reserved = self.reserved.saturating_sub(est_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veda::Request;
+
+    fn request(prompt_len: usize, max_new: usize) -> Request {
+        Request::new(vec![1; prompt_len], max_new)
+    }
+
+    #[test]
+    fn peak_covers_prompt_and_generation() {
+        assert_eq!(AdmissionController::peak_resident_tokens(&request(16, 8)), 24);
+        assert_eq!(AdmissionController::estimate_bytes(&request(16, 8), 256), 24 * 256);
+    }
+
+    #[test]
+    fn reserve_release_cycle() {
+        let mut ac = AdmissionController::new(AdmissionConfig { capacity_bytes: 1000, max_queue_depth: 4 });
+        assert!(ac.would_fit(1000));
+        ac.reserve(600);
+        assert_eq!(ac.reserved_bytes(), 600);
+        assert_eq!(ac.headroom_bytes(), 400);
+        assert!(ac.would_fit(400));
+        assert!(!ac.would_fit(401));
+        ac.release(600);
+        assert_eq!(ac.reserved_bytes(), 0);
+    }
+
+    #[test]
+    fn screen_rejects_giants_and_full_queues() {
+        let ac = AdmissionController::new(AdmissionConfig { capacity_bytes: 1000, max_queue_depth: 2 });
+        assert_eq!(ac.screen(1001, 0), Err(RejectReason::NeverFits));
+        assert_eq!(ac.screen(500, 2), Err(RejectReason::QueueFull));
+        assert_eq!(ac.screen(500, 1), Ok(()));
+        // A fitting-but-not-now request queues rather than rejects.
+        assert_eq!(ac.screen(1000, 0), Ok(()));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RejectReason::NeverFits.to_string(), "never_fits");
+        assert_eq!(RejectReason::QueueFull.to_string(), "queue_full");
+    }
+}

@@ -1,0 +1,66 @@
+//! # veda-serving
+//!
+//! The serving layer over the [`veda::Engine`]: workload generation,
+//! admission control, and preemptive scheduling under a virtual clock.
+//!
+//! The engine (PR 1) answers "how fast does a *batch* decode?"; this
+//! crate answers "what happens under *traffic*?" — the regime where
+//! VEDA's KV eviction actually pays, because device memory, not compute,
+//! decides how many users fit. The stack is:
+//!
+//! * [`Workload`] — seeded, reproducible timed arrivals: open-loop
+//!   Poisson, bursty on-off, a closed-loop N-users think-time model, and
+//!   deterministic trace replay, over a configurable [`RequestMix`] of
+//!   policies, budgets, prompt lengths and priorities.
+//! * [`AdmissionController`] — accounts each admitted session's peak KV
+//!   bytes against the HBM capacity
+//!   ([`veda_mem::HbmConfig::capacity_bytes`]); requests that cannot fit
+//!   now wait in a bounded queue, requests that can never fit are
+//!   rejected.
+//! * [`SchedulerPolicy`] ([`SchedKind`]) — FCFS, round-robin,
+//!   shortest-remaining-budget and priority tiers decide which queued
+//!   request is admitted next, and (for the preemptive policies) which
+//!   running session is paused and swapped out over the PCIe-style
+//!   [`veda_mem::HostLink`] to make room. Preemption never changes a
+//!   request's generated tokens — only when they appear.
+//! * [`Server`] — the virtual-clock loop binding the three to the
+//!   engine's batched decode ticks, emitting per-request
+//!   submitted/admitted/first-token/finished timestamps and a
+//!   [`ServingReport`] with TTFT, queueing delay, end-to-end latency
+//!   percentiles, time-per-output-token, queue depth over time, and
+//!   preemption/rejection/swap accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use veda::EngineBuilder;
+//! use veda_serving::{
+//!     AdmissionConfig, RequestMix, SchedKind, Server, ServerConfig, Workload,
+//! };
+//!
+//! let engine = EngineBuilder::new().model(veda_model::ModelConfig::tiny()).build()?;
+//! let workload = Workload::poisson(7, 0.5, 16, RequestMix::default());
+//! let config = ServerConfig {
+//!     sched: SchedKind::Priority,
+//!     admission: AdmissionConfig { capacity_bytes: 64 << 10, max_queue_depth: 32 },
+//!     ..ServerConfig::default()
+//! };
+//! let report = Server::new(engine, workload, config).run();
+//! assert_eq!(report.submitted, 16);
+//! assert_eq!(report.completed + report.rejected(), 16);
+//! # Ok::<(), veda::BuildError>(())
+//! ```
+
+pub mod admission;
+pub mod report;
+pub mod scheduler;
+pub mod server;
+pub mod workload;
+
+pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
+pub use report::{LatencySummary, RequestRecord, ServingReport};
+pub use scheduler::{
+    ParseSchedKindError, QueuedView, RunningView, SchedKind, SchedulerPolicy, MAX_PREEMPTIONS,
+};
+pub use server::{Server, ServerConfig};
+pub use workload::{ArrivalKind, ParseArrivalKindError, RequestMix, ServingRequest, Workload};

@@ -1,0 +1,283 @@
+//! Per-request timing records and aggregate serving metrics.
+
+use veda::{EngineReport, Session};
+
+use crate::admission::RejectReason;
+use crate::scheduler::SchedKind;
+use crate::workload::ArrivalKind;
+
+/// Lifecycle timestamps (virtual-clock ticks) and counters of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Global arrival index (submission order).
+    pub arrival: usize,
+    /// Engine session handle, once admitted.
+    pub session: Option<Session>,
+    /// Priority tier.
+    pub priority: u8,
+    /// Tick the request arrived at the server.
+    pub submitted: u64,
+    /// Tick the request was admitted into the engine (prefill ran).
+    pub admitted: Option<u64>,
+    /// Tick the first generated token was emitted.
+    pub first_token: Option<u64>,
+    /// Tick the last token was emitted.
+    pub finished: Option<u64>,
+    /// Tokens actually generated.
+    pub generated_tokens: usize,
+    /// Times the session was preempted (paused + swapped out).
+    pub preemptions: u32,
+    /// Why the request was rejected, if it was.
+    pub rejected: Option<RejectReason>,
+}
+
+impl RequestRecord {
+    /// Time to first token in ticks (`first_token − submitted`).
+    pub fn ttft(&self) -> Option<u64> {
+        Some(self.first_token? - self.submitted)
+    }
+
+    /// End-to-end latency in ticks (`finished − submitted`).
+    pub fn e2e(&self) -> Option<u64> {
+        Some(self.finished? - self.submitted)
+    }
+
+    /// Mean time per output token after the first, in ticks.
+    pub fn tpot(&self) -> Option<f64> {
+        let span = self.finished? - self.first_token?;
+        if self.generated_tokens > 1 {
+            Some(span as f64 / (self.generated_tokens - 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice. `q` in [0, 1].
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty set");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Latency summary of one metric: p50/p95/p99/max over completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median in ticks.
+    pub p50: u64,
+    /// 95th percentile in ticks.
+    pub p95: u64,
+    /// 99th percentile in ticks.
+    pub p99: u64,
+    /// Maximum in ticks.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latencies; `None` when the set is empty.
+    pub fn of(mut values: Vec<u64>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        Some(Self {
+            p50: percentile(&values, 0.50),
+            p95: percentile(&values, 0.95),
+            p99: percentile(&values, 0.99),
+            max: *values.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Aggregate result of one [`crate::Server`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// The arrival process that drove the run.
+    pub arrival: ArrivalKind,
+    /// The scheduling policy.
+    pub sched: SchedKind,
+    /// Virtual-clock ticks the run spanned (including idle fast-forwards).
+    pub ticks: u64,
+    /// Decode ticks the engine executed.
+    pub decode_ticks: u64,
+    /// Requests that arrived.
+    pub submitted: usize,
+    /// Requests admitted into the engine.
+    pub admitted: usize,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Requests rejected because they can never fit.
+    pub rejected_never_fits: usize,
+    /// Requests rejected because the queue was full.
+    pub rejected_queue_full: usize,
+    /// Requests rejected as malformed (trace workloads only).
+    pub rejected_invalid: usize,
+    /// Preemptions performed (KV swapped out over the host link).
+    pub preemptions: u64,
+    /// Paused sessions resumed (KV swapped back in).
+    pub resumes: u64,
+    /// Bytes swapped device → host.
+    pub swap_out_bytes: u64,
+    /// Bytes swapped host → device.
+    pub swap_in_bytes: u64,
+    /// Host-link cycles spent on swap traffic.
+    pub swap_cycles: u64,
+    /// Budget-shrink interventions (sessions whose caps were tightened).
+    pub budget_shrinks: u64,
+    /// Queue depth sampled after each executed tick.
+    pub queue_depth: Vec<usize>,
+    /// Peak KV bytes resident in device memory.
+    pub kv_resident_peak_bytes: u64,
+    /// Peak KV bytes reserved by admission control.
+    pub kv_reserved_peak_bytes: u64,
+    /// Configured device KV capacity.
+    pub capacity_bytes: u64,
+    /// Per-request lifecycle records, in arrival order.
+    pub records: Vec<RequestRecord>,
+    /// The engine's batched-decode report for the run.
+    pub engine: EngineReport,
+}
+
+impl ServingReport {
+    /// Requests rejected for any reason.
+    pub fn rejected(&self) -> usize {
+        self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
+    }
+
+    /// TTFT summary over completed requests.
+    pub fn ttft(&self) -> Option<LatencySummary> {
+        LatencySummary::of(self.records.iter().filter_map(RequestRecord::ttft).collect())
+    }
+
+    /// End-to-end latency summary over completed requests.
+    pub fn e2e(&self) -> Option<LatencySummary> {
+        LatencySummary::of(self.records.iter().filter_map(RequestRecord::e2e).collect())
+    }
+
+    /// Queueing delay (admitted − submitted) summary.
+    pub fn queueing_delay(&self) -> Option<LatencySummary> {
+        LatencySummary::of(self.records.iter().filter_map(|r| Some(r.admitted? - r.submitted)).collect())
+    }
+
+    /// Mean time per output token across completed requests, in ticks.
+    pub fn tpot_mean(&self) -> Option<f64> {
+        let tpots: Vec<f64> = self.records.iter().filter_map(RequestRecord::tpot).collect();
+        if tpots.is_empty() {
+            None
+        } else {
+            Some(tpots.iter().sum::<f64>() / tpots.len() as f64)
+        }
+    }
+
+    /// Largest sampled queue depth.
+    pub fn queue_depth_max(&self) -> usize {
+        self.queue_depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean sampled queue depth.
+    pub fn queue_depth_mean(&self) -> f64 {
+        if self.queue_depth.is_empty() {
+            0.0
+        } else {
+            self.queue_depth.iter().sum::<usize>() as f64 / self.queue_depth.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serving report: {} submitted over {} ticks ({} decode), {} arrivals, {} scheduler",
+            self.submitted, self.ticks, self.decode_ticks, self.arrival, self.sched
+        )?;
+        writeln!(
+            f,
+            "  admitted / completed   : {} / {} (rejected {}: never_fits {}, queue_full {}, invalid {})",
+            self.admitted,
+            self.completed,
+            self.rejected(),
+            self.rejected_never_fits,
+            self.rejected_queue_full,
+            self.rejected_invalid
+        )?;
+        writeln!(
+            f,
+            "  preemptions / resumes  : {} / {} ({} budget shrinks)",
+            self.preemptions, self.resumes, self.budget_shrinks
+        )?;
+        writeln!(
+            f,
+            "  swap traffic           : {} B out, {} B in, {} link cycles",
+            self.swap_out_bytes, self.swap_in_bytes, self.swap_cycles
+        )?;
+        writeln!(
+            f,
+            "  queue depth            : max {}, mean {:.2}",
+            self.queue_depth_max(),
+            self.queue_depth_mean()
+        )?;
+        writeln!(
+            f,
+            "  kv resident peak       : {} B of {} B capacity ({:.1}%), {} B reserved peak",
+            self.kv_resident_peak_bytes,
+            self.capacity_bytes,
+            100.0 * self.kv_resident_peak_bytes as f64 / self.capacity_bytes.max(1) as f64,
+            self.kv_reserved_peak_bytes
+        )?;
+        writeln!(f, "  latency (ticks)        : {:>8} {:>8} {:>8} {:>8}", "p50", "p95", "p99", "max")?;
+        let mut row = |name: &str, summary: Option<LatencySummary>| match summary {
+            Some(s) => writeln!(f, "    {:<21}: {:>8} {:>8} {:>8} {:>8}", name, s.p50, s.p95, s.p99, s.max),
+            None => writeln!(f, "    {name:<21}: (no completed requests)"),
+        };
+        row("ttft", self.ttft())?;
+        row("queueing delay", self.queueing_delay())?;
+        row("e2e", self.e2e())?;
+        match self.tpot_mean() {
+            Some(tpot) => writeln!(f, "  time per output token  : {tpot:.2} ticks")?,
+            None => writeln!(f, "  time per output token  : n/a")?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn latency_summary_of_empty_is_none() {
+        assert!(LatencySummary::of(vec![]).is_none());
+        let s = LatencySummary::of(vec![3, 1, 2]).unwrap();
+        assert_eq!((s.p50, s.max), (2, 3));
+    }
+
+    #[test]
+    fn record_derives_metrics() {
+        let r = RequestRecord {
+            arrival: 0,
+            session: None,
+            priority: 0,
+            submitted: 10,
+            admitted: Some(12),
+            first_token: Some(15),
+            finished: Some(23),
+            generated_tokens: 5,
+            preemptions: 1,
+            rejected: None,
+        };
+        assert_eq!(r.ttft(), Some(5));
+        assert_eq!(r.e2e(), Some(13));
+        assert_eq!(r.tpot(), Some(2.0));
+    }
+}

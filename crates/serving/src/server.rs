@@ -1,0 +1,476 @@
+//! The virtual-clock serving loop: arrivals → admission → scheduling →
+//! batched decode.
+//!
+//! One [`Server::tick`] is one virtual-clock step, aligned with one
+//! batched engine decode tick:
+//!
+//! 1. **Arrivals** due at the current tick are screened — requests whose
+//!    peak KV footprint can never fit are rejected immediately, as are
+//!    arrivals beyond the queue-depth limit; the rest wait in the queue.
+//! 2. **Resume**: previously preempted sessions whose reservation fits
+//!    again are swapped back in (host-link traffic) and rejoin the batch.
+//! 3. **Admission**: the scheduling policy repeatedly names the next
+//!    queued candidate; each is admitted if its peak reservation fits,
+//!    after preempting victims (swap-out) if the policy offers any. The
+//!    first candidate that still does not fit blocks the queue — no
+//!    backfill, so a policy's ordering is exactly what runs.
+//! 4. **Decode**: the engine advances every active session one token;
+//!    first-token and completion ticks are recorded per request, and
+//!    completions notify closed-loop workloads.
+//! 5. Optionally, a [`BudgetController`] responds to high KV occupancy by
+//!    tightening session budgets (the opt-in alternative to preemption —
+//!    it changes generated tokens, preemption never does).
+//!
+//! Idle spans with no queued work fast-forward the clock to the next
+//! arrival, so sparse workloads cost nothing to simulate.
+
+use std::collections::VecDeque;
+
+use veda::{Engine, Request, Session, TokenEvent};
+use veda_eviction::BudgetController;
+use veda_mem::{HostLink, HostLinkConfig, SwapDirection};
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::report::{RequestRecord, ServingReport};
+use crate::scheduler::{QueuedView, RunningView, SchedKind, SchedulerPolicy};
+use crate::workload::{ServingRequest, Workload};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission accounting (capacity, queue depth).
+    pub admission: AdmissionConfig,
+    /// Host-link model for KV swap traffic.
+    pub host_link: HostLinkConfig,
+    /// Scheduling policy.
+    pub sched: SchedKind,
+    /// Optional budget-shrink pressure response. `None` (the default)
+    /// leaves preemption as the only pressure response and keeps every
+    /// request's token stream identical to an uncontended run.
+    pub shrink: Option<BudgetController>,
+    /// Safety valve: the run stops after this many virtual ticks even if
+    /// work remains (the report then covers the truncated horizon).
+    pub max_ticks: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionConfig::default(),
+            host_link: HostLinkConfig::default(),
+            sched: SchedKind::Fcfs,
+            shrink: None,
+            max_ticks: 1_000_000,
+        }
+    }
+}
+
+/// A request waiting for admission.
+#[derive(Debug)]
+struct QueuedEntry {
+    record: usize,
+    request: Request,
+    priority: u8,
+    est_bytes: u64,
+}
+
+/// An admitted session — in the `running` set it is decoding, in the
+/// `paused` set its KV state lives on the host until resumed.
+#[derive(Debug)]
+struct SessionEntry {
+    record: usize,
+    session: Session,
+    priority: u8,
+    est_bytes: u64,
+    /// Current resident-token cap (tracked for budget shrinking).
+    cap: usize,
+}
+
+/// The serving loop (see the [module docs](self)).
+pub struct Server {
+    engine: Engine,
+    workload: Workload,
+    admission: AdmissionController,
+    policy: Box<dyn SchedulerPolicy>,
+    link: HostLink,
+    shrink: Option<BudgetController>,
+    max_ticks: u64,
+    kv_bytes_per_token: u64,
+    now: u64,
+    queue: VecDeque<QueuedEntry>,
+    running: Vec<SessionEntry>,
+    paused: Vec<SessionEntry>,
+    records: Vec<RequestRecord>,
+    queue_depth: Vec<usize>,
+    admitted: usize,
+    rejected_never_fits: usize,
+    rejected_queue_full: usize,
+    rejected_invalid: usize,
+    preemptions: u64,
+    resumes: u64,
+    budget_shrinks: u64,
+    decode_ticks: u64,
+    kv_resident_peak: u64,
+    kv_reserved_peak: u64,
+}
+
+impl Server {
+    /// Creates a server over an idle engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine already has in-flight sessions.
+    pub fn new(engine: Engine, workload: Workload, config: ServerConfig) -> Self {
+        assert!(
+            engine.active_sessions() == 0 && engine.paused_sessions() == 0,
+            "server requires an idle engine"
+        );
+        let kv_bytes_per_token = engine.kv_bytes_per_token();
+        Self {
+            engine,
+            workload,
+            admission: AdmissionController::new(config.admission),
+            policy: config.sched.build(),
+            link: HostLink::new(config.host_link),
+            shrink: config.shrink,
+            max_ticks: config.max_ticks,
+            kv_bytes_per_token,
+            now: 0,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            paused: Vec::new(),
+            records: Vec::new(),
+            queue_depth: Vec::new(),
+            admitted: 0,
+            rejected_never_fits: 0,
+            rejected_queue_full: 0,
+            rejected_invalid: 0,
+            preemptions: 0,
+            resumes: 0,
+            budget_shrinks: 0,
+            decode_ticks: 0,
+            kv_resident_peak: 0,
+            kv_reserved_peak: 0,
+        }
+    }
+
+    /// The current virtual-clock tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Requests that have arrived so far.
+    pub fn submitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Requests finished so far.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.finished.is_some()).count()
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
+    }
+
+    /// Requests currently queued, decoding, or preempted.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + self.running.len() + self.paused.len()
+    }
+
+    /// KV bytes currently reserved by admission control.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.admission.reserved_bytes()
+    }
+
+    /// The configured device KV capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.admission.config().capacity_bytes
+    }
+
+    /// Whether all work (arrived and future) is finished.
+    pub fn is_done(&self) -> bool {
+        self.workload.exhausted() && self.in_flight() == 0
+    }
+
+    /// Executes one virtual-clock tick (see the [module docs](self)).
+    pub fn tick(&mut self) {
+        for arrival in self.workload.take_arrivals(self.now) {
+            self.accept(arrival);
+        }
+        self.resume_paused();
+        self.admit_from_queue();
+
+        if self.engine.active_sessions() > 0 {
+            let tick = self.engine.step();
+            self.decode_ticks += 1;
+            self.kv_resident_peak = self.kv_resident_peak.max(tick.kv_bytes_resident);
+            for event in &tick.events {
+                self.observe(event);
+            }
+            self.apply_pressure();
+        }
+        self.kv_reserved_peak = self.kv_reserved_peak.max(self.admission.reserved_bytes());
+        self.queue_depth.push(self.queue.len());
+
+        self.now += 1;
+        // Fast-forward idle spans to the next arrival.
+        if self.in_flight() == 0 {
+            if let Some(next) = self.workload.next_arrival_tick() {
+                self.now = self.now.max(next);
+            }
+        }
+    }
+
+    /// Runs the workload to completion (or the `max_ticks` safety valve)
+    /// and produces the [`ServingReport`].
+    pub fn run(mut self) -> ServingReport {
+        while !self.is_done() && self.now < self.max_ticks {
+            self.tick();
+        }
+        self.into_report()
+    }
+
+    /// Checks a request is one the engine will accept (trace workloads
+    /// may carry arbitrary requests; generated mixes always pass).
+    fn validate(&self, request: &Request) -> Result<(), crate::admission::RejectReason> {
+        let vocab = self.engine.model_config().vocab_size;
+        let ok = !request.prompt.is_empty()
+            && request.max_new_tokens > 0
+            && request.prompt.iter().all(|&t| t < vocab)
+            && request.budget.validate().is_ok();
+        if ok {
+            Ok(())
+        } else {
+            Err(crate::admission::RejectReason::Invalid)
+        }
+    }
+
+    /// Screens one arrival into the queue or a rejection record.
+    fn accept(&mut self, arrival: ServingRequest) {
+        let ServingRequest { request, priority } = arrival;
+        let index = self.records.len();
+        let est_bytes = AdmissionController::estimate_bytes(&request, self.kv_bytes_per_token);
+        let mut record = RequestRecord {
+            arrival: index,
+            session: None,
+            priority,
+            submitted: self.now,
+            admitted: None,
+            first_token: None,
+            finished: None,
+            generated_tokens: 0,
+            preemptions: 0,
+            rejected: None,
+        };
+        let screened =
+            self.validate(&request).and_then(|()| self.admission.screen(est_bytes, self.queue.len()));
+        match screened {
+            Ok(()) => {
+                self.queue.push_back(QueuedEntry { record: index, request, priority, est_bytes });
+            }
+            Err(reason) => {
+                record.rejected = Some(reason);
+                match reason {
+                    crate::admission::RejectReason::NeverFits => self.rejected_never_fits += 1,
+                    crate::admission::RejectReason::QueueFull => self.rejected_queue_full += 1,
+                    crate::admission::RejectReason::Invalid => self.rejected_invalid += 1,
+                }
+                // A rejection disposes of the request: without this, a
+                // closed-loop user whose request was rejected would never
+                // submit again and the run could not drain.
+                self.workload.notify_completion(self.now);
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// Swaps preempted sessions back in while their reservations fit,
+    /// oldest preemption first.
+    fn resume_paused(&mut self) {
+        let mut i = 0;
+        while i < self.paused.len() {
+            if self.admission.would_fit(self.paused[i].est_bytes) {
+                let entry = self.paused.remove(i);
+                let bytes = self.engine.resume(entry.session).expect("paused entry tracks the engine");
+                self.link.transfer(bytes, SwapDirection::In);
+                self.admission.reserve(entry.est_bytes);
+                self.resumes += 1;
+                self.running.push(entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn queued_view(&self, entry: &QueuedEntry) -> QueuedView {
+        QueuedView {
+            arrival: entry.record,
+            submitted: self.records[entry.record].submitted,
+            priority: entry.priority,
+            total_tokens: entry.request.max_new_tokens,
+            est_bytes: entry.est_bytes,
+        }
+    }
+
+    fn running_views(&self) -> Vec<RunningView> {
+        self.running
+            .iter()
+            .map(|entry| RunningView {
+                arrival: entry.record,
+                priority: entry.priority,
+                remaining_tokens: self
+                    .engine
+                    .session_remaining_tokens(entry.session)
+                    .expect("running entry tracks the engine"),
+                est_bytes: entry.est_bytes,
+                preemptions: self.records[entry.record].preemptions,
+            })
+            .collect()
+    }
+
+    /// Admits scheduler-ordered candidates until one does not fit (even
+    /// after any preemption the policy offers).
+    fn admit_from_queue(&mut self) {
+        while !self.queue.is_empty() {
+            let views: Vec<QueuedView> = self.queue.iter().map(|e| self.queued_view(e)).collect();
+            let Some(pick) = self.policy.next_candidate(&views) else { break };
+            let incoming = views[pick];
+            while !self.admission.would_fit(incoming.est_bytes) {
+                let victims = self.running_views();
+                let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
+                self.preempt(victim);
+            }
+            if !self.admission.would_fit(incoming.est_bytes) {
+                break;
+            }
+            let entry = self.queue.remove(pick).expect("pick indexes the queue");
+            self.policy.on_admitted(&incoming);
+            self.admit(entry);
+        }
+    }
+
+    /// Pauses the running session at `index` and swaps its KV state out.
+    fn preempt(&mut self, index: usize) {
+        let entry = self.running.remove(index);
+        let bytes = self.engine.pause(entry.session).expect("running entry tracks the engine");
+        self.link.transfer(bytes, SwapDirection::Out);
+        self.admission.release(entry.est_bytes);
+        self.records[entry.record].preemptions += 1;
+        self.preemptions += 1;
+        self.paused.push(entry);
+    }
+
+    /// Submits a queued request into the engine (prefill runs here).
+    fn admit(&mut self, entry: QueuedEntry) {
+        let prompt_len = entry.request.prompt.len();
+        let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
+        let cap = entry.request.budget.resolve(prompt_len).min(peak_tokens);
+        let session = self.engine.submit(entry.request).expect("accept() validated the request");
+        self.admission.reserve(entry.est_bytes);
+        self.admitted += 1;
+        let record = &mut self.records[entry.record];
+        record.session = Some(session);
+        record.admitted = Some(self.now);
+        debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
+        self.running.push(SessionEntry {
+            record: entry.record,
+            session,
+            priority: entry.priority,
+            est_bytes: entry.est_bytes,
+            cap,
+        });
+    }
+
+    /// Applies one session's token event to its record; completions
+    /// release their reservation and notify closed-loop workloads.
+    fn observe(&mut self, event: &TokenEvent) {
+        let index = self
+            .running
+            .iter()
+            .position(|r| r.session == event.session)
+            .expect("every stepped session has a running entry");
+        let record = &mut self.records[self.running[index].record];
+        record.generated_tokens += 1;
+        if record.first_token.is_none() {
+            record.first_token = Some(self.now);
+        }
+        if event.finished {
+            record.finished = Some(self.now);
+            let entry = self.running.remove(index);
+            self.admission.release(entry.est_bytes);
+            self.workload.notify_completion(self.now);
+        }
+    }
+
+    /// Budget-shrink pressure response (opt-in, see [`ServerConfig`]).
+    fn apply_pressure(&mut self) {
+        let Some(controller) = self.shrink else { return };
+        let resident = self.engine.kv_bytes_active();
+        let factor = controller.shrink_factor(resident, self.capacity_bytes());
+        if factor >= 1.0 {
+            return;
+        }
+        for entry in &mut self.running {
+            let new_cap = controller.shrunk_cap(entry.cap, factor);
+            if new_cap < entry.cap {
+                self.engine.tighten_budget(entry.session, new_cap);
+                entry.cap = new_cap;
+                self.budget_shrinks += 1;
+            }
+        }
+    }
+
+    /// Drains the engine and assembles the report.
+    fn into_report(mut self) -> ServingReport {
+        // Safety valve: a truncated run still drains the engine so the
+        // batched accounting is complete and well-formed.
+        let paused: Vec<SessionEntry> = std::mem::take(&mut self.paused);
+        for entry in paused {
+            self.engine.resume(entry.session).expect("paused entry tracks the engine");
+        }
+        let engine = self.engine.run_to_completion();
+        ServingReport {
+            arrival: self.workload.kind(),
+            sched: self.policy.kind(),
+            ticks: self.now,
+            decode_ticks: self.decode_ticks,
+            submitted: self.records.len(),
+            admitted: self.admitted,
+            completed: self.records.iter().filter(|r| r.finished.is_some()).count(),
+            rejected_never_fits: self.rejected_never_fits,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_invalid: self.rejected_invalid,
+            preemptions: self.preemptions,
+            resumes: self.resumes,
+            swap_out_bytes: self.link.bytes(SwapDirection::Out),
+            swap_in_bytes: self.link.bytes(SwapDirection::In),
+            swap_cycles: self.link.total_cycles(),
+            budget_shrinks: self.budget_shrinks,
+            queue_depth: self.queue_depth,
+            kv_resident_peak_bytes: self.kv_resident_peak,
+            kv_reserved_peak_bytes: self.kv_reserved_peak,
+            capacity_bytes: self.admission.config().capacity_bytes,
+            records: self.records,
+            engine,
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("running", &self.running.len())
+            .field("paused", &self.paused.len())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}

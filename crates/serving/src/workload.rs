@@ -1,0 +1,432 @@
+//! Timed request arrival generation: open-loop Poisson and bursty on-off
+//! processes, a closed-loop N-users think-time model, and deterministic
+//! trace replay — all seeded and reproducible.
+//!
+//! A [`Workload`] produces [`ServingRequest`]s stamped with virtual-clock
+//! arrival ticks. Open-loop processes precompute their whole arrival
+//! sequence at construction (arrivals do not depend on service times);
+//! the closed-loop process schedules each user's next request only when a
+//! previous one completes ([`Workload::notify_completion`]), modeling
+//! interactive users with exponential think times.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veda::{Budget, Request};
+use veda_eviction::PolicyKind;
+
+/// One request as the serving layer sees it: the engine [`Request`] plus
+/// scheduling metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRequest {
+    /// The engine request (prompt, limits, policy, budget).
+    pub request: Request,
+    /// Priority tier, higher is more important (used by the priority
+    /// scheduler; ignored by the others).
+    pub priority: u8,
+}
+
+/// The arrival process families a [`Workload`] can generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrivalKind {
+    /// Open-loop Poisson arrivals at a constant rate.
+    Poisson,
+    /// Open-loop on-off (bursty) arrivals: Poisson bursts separated by
+    /// silent gaps.
+    Burst,
+    /// Closed-loop: N users alternate between waiting for their request
+    /// and thinking for an exponential time.
+    Closed,
+    /// Deterministic replay of an explicit arrival trace.
+    Trace,
+}
+
+impl ArrivalKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [ArrivalKind; 4] =
+        [ArrivalKind::Poisson, ArrivalKind::Burst, ArrivalKind::Closed, ArrivalKind::Trace];
+
+    /// Stable identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Burst => "burst",
+            ArrivalKind::Closed => "closed",
+            ArrivalKind::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing an [`ArrivalKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArrivalKindError(String);
+
+impl std::fmt::Display for ParseArrivalKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown arrival process {:?} (expected one of: poisson, burst, closed, trace)", self.0)
+    }
+}
+
+impl std::error::Error for ParseArrivalKindError {}
+
+impl std::str::FromStr for ArrivalKind {
+    type Err = ParseArrivalKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "poisson" | "open" => Ok(ArrivalKind::Poisson),
+            "burst" | "bursty" | "onoff" | "on-off" => Ok(ArrivalKind::Burst),
+            "closed" | "closed-loop" | "closedloop" | "users" => Ok(ArrivalKind::Closed),
+            "trace" | "replay" => Ok(ArrivalKind::Trace),
+            _ => Err(ParseArrivalKindError(s.to_string())),
+        }
+    }
+}
+
+/// Population the request generator samples from: policies and budgets
+/// rotate deterministically per request; prompt lengths, generation
+/// limits and priorities are drawn from the seeded RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMix {
+    /// Eviction policies, assigned round-robin by arrival index.
+    pub policies: Vec<PolicyKind>,
+    /// Cache budgets, assigned round-robin by arrival index.
+    pub budgets: Vec<Budget>,
+    /// Inclusive prompt-length bounds.
+    pub prompt_len: (usize, usize),
+    /// Inclusive generated-token bounds (min must be ≥ 1 so every request
+    /// produces a first token).
+    pub max_new_tokens: (usize, usize),
+    /// Number of priority tiers; priorities are drawn from `0..tiers`.
+    pub priority_tiers: u8,
+    /// Vocabulary size prompts are drawn from (tokens in `1..vocab`).
+    pub vocab_size: usize,
+}
+
+impl Default for RequestMix {
+    /// The mixed population the serving example ships: all four
+    /// policy/budget pairings over short prompts sized for
+    /// [`veda_model::ModelConfig::tiny`].
+    fn default() -> Self {
+        Self {
+            policies: vec![PolicyKind::Voting, PolicyKind::H2o, PolicyKind::SlidingWindow, PolicyKind::Full],
+            budgets: vec![Budget::Ratio(0.5), Budget::Fixed(12), Budget::Ratio(0.25), Budget::Unbounded],
+            prompt_len: (12, 32),
+            max_new_tokens: (6, 16),
+            priority_tiers: 3,
+            vocab_size: veda_model::ModelConfig::tiny().vocab_size,
+        }
+    }
+}
+
+impl RequestMix {
+    /// Samples the `index`-th request of a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted, a bound is zero, or the mix has
+    /// no policies/budgets.
+    pub fn sample(&self, rng: &mut StdRng, index: usize) -> ServingRequest {
+        assert!(!self.policies.is_empty() && !self.budgets.is_empty(), "empty policy/budget mix");
+        assert!(self.vocab_size > 1, "vocabulary too small to sample prompts");
+        let (p_lo, p_hi) = self.prompt_len;
+        let (g_lo, g_hi) = self.max_new_tokens;
+        assert!(0 < p_lo && p_lo <= p_hi, "invalid prompt length bounds");
+        assert!(0 < g_lo && g_lo <= g_hi, "invalid generation bounds");
+
+        let prompt_len = rng.gen_range(p_lo..=p_hi);
+        let prompt: Vec<usize> = (0..prompt_len).map(|_| rng.gen_range(1..self.vocab_size)).collect();
+        let max_new = rng.gen_range(g_lo..=g_hi);
+        let priority = if self.priority_tiers <= 1 { 0 } else { rng.gen_range(0..self.priority_tiers) };
+        let request = Request::new(prompt, max_new)
+            .policy(self.policies[index % self.policies.len()])
+            .budget(self.budgets[index % self.budgets.len()]);
+        ServingRequest { request, priority }
+    }
+}
+
+/// Draws an exponential holding time with the given mean, in whole ticks.
+fn exp_ticks(rng: &mut StdRng, mean: f64) -> u64 {
+    let u: f64 = rng.gen();
+    // 1 - u ∈ (0, 1], so ln is finite and the draw non-negative.
+    (-(1.0 - u).ln() * mean).round() as u64
+}
+
+/// A seeded, reproducible source of timed request arrivals (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: ArrivalKind,
+    /// Future arrivals, sorted by tick.
+    scheduled: VecDeque<(u64, ServingRequest)>,
+    /// Closed-loop: requests not yet scheduled because their user is
+    /// still waiting or thinking.
+    unspawned: usize,
+    /// Closed-loop mean think time in ticks.
+    think_ticks: f64,
+    rng: StdRng,
+    mix: RequestMix,
+    emitted: usize,
+}
+
+impl Workload {
+    /// Open-loop Poisson arrivals: `total` requests at `rate` requests
+    /// per tick (exponential inter-arrival times with mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn poisson(seed: u64, rate: f64, total: usize, mix: RequestMix) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scheduled = VecDeque::with_capacity(total);
+        let mut tick = 0u64;
+        for i in 0..total {
+            tick += exp_ticks(&mut rng, 1.0 / rate);
+            let request = mix.sample(&mut rng, i);
+            scheduled.push_back((tick, request));
+        }
+        Self { kind: ArrivalKind::Poisson, scheduled, unspawned: 0, think_ticks: 0.0, rng, mix, emitted: 0 }
+    }
+
+    /// Open-loop bursty arrivals: Poisson at `rate` during `on_ticks`-long
+    /// bursts, silent for `off_ticks` between bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive or `on_ticks` is zero.
+    pub fn bursty(
+        seed: u64,
+        rate: f64,
+        on_ticks: u64,
+        off_ticks: u64,
+        total: usize,
+        mix: RequestMix,
+    ) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        assert!(on_ticks > 0, "burst length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scheduled = VecDeque::with_capacity(total);
+        // Arrivals are Poisson on the concatenated ON-time axis; mapping
+        // ON-time τ to wall time inserts the OFF gaps.
+        let mut on_time = 0u64;
+        for i in 0..total {
+            on_time += exp_ticks(&mut rng, 1.0 / rate);
+            let wall = (on_time / on_ticks) * (on_ticks + off_ticks) + on_time % on_ticks;
+            let request = mix.sample(&mut rng, i);
+            scheduled.push_back((wall, request));
+        }
+        Self { kind: ArrivalKind::Burst, scheduled, unspawned: 0, think_ticks: 0.0, rng, mix, emitted: 0 }
+    }
+
+    /// Closed-loop think-time model: `users` concurrent users issue
+    /// `total` requests between them. Each user submits, waits for the
+    /// request to complete, thinks for an exponential time with mean
+    /// `think_ticks`, then submits again. The server must call
+    /// [`Workload::notify_completion`] for follow-up arrivals to appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero or `think_ticks` is negative.
+    pub fn closed_loop(seed: u64, users: usize, think_ticks: f64, total: usize, mix: RequestMix) -> Self {
+        assert!(users > 0, "closed loop needs at least one user");
+        assert!(think_ticks >= 0.0, "think time must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = users.min(total);
+        let mut scheduled = VecDeque::with_capacity(initial);
+        let mut tick = 0u64;
+        for i in 0..initial {
+            // Users ramp in over their think time rather than stampeding
+            // tick zero.
+            let request = mix.sample(&mut rng, i);
+            scheduled.push_back((tick, request));
+            tick += exp_ticks(&mut rng, think_ticks / users.max(1) as f64);
+        }
+        Self {
+            kind: ArrivalKind::Closed,
+            scheduled,
+            unspawned: total - initial,
+            think_ticks,
+            rng,
+            mix,
+            emitted: 0,
+        }
+    }
+
+    /// Deterministic replay of an explicit `(tick, request)` trace.
+    /// Arrivals are sorted by tick; the trace's own order breaks ties.
+    pub fn trace(arrivals: Vec<(u64, ServingRequest)>) -> Self {
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|(tick, _)| *tick);
+        Self {
+            kind: ArrivalKind::Trace,
+            scheduled: arrivals.into(),
+            unspawned: 0,
+            think_ticks: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            mix: RequestMix::default(),
+            emitted: 0,
+        }
+    }
+
+    /// The arrival process family.
+    pub fn kind(&self) -> ArrivalKind {
+        self.kind
+    }
+
+    /// Requests arriving at or before `now`, in arrival order. Each is
+    /// returned exactly once.
+    pub fn take_arrivals(&mut self, now: u64) -> Vec<ServingRequest> {
+        let mut out = Vec::new();
+        while self.scheduled.front().is_some_and(|(tick, _)| *tick <= now) {
+            out.push(self.scheduled.pop_front().expect("checked non-empty").1);
+        }
+        self.emitted += out.len();
+        out
+    }
+
+    /// Tells a closed-loop workload that one request completed at `now`:
+    /// the freed user thinks, then submits the next request. A no-op for
+    /// open-loop and trace workloads.
+    pub fn notify_completion(&mut self, now: u64) {
+        if self.kind != ArrivalKind::Closed || self.unspawned == 0 {
+            return;
+        }
+        self.unspawned -= 1;
+        let tick = now + 1 + exp_ticks(&mut self.rng, self.think_ticks);
+        let index = self.emitted + self.scheduled.len();
+        let request = self.mix.sample(&mut self.rng, index);
+        // Completions arrive in nondecreasing `now` order but think times
+        // vary, so keep the schedule sorted by insertion.
+        let at = self.scheduled.partition_point(|(t, _)| *t <= tick);
+        self.scheduled.insert(at, (tick, request));
+    }
+
+    /// Whether every request this workload will ever produce has been
+    /// taken.
+    pub fn exhausted(&self) -> bool {
+        self.scheduled.is_empty() && self.unspawned == 0
+    }
+
+    /// The tick of the next scheduled arrival, if any (used to
+    /// fast-forward idle servers).
+    pub fn next_arrival_tick(&self) -> Option<u64> {
+        self.scheduled.front().map(|(tick, _)| *tick)
+    }
+
+    /// Requests produced so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_and_label() {
+        for kind in ArrivalKind::ALL {
+            assert_eq!(kind.as_str().parse::<ArrivalKind>().unwrap(), kind);
+        }
+        assert!("warp".parse::<ArrivalKind>().is_err());
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut w = Workload::poisson(seed, 0.5, 20, RequestMix::default());
+            let mut out = Vec::new();
+            for now in 0..10_000 {
+                for r in w.take_arrivals(now) {
+                    out.push((now, r));
+                }
+                if w.exhausted() {
+                    break;
+                }
+            }
+            out
+        };
+        let a = collect(7);
+        let b = collect(7);
+        let c = collect(8);
+        assert_eq!(a, b, "same seed, same arrivals");
+        assert_ne!(a, c, "different seed, different arrivals");
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn poisson_rate_shapes_spacing() {
+        let span = |rate: f64| {
+            let w = Workload::poisson(3, rate, 50, RequestMix::default());
+            w.scheduled.back().expect("non-empty").0
+        };
+        assert!(span(2.0) < span(0.1), "higher rate packs arrivals tighter");
+    }
+
+    #[test]
+    fn bursts_leave_silent_gaps() {
+        let mut w = Workload::bursty(11, 1.0, 10, 90, 40, RequestMix::default());
+        // Every arrival lands inside an ON window ([0, 10) mod 100).
+        for now in 0..100_000 {
+            for _ in w.take_arrivals(now) {
+                assert!(now % 100 < 10, "arrival at {now} falls in an OFF gap");
+            }
+            if w.exhausted() {
+                break;
+            }
+        }
+        assert!(w.exhausted());
+    }
+
+    #[test]
+    fn closed_loop_waits_for_completions() {
+        let mut w = Workload::closed_loop(5, 2, 4.0, 6, RequestMix::default());
+        let initial: usize = (0..1000).map(|now| w.take_arrivals(now).len()).sum();
+        assert_eq!(initial, 2, "only the initial user wave arrives without completions");
+        assert!(!w.exhausted(), "four requests still unspawned");
+
+        w.notify_completion(1000);
+        let mut follow_up = 0;
+        for now in 1000..10_000 {
+            follow_up += w.take_arrivals(now).len();
+        }
+        assert_eq!(follow_up, 1, "one completion frees exactly one user");
+    }
+
+    #[test]
+    fn trace_replays_in_order() {
+        let mix = RequestMix::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r0 = mix.sample(&mut rng, 0);
+        let r1 = mix.sample(&mut rng, 1);
+        let mut w = Workload::trace(vec![(9, r1.clone()), (2, r0.clone())]);
+        assert_eq!(w.next_arrival_tick(), Some(2));
+        assert_eq!(w.take_arrivals(5), vec![r0]);
+        assert_eq!(w.take_arrivals(9), vec![r1]);
+        assert!(w.exhausted());
+        assert_eq!(w.emitted(), 2);
+    }
+
+    #[test]
+    fn mix_respects_bounds_and_rotation() {
+        let mix = RequestMix::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..64 {
+            let r = mix.sample(&mut rng, i);
+            let len = r.request.prompt.len();
+            assert!((mix.prompt_len.0..=mix.prompt_len.1).contains(&len));
+            assert!((mix.max_new_tokens.0..=mix.max_new_tokens.1).contains(&r.request.max_new_tokens));
+            assert!(r.request.prompt.iter().all(|&t| t >= 1 && t < mix.vocab_size));
+            assert!(r.priority < mix.priority_tiers);
+            assert_eq!(r.request.policy, mix.policies[i % mix.policies.len()]);
+        }
+    }
+}

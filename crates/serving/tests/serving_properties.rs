@@ -1,0 +1,76 @@
+//! Property tests for the serving invariants, over randomized seeds,
+//! arrival rates, schedulers and capacities:
+//!
+//! * conservation — at every tick, `submitted = completed + rejected +
+//!   in-flight`;
+//! * capacity — admission-reserved bytes never exceed the configured HBM
+//!   capacity, and the KV bytes actually resident never exceed the
+//!   reservation (so resident ≤ capacity transitively);
+//! * termination — every run drains within the tick budget.
+
+use proptest::prelude::*;
+use veda::EngineBuilder;
+use veda_model::ModelConfig;
+use veda_serving::{AdmissionConfig, RequestMix, SchedKind, Server, ServerConfig, Workload};
+
+fn check_invariants_all_ticks(seed: u64, rate: f64, sched: SchedKind, capacity_bytes: u64) {
+    let engine = EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config");
+    let total = 10;
+    let workload = Workload::poisson(seed, rate, total, RequestMix::default());
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes, max_queue_depth: 8 },
+        sched,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::new(engine, workload, config);
+
+    let mut ticks = 0u64;
+    while !server.is_done() {
+        server.tick();
+        ticks += 1;
+        assert!(ticks < 10_000, "run must terminate (seed {seed}, rate {rate}, {sched})");
+
+        prop_assert_eq!(
+            server.submitted(),
+            server.completed() + server.rejected() + server.in_flight(),
+            "conservation broke at tick {} (seed {}, rate {}, {})",
+            server.now(),
+            seed,
+            rate,
+            sched
+        );
+        prop_assert!(
+            server.reserved_bytes() <= server.capacity_bytes(),
+            "reserved {} exceeds capacity {} at tick {} (seed {}, {})",
+            server.reserved_bytes(),
+            server.capacity_bytes(),
+            server.now(),
+            seed,
+            sched
+        );
+        prop_assert!(
+            server.engine().kv_bytes_active() <= server.reserved_bytes(),
+            "resident {} exceeds reservation {} at tick {} (seed {}, {})",
+            server.engine().kv_bytes_active(),
+            server.reserved_bytes(),
+            server.now(),
+            seed,
+            sched
+        );
+    }
+    prop_assert_eq!(server.submitted(), total, "workload must deliver every request");
+    prop_assert_eq!(server.in_flight(), 0, "drained server holds nothing");
+}
+
+proptest! {
+    #[test]
+    fn serving_invariants_hold_every_tick(
+        seed in 0u64..10_000,
+        rate in 0.1f64..2.0,
+        sched_index in 0usize..4,
+        capacity_kb in 13u64..40,
+    ) {
+        let sched = SchedKind::ALL[sched_index];
+        check_invariants_all_ticks(seed, rate, sched, capacity_kb << 10);
+    }
+}

@@ -1,84 +1,152 @@
-//! Serving simulation: the workload the ROADMAP's north star describes —
-//! many concurrent users, one engine. A dozen requests with mixed
-//! eviction policies, cache budgets, prompt lengths and generation limits
-//! are decoded through one [`veda::Engine`] in batched ticks: every tick
-//! advances all active sessions by one token, streams the shared weights
-//! from HBM once, and reports batched throughput/energy next to the exact
-//! per-request reports the legacy one-shot API would produce.
+//! Serving simulation: the ROADMAP's scaling anchor. A seeded workload of
+//! timed arrivals (open-loop Poisson, bursty on-off, closed-loop users, or
+//! deterministic trace) flows through the `veda-serving` stack — admission
+//! control accounts KV bytes against HBM capacity, a scheduling policy
+//! decides which queued request is admitted next (preempting and swapping
+//! sessions over the host link when it must make room), and the engine
+//! decodes every admitted session in batched ticks. The run ends with a
+//! `ServingReport`: TTFT / queueing / end-to-end latency percentiles,
+//! queue depth, preemption/rejection counts and swap traffic, next to the
+//! engine's batched throughput report.
 //!
 //! ```sh
-//! cargo run --release --example serving_sim
-//! cargo run --release --example serving_sim -- --requests 16 --policy voting --variant veda
+//! cargo run --release --example serving_sim -- --arrival poisson --sched fcfs --seed 7
+//! cargo run --release --example serving_sim -- --arrival burst --sched priority --capacity-kb 16
+//! cargo run --release --example serving_sim -- --arrival closed --sched srb --requests 24 --rate 0.8
 //! ```
 
-use veda::{Budget, EngineBuilder, Request};
+use veda::EngineBuilder;
 use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
+use veda_serving::{AdmissionConfig, ArrivalKind, RequestMix, SchedKind, Server, ServerConfig, Workload};
 
-fn parse_args() -> Result<(usize, Option<PolicyKind>, DataflowVariant), Box<dyn std::error::Error>> {
-    let mut requests = 12usize;
-    let mut policy = None;
-    let mut variant = DataflowVariant::FlexibleElementSerial;
+struct Args {
+    seed: u64,
+    arrival: ArrivalKind,
+    rate: f64,
+    sched: SchedKind,
+    requests: usize,
+    capacity_kb: u64,
+    policy: Option<PolicyKind>,
+    variant: DataflowVariant,
+}
+
+fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
+    let mut parsed = Args {
+        seed: 7,
+        arrival: ArrivalKind::Poisson,
+        rate: 0.5,
+        sched: SchedKind::Fcfs,
+        requests: 24,
+        capacity_kb: 32,
+        policy: None,
+        variant: DataflowVariant::FlexibleElementSerial,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value after {arg}"));
         match arg.as_str() {
-            "--requests" => requests = value()?.parse()?,
-            "--policy" => policy = Some(value()?.parse()?),
-            "--variant" => variant = value()?.parse()?,
-            other => return Err(format!("unknown argument {other:?}").into()),
+            "--seed" => parsed.seed = value()?.parse()?,
+            "--arrival" => parsed.arrival = value()?.parse()?,
+            "--rate" => parsed.rate = value()?.parse()?,
+            "--sched" => parsed.sched = value()?.parse()?,
+            "--requests" => parsed.requests = value()?.parse()?,
+            "--capacity-kb" => parsed.capacity_kb = value()?.parse()?,
+            "--policy" => parsed.policy = Some(value()?.parse()?),
+            "--variant" => parsed.variant = value()?.parse()?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
+                     \x20                  [--sched fcfs|round_robin|srb|priority] [--requests N]\n\
+                     \x20                  [--capacity-kb KB] [--policy P] [--variant V]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)").into()),
         }
     }
-    Ok((requests, policy, variant))
+    if parsed.rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    Ok(parsed)
+}
+
+/// Builds the requested workload over the (optionally single-policy) mix.
+fn build_workload(args: &Args) -> Workload {
+    let mut mix = RequestMix::default();
+    if let Some(policy) = args.policy {
+        mix.policies = vec![policy];
+    }
+    match args.arrival {
+        ArrivalKind::Poisson => Workload::poisson(args.seed, args.rate, args.requests, mix),
+        ArrivalKind::Burst => {
+            Workload::bursty(args.seed, args.rate.max(0.5) * 2.0, 8, 40, args.requests, mix)
+        }
+        ArrivalKind::Closed => {
+            Workload::closed_loop(args.seed, 4.max(args.requests / 6), 12.0, args.requests, mix)
+        }
+        ArrivalKind::Trace => {
+            // A deterministic stair-step trace: pairs of requests every
+            // five ticks, built from the same seeded mix.
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            let arrivals =
+                (0..args.requests).map(|i| ((i as u64 / 2) * 5, mix.sample(&mut rng, i))).collect();
+            Workload::trace(arrivals)
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (n_requests, forced_policy, variant) = parse_args()?;
+    let args = parse_args()?;
+    let engine = EngineBuilder::new().model(ModelConfig::tiny()).variant(args.variant).build()?;
+    let kv_per_token = engine.kv_bytes_per_token();
+    let workload = build_workload(&args);
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: args.capacity_kb << 10, ..AdmissionConfig::default() },
+        sched: args.sched,
+        ..ServerConfig::default()
+    };
 
-    let mut engine = EngineBuilder::new().model(ModelConfig::tiny()).variant(variant).build()?;
-
-    // A mixed population: policies and budgets rotate per request unless a
-    // policy was forced on the command line, prompts differ in content and
-    // length, and generation limits vary — continuous batching handles the
-    // stragglers.
-    let policies = [PolicyKind::Voting, PolicyKind::H2o, PolicyKind::SlidingWindow, PolicyKind::Full];
-    let budgets = [Budget::Ratio(0.5), Budget::Fixed(12), Budget::Ratio(0.25), Budget::Unbounded];
-    for i in 0..n_requests {
-        let prompt: Vec<usize> = (0..16 + 4 * (i % 5)).map(|j| (j * 7 + i * 13) % 60 + 1).collect();
-        let policy = forced_policy.unwrap_or(policies[i % policies.len()]);
-        let budget = budgets[i % budgets.len()];
-        let request = Request::new(prompt, 8 + 2 * (i % 4)).policy(policy).budget(budget);
-        engine.submit(request)?;
-    }
     println!(
-        "== serving_sim: {n_requests} concurrent requests, {} dataflow, model D={} ==\n",
-        variant,
-        engine.model_config().d_model
+        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow ==",
+        args.requests, args.arrival, args.rate, args.sched, args.variant
+    );
+    println!(
+        "   seed {}, KV capacity {} KiB ({} B/token => ~{} resident tokens)\n",
+        args.seed,
+        args.capacity_kb,
+        kv_per_token,
+        (args.capacity_kb << 10) / kv_per_token.max(1)
     );
 
-    // Stream: one line per batched tick.
-    println!("{:<6} {:>6} {:>14} {:>12}  tokens", "tick", "batch", "tick cycles", "finished");
-    let mut tick_no = 0;
-    while engine.active_sessions() > 0 {
-        let tick = engine.step();
-        tick_no += 1;
-        let finished = tick.events.iter().filter(|e| e.finished).count();
-        let tokens: Vec<String> =
-            tick.events.iter().take(8).map(|e| format!("{}:{}", e.session, e.token)).collect();
+    // Stream the first stretch of the virtual clock, then run silently.
+    const SHOWN_TICKS: usize = 24;
+    let mut server = Server::new(engine, workload, config);
+    println!("{:<8} {:>7} {:>8} {:>8} {:>12}", "tick", "queued", "running", "paused", "kv reserved");
+    let mut shown = 0;
+    while !server.is_done() && shown < SHOWN_TICKS {
+        server.tick();
+        shown += 1;
         println!(
-            "{:<6} {:>6} {:>14} {:>12}  {}{}",
-            tick_no,
-            tick.batch_size,
-            tick.batch_cycles,
-            finished,
-            tokens.join(" "),
-            if tick.events.len() > 8 { " …" } else { "" },
+            "{:<8} {:>7} {:>8} {:>8} {:>12}",
+            server.now(),
+            server.in_flight() - server.engine().active_sessions() - server.engine().paused_sessions(),
+            server.engine().active_sessions(),
+            server.engine().paused_sessions(),
+            server.reserved_bytes(),
         );
     }
+    if !server.is_done() {
+        println!("…");
+    }
+    let report = server.run();
 
-    println!("\n{}", engine.run_to_completion());
-    println!("(per-request tok/s are single-sequence equivalents; the batched");
-    println!(" tokens/s above them is what the engine actually sustained)");
+    println!("\n{}", report);
+    println!("{}", report.engine);
+    println!("(ticks are batched decode steps of the virtual clock; per-request");
+    println!(" tok/s in the engine report are single-sequence equivalents)");
     Ok(())
 }

@@ -1,7 +1,8 @@
 //! Workspace root crate for the VEDA reproduction.
 //!
-//! The substance lives in the [`veda`] crate and its substrates; this root
-//! package hosts the runnable `examples/` and the cross-crate integration
-//! tests in `tests/`.
+//! The substance lives in the [`veda`] crate and its substrates (plus the
+//! [`veda_serving`] stack layered on top); this root package hosts the
+//! runnable `examples/` and the cross-crate integration tests in `tests/`.
 
 pub use veda::*;
+pub use veda_serving as serving;

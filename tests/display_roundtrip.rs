@@ -1,0 +1,50 @@
+//! Display ↔ FromStr round-trips for every configuration enum exposed on
+//! a CLI surface: whatever a report prints must parse back to the same
+//! value, so saved invocations and log lines stay replayable.
+
+use veda::Budget;
+use veda_accel::DataflowVariant;
+use veda_eviction::PolicyKind;
+use veda_serving::{ArrivalKind, SchedKind};
+
+#[test]
+fn policy_kind_display_roundtrips() {
+    for kind in PolicyKind::ALL {
+        let text = kind.to_string();
+        assert_eq!(text.parse::<PolicyKind>().unwrap(), kind, "{text} must parse back");
+    }
+}
+
+#[test]
+fn dataflow_variant_display_roundtrips() {
+    for variant in DataflowVariant::ALL {
+        let text = variant.to_string();
+        assert_eq!(text.parse::<DataflowVariant>().unwrap(), variant, "{text} must parse back");
+    }
+}
+
+#[test]
+fn budget_display_roundtrips() {
+    let budgets =
+        [Budget::Unbounded, Budget::Fixed(1), Budget::Fixed(4096), Budget::Ratio(0.25), Budget::Ratio(1.0)];
+    for budget in budgets {
+        let text = budget.to_string();
+        assert_eq!(text.parse::<Budget>().unwrap(), budget, "{text} must parse back");
+    }
+}
+
+#[test]
+fn sched_kind_display_roundtrips() {
+    for kind in SchedKind::ALL {
+        let text = kind.to_string();
+        assert_eq!(text.parse::<SchedKind>().unwrap(), kind, "{text} must parse back");
+    }
+}
+
+#[test]
+fn arrival_kind_display_roundtrips() {
+    for kind in ArrivalKind::ALL {
+        let text = kind.to_string();
+        assert_eq!(text.parse::<ArrivalKind>().unwrap(), kind, "{text} must parse back");
+    }
+}

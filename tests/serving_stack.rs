@@ -1,0 +1,235 @@
+//! Cross-crate integration of the serving stack (Workload → Admission →
+//! Scheduler → Engine): every arrival process × scheduling policy combo
+//! completes and conserves requests, same-seed runs are bit-identical,
+//! and capacity pressure produces preemption + costed swap traffic
+//! without changing any request's generated token sequence.
+
+use std::collections::BTreeMap;
+
+use veda::EngineBuilder;
+use veda_model::ModelConfig;
+use veda_serving::{
+    AdmissionConfig, ArrivalKind, RequestMix, SchedKind, Server, ServerConfig, ServingReport, Workload,
+};
+
+fn engine() -> veda::Engine {
+    EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config")
+}
+
+fn workload(kind: ArrivalKind, seed: u64, total: usize) -> Workload {
+    let mix = RequestMix::default();
+    match kind {
+        ArrivalKind::Poisson => Workload::poisson(seed, 0.6, total, mix),
+        ArrivalKind::Burst => Workload::bursty(seed, 1.2, 6, 30, total, mix),
+        ArrivalKind::Closed => Workload::closed_loop(seed, 3, 8.0, total, mix),
+        ArrivalKind::Trace => {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            Workload::trace((0..total).map(|i| (3 * i as u64, mix.sample(&mut rng, i))).collect())
+        }
+    }
+}
+
+fn run(kind: ArrivalKind, sched: SchedKind, seed: u64, capacity_bytes: u64) -> ServingReport {
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes, max_queue_depth: 64 },
+        sched,
+        ..ServerConfig::default()
+    };
+    Server::new(engine(), workload(kind, seed, 18), config).run()
+}
+
+/// Generated token streams keyed by arrival index (stable across
+/// scheduling decisions, unlike session ids).
+fn tokens_by_arrival(report: &ServingReport) -> BTreeMap<usize, Vec<usize>> {
+    report
+        .records
+        .iter()
+        .filter_map(|record| {
+            let session = record.session?;
+            let outcome = report.engine.requests.iter().find(|r| r.session == session)?;
+            Some((record.arrival, outcome.report.generated.clone()))
+        })
+        .collect()
+}
+
+#[test]
+fn every_arrival_process_times_every_scheduler_completes() {
+    for kind in [ArrivalKind::Poisson, ArrivalKind::Burst, ArrivalKind::Closed] {
+        for sched in [SchedKind::Fcfs, SchedKind::Srb, SchedKind::Priority] {
+            let report = run(kind, sched, 11, 24 << 10);
+            assert_eq!(report.arrival, kind);
+            assert_eq!(report.sched, sched);
+            assert_eq!(report.submitted, 18, "{kind}/{sched}");
+            assert_eq!(
+                report.completed + report.rejected(),
+                report.submitted,
+                "{kind}/{sched}: every request must complete or be rejected"
+            );
+            assert!(report.completed > 0, "{kind}/{sched}: something must finish");
+            assert!(report.ttft().is_some(), "{kind}/{sched}: TTFT is reported");
+            assert!(report.e2e().is_some(), "{kind}/{sched}: e2e latency is reported");
+            assert!(report.decode_ticks > 0 && report.ticks >= report.decode_ticks);
+            assert!(
+                report.kv_resident_peak_bytes <= report.capacity_bytes,
+                "{kind}/{sched}: resident KV must never exceed capacity"
+            );
+            assert!(report.kv_reserved_peak_bytes <= report.capacity_bytes, "{kind}/{sched}");
+        }
+    }
+}
+
+#[test]
+fn round_robin_and_trace_also_complete() {
+    let report = run(ArrivalKind::Trace, SchedKind::RoundRobin, 5, 24 << 10);
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for sched in [SchedKind::Fcfs, SchedKind::Priority] {
+        let a = run(ArrivalKind::Poisson, sched, 7, 20 << 10);
+        let b = run(ArrivalKind::Poisson, sched, 7, 20 << 10);
+        assert_eq!(a, b, "{sched}: same seed must reproduce the full report");
+        let c = run(ArrivalKind::Poisson, sched, 8, 20 << 10);
+        assert_ne!(
+            tokens_by_arrival(&a),
+            tokens_by_arrival(&c),
+            "{sched}: different seeds produce different workloads"
+        );
+    }
+}
+
+#[test]
+fn capacity_pressure_preempts_and_costs_swap_without_changing_tokens() {
+    // Uncontended reference: capacity so large nothing queues or preempts.
+    let unconstrained = run(ArrivalKind::Poisson, SchedKind::Priority, 13, 8 << 30);
+    assert_eq!(unconstrained.preemptions, 0);
+    assert_eq!(unconstrained.swap_out_bytes, 0);
+    assert_eq!(unconstrained.completed, unconstrained.submitted);
+
+    // Tight capacity: the priority scheduler must preempt to admit
+    // higher-priority arrivals, costing host-link swap traffic.
+    let constrained = run(ArrivalKind::Poisson, SchedKind::Priority, 13, 14 << 10);
+    assert!(constrained.preemptions > 0, "tight capacity must force preemption");
+    assert_eq!(constrained.preemptions, constrained.resumes, "every victim resumes");
+    assert!(constrained.swap_out_bytes > 0, "swap-out traffic is costed");
+    assert_eq!(constrained.swap_in_bytes, constrained.swap_out_bytes, "KV returns unchanged");
+    assert!(constrained.swap_cycles > 0, "host-link cycles are charged");
+    assert_eq!(constrained.completed, constrained.submitted, "pressure delays, never kills");
+    assert!(
+        constrained.e2e().unwrap().max >= unconstrained.e2e().unwrap().max,
+        "contention cannot make the slowest request faster"
+    );
+
+    // The acceptance invariant: preemption + swap changes *when* tokens
+    // appear, never *which* tokens a request generates.
+    assert_eq!(
+        tokens_by_arrival(&constrained),
+        tokens_by_arrival(&unconstrained),
+        "preemption must not change any generated token sequence"
+    );
+}
+
+#[test]
+fn oversized_requests_are_rejected_not_wedged() {
+    // Capacity below the largest possible request: some arrivals can
+    // never fit and must be rejected immediately; the rest still finish.
+    let mix = RequestMix::default();
+    let max_est = (mix.prompt_len.1 + mix.max_new_tokens.1) as u64 * engine().kv_bytes_per_token();
+    let capacity = max_est / 2;
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: capacity, max_queue_depth: 64 },
+        sched: SchedKind::Fcfs,
+        ..ServerConfig::default()
+    };
+    let report = Server::new(engine(), Workload::poisson(29, 0.6, 18, mix), config).run();
+    assert!(report.rejected_never_fits > 0, "some requests exceed half the max footprint");
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+    assert!(report.records.iter().all(|r| r.finished.is_some() || r.rejected.is_some()));
+}
+
+#[test]
+fn queue_depth_limit_rejects_overflow() {
+    let config = ServerConfig {
+        // Tiny queue + tiny capacity: a burst must overflow it.
+        admission: AdmissionConfig { capacity_bytes: 13 << 10, max_queue_depth: 2 },
+        sched: SchedKind::Fcfs,
+        ..ServerConfig::default()
+    };
+    let report = Server::new(engine(), workload(ArrivalKind::Burst, 17, 18), config).run();
+    assert!(report.rejected_queue_full > 0, "burst must overflow a depth-2 queue");
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+}
+
+#[test]
+fn closed_loop_drains_even_when_requests_are_rejected() {
+    // Regression: a rejected request must still free its closed-loop user
+    // (otherwise the workload never exhausts and the run spins to the
+    // max_ticks safety valve). Capacity below the largest request forces
+    // never-fits rejections under closed-loop arrivals.
+    let mix = RequestMix::default();
+    let max_est = (mix.prompt_len.1 + mix.max_new_tokens.1) as u64 * engine().kv_bytes_per_token();
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: max_est / 2, max_queue_depth: 64 },
+        sched: SchedKind::Fcfs,
+        ..ServerConfig::default()
+    };
+    let report = Server::new(engine(), Workload::closed_loop(41, 3, 6.0, 18, mix), config).run();
+    assert_eq!(report.submitted, 18, "every closed-loop request must eventually arrive");
+    assert!(report.rejected_never_fits > 0, "tiny capacity must reject some requests");
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+    assert!(report.ticks < ServerConfig::default().max_ticks, "run must drain, not hit the valve");
+}
+
+#[test]
+fn invalid_trace_requests_are_rejected_cleanly() {
+    use veda::{Budget, Request};
+    use veda_serving::ServingRequest;
+    let mix = RequestMix::default();
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(23)
+    };
+    let bad = |request: Request| ServingRequest { request, priority: 0 };
+    let arrivals = vec![
+        (0, bad(Request::new(vec![], 4))),          // empty prompt
+        (0, bad(Request::new(vec![1, 2, 3], 0))),   // nothing to generate
+        (1, bad(Request::new(vec![1, 99_999], 4))), // out of vocabulary
+        (1, bad(Request::new(vec![1, 2, 3], 4).budget(Budget::Fixed(0)))), // unusable budget
+        (2, mix.sample(&mut rng, 0)),               // one valid request
+    ];
+    let report = Server::new(engine(), Workload::trace(arrivals), ServerConfig::default()).run();
+    assert_eq!(report.rejected_invalid, 4, "all malformed requests are rejected, not panicked on");
+    assert_eq!(report.completed, 1, "the valid request still completes");
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+}
+
+#[test]
+fn budget_shrink_mode_tightens_caps_under_pressure() {
+    use veda_eviction::{BudgetController, PressureConfig};
+    let controller =
+        BudgetController::new(PressureConfig { high_watermark: 0.5, low_watermark: 0.35, floor_tokens: 6 });
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: 20 << 10, max_queue_depth: 64 },
+        sched: SchedKind::Fcfs,
+        shrink: Some(controller),
+        ..ServerConfig::default()
+    };
+    let report = Server::new(engine(), workload(ArrivalKind::Poisson, 13, 18), config).run();
+    assert!(report.budget_shrinks > 0, "high occupancy must trigger budget shrinking");
+    assert_eq!(report.completed + report.rejected(), report.submitted);
+    // Shrinking is the lossy pressure response: token streams may legally
+    // differ from an unconstrained run, but counts still conserve.
+    assert!(report.kv_resident_peak_bytes <= report.capacity_bytes);
+}
+
+#[test]
+fn report_display_shows_latency_table() {
+    let text = run(ArrivalKind::Poisson, SchedKind::Srb, 3, 20 << 10).to_string();
+    for needle in ["ttft", "p50", "p95", "p99", "queue depth", "preemptions", "rejected", "swap traffic"] {
+        assert!(text.contains(needle), "report must mention {needle:?}:\n{text}");
+    }
+}
