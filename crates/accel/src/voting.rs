@@ -101,7 +101,7 @@ impl VotingEngine {
                 h.to_f32()
             })
             .collect();
-        self.policy.observe(&[quantized]);
+        self.policy.observe(veda_eviction::ScoreView::single(&quantized));
         self.heads_processed += 1;
         // One cycle per element for ingest+reduce, one for vote update,
         // plus a small constant for the threshold computation.
@@ -176,7 +176,7 @@ mod tests {
             let s = scores(len, step);
             let q: Vec<f32> = s.iter().map(|&x| quantize_f32(x)).collect();
             hw.process_head(&s);
-            sw.observe(&[q]);
+            sw.observe(veda_eviction::ScoreView::single(&q));
             assert_eq!(hw.policy().vote_counts(), sw.vote_counts(), "desync at step {step}");
         }
         let len = hw.policy().tracked_len();

@@ -1,0 +1,56 @@
+//! Scratch vs allocating forward path: one decode token through the
+//! transformer with a warm cache, with and without the reusable
+//! [`veda_model::ForwardScratch`] buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use veda_model::{ModelConfig, TransformerModel};
+
+fn bench_forward_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_token");
+    for &resident in &[16usize, 64, 128] {
+        let cfg = ModelConfig::tiny();
+        let model = TransformerModel::new(cfg.clone());
+        let token = |i: usize| (i * 11 + 1) % cfg.vocab_size;
+
+        // Warm state reused across iterations: decode-then-evict keeps the
+        // cache at `resident`, so every iteration measures the same work.
+        let mut state = model.new_state();
+        for pos in 0..resident {
+            model.forward_in(&mut state, token(pos), pos);
+        }
+        let mut pos = resident;
+        group.bench_with_input(BenchmarkId::new("alloc", resident), &resident, |b, _| {
+            b.iter(|| {
+                let out = model.forward_in(&mut state, token(pos), pos);
+                pos += 1;
+                for layer in 0..state.n_layers() {
+                    state.evict_many(layer, &[1]);
+                }
+                black_box(out.logits.len())
+            })
+        });
+
+        let mut state = model.new_state();
+        state.reserve(resident + 2, cfg.d_model);
+        let mut scratch = model.new_scratch(resident + 2);
+        for pos in 0..resident {
+            model.forward_with_scratch(&mut state, token(pos), pos, &mut scratch);
+        }
+        let mut pos = resident;
+        group.bench_with_input(BenchmarkId::new("scratch", resident), &resident, |b, _| {
+            b.iter(|| {
+                model.forward_with_scratch(&mut state, token(pos), pos, &mut scratch);
+                pos += 1;
+                for layer in 0..state.n_layers() {
+                    state.evict_many(layer, &[1]);
+                }
+                black_box(scratch.logits().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_paths);
+criterion_main!(benches);

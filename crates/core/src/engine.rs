@@ -9,7 +9,12 @@
 //! advance by one token in round-robin, the tick is costed through
 //! [`DecodeScheduler::decode_batch`] (weights stream from HBM once per
 //! tick, shared by the whole batch), and a [`TokenEvent`] per session lets
-//! callers stream tokens as they are produced.
+//! callers stream tokens as they are produced. With
+//! [`EngineBuilder::decode_threads`] the per-session work of a tick fans
+//! out across scoped worker threads — order-preserving and byte-identical
+//! to the serial schedule — while each session's forward pass runs through
+//! its own reusable [`ForwardScratch`], so steady-state decode performs
+//! zero per-token heap allocations.
 //!
 //! Per-request accounting stays single-sequence: each finished session
 //! yields the exact [`SimulationReport`] the legacy one-shot
@@ -34,13 +39,15 @@
 //! and [`Engine::tighten_budget`] shrinks a session's resident cap under
 //! memory pressure (the next tick evicts down to it).
 
+use std::collections::HashMap;
+
 use veda_accel::arch::{ArchConfig, DataflowVariant};
 use veda_accel::attention::decode_attention_cycles;
 use veda_accel::schedule::{DecodeScheduler, LlamaShape};
 use veda_cost::EnergyModel;
 use veda_eviction::{EvictionPolicy, PolicyKind};
 use veda_mem::HbmConfig;
-use veda_model::{ModelConfig, SequenceState, TransformerModel};
+use veda_model::{ForwardScratch, ModelConfig, SequenceState, TransformerModel};
 
 use crate::error::BuildError;
 use crate::simulator::SimulationReport;
@@ -332,6 +339,7 @@ pub struct EngineBuilder {
     model: ModelConfig,
     variant: DataflowVariant,
     hbm: HbmConfig,
+    decode_threads: usize,
 }
 
 impl Default for EngineBuilder {
@@ -347,6 +355,7 @@ impl EngineBuilder {
             model: ModelConfig::tiny(),
             variant: DataflowVariant::FlexibleElementSerial,
             hbm: HbmConfig::default(),
+            decode_threads: 1,
         }
     }
 
@@ -365,6 +374,17 @@ impl EngineBuilder {
     /// Sets the HBM configuration.
     pub fn hbm(mut self, hbm: HbmConfig) -> Self {
         self.hbm = hbm;
+        self
+    }
+
+    /// Sets the number of decode worker threads [`Engine::step`] fans
+    /// active sessions across. `1` (the default) keeps today's fully
+    /// serial tick; values are clamped to at least one. The fan-out is
+    /// order-preserving and touches only per-session state, so **any**
+    /// thread count produces byte-identical token streams and reports —
+    /// pinned by the integration tests.
+    pub fn decode_threads(mut self, threads: usize) -> Self {
+        self.decode_threads = threads.max(1);
         self
     }
 
@@ -402,6 +422,8 @@ impl EngineBuilder {
             variant: self.variant,
             scheduler,
             energy,
+            decode_threads: self.decode_threads.max(1),
+            solo_cycles_by_len: HashMap::new(),
             active: Vec::new(),
             paused: Vec::new(),
             finished: Vec::new(),
@@ -416,7 +438,9 @@ impl EngineBuilder {
     }
 }
 
-/// State of one in-flight session.
+/// State of one in-flight session. Everything a decode worker touches
+/// during the fan-out lives here (or is a shared `&` borrow), so sessions
+/// advance in parallel without synchronization.
 struct ActiveSession {
     id: Session,
     policy_kind: PolicyKind,
@@ -424,7 +448,11 @@ struct ActiveSession {
     resident_cap: usize,
     policies: Vec<Box<dyn EvictionPolicy>>,
     state: SequenceState,
-    logits: Vec<f32>,
+    /// Reusable forward-pass buffers; after each step `scratch.logits()`
+    /// holds the logits the *next* step decodes greedily from.
+    scratch: ForwardScratch,
+    /// Reusable per-layer eviction victim list (original slot indices).
+    victims: Vec<usize>,
     position: usize,
     max_new_tokens: usize,
     stop_tokens: Vec<usize>,
@@ -443,6 +471,90 @@ impl ActiveSession {
     }
 }
 
+/// Shared read-only context of one decode tick, borrowed by every worker
+/// during the fan-out. Everything here is `&`-shared (`TransformerModel`
+/// is `Sync`; the cycle and energy models are pure); all mutation happens
+/// inside each worker's own [`ActiveSession`].
+struct StepContext<'a> {
+    model: &'a TransformerModel,
+    arch: &'a ArchConfig,
+    energy: &'a EnergyModel,
+    variant: DataflowVariant,
+    shape: LlamaShape,
+}
+
+impl StepContext<'_> {
+    /// Advances one session by one token: greedy argmax over the previous
+    /// step's logits, single-sequence cost accounting (from the
+    /// pre-resolved `solo_cycles`), forward pass through the session's
+    /// scratch, then per-layer observe + evict down to the budget.
+    fn advance(&self, session: &mut ActiveSession, l_before: usize, solo_cycles: u64) -> TokenEvent {
+        // Greedy next token from the logits of the previous step.
+        let token = veda_tensor::stats::argmax(session.scratch.logits()).expect("non-empty logits");
+        session.generated.push(token);
+
+        let attention_cycles = decode_attention_cycles(self.arch, self.variant, l_before);
+        session.attention_cycles.push(attention_cycles);
+        session.total_cycles += solo_cycles;
+        let solo_bytes = self.shape.weight_bytes_per_token() + self.shape.kv_bytes_per_token(l_before);
+        session.total_energy_mj += self.energy.token_energy_mj(solo_cycles, solo_bytes);
+
+        // Feed the token through the model; policies observe the flat
+        // score views and evict down to the session's budget.
+        let position = session.position;
+        let resident_cap = session.resident_cap;
+        let ActiveSession { state, scratch, policies, victims, .. } = session;
+        self.model.forward_with_scratch(state, token, position, scratch);
+        let mut evictions = 0;
+        for (layer, policy) in policies.iter_mut().enumerate() {
+            policy.on_append();
+            policy.observe(scratch.scores().layer(layer));
+
+            // Victims are selected one at a time (each selection sees the
+            // policy's compacted state, exactly as the serial protocol
+            // demands) but the KV rows are removed in a single stable
+            // compaction pass per layer. `victims` collects the selected
+            // slots mapped back to the original pre-eviction index space,
+            // kept sorted ascending.
+            victims.clear();
+            let mut len = state.caches()[layer].len();
+            while len > resident_cap {
+                let Some(slot) = policy.select_victim(len) else {
+                    break;
+                };
+                policy.on_evict(slot);
+                let mut original = slot;
+                let mut insert_at = 0;
+                for &prior in victims.iter() {
+                    if prior <= original {
+                        original += 1;
+                        insert_at += 1;
+                    } else {
+                        break;
+                    }
+                }
+                victims.insert(insert_at, original);
+                len -= 1;
+                evictions += 1;
+            }
+            state.evict_many(layer, victims);
+        }
+        session.position += 1;
+        session.evictions += evictions;
+
+        let finished =
+            session.generated.len() >= session.max_new_tokens || session.stop_tokens.contains(&token);
+        TokenEvent {
+            session: session.id,
+            token,
+            attention_cycles,
+            evictions,
+            cache_len: session.state.cache_len(),
+            finished,
+        }
+    }
+}
+
 /// The long-lived serving engine (see the [module docs](self)).
 pub struct Engine {
     model: TransformerModel,
@@ -450,6 +562,12 @@ pub struct Engine {
     variant: DataflowVariant,
     scheduler: DecodeScheduler,
     energy: EnergyModel,
+    /// Worker threads one [`Engine::step`] fans sessions across (≥ 1).
+    decode_threads: usize,
+    /// Cross-tick memo of single-sequence decode cost per cache length,
+    /// resolved on the coordinator before any fan-out (capped sessions
+    /// share a handful of lengths in steady state).
+    solo_cycles_by_len: HashMap<usize, u64>,
     active: Vec<ActiveSession>,
     paused: Vec<ActiveSession>,
     finished: Vec<RequestOutcome>,
@@ -476,6 +594,12 @@ impl Engine {
     /// The shared model configuration.
     pub fn model_config(&self) -> &ModelConfig {
         self.model.config()
+    }
+
+    /// Decode worker threads per tick (see
+    /// [`EngineBuilder::decode_threads`]).
+    pub fn decode_threads(&self) -> usize {
+        self.decode_threads
     }
 
     /// Number of sessions currently decoding.
@@ -615,6 +739,15 @@ impl Engine {
         request.budget.validate()?;
         let resident_cap = request.budget.resolve(request.prompt.len());
 
+        // Peak resident tokens this session can reach: prompt + full
+        // generation if unbounded, otherwise the budget cap (+1 for the
+        // append-then-evict overshoot; prefill never evicts, so the
+        // prompt length is always reached). Reserving it up front means
+        // neither prefill nor steady-state decode reallocates KV storage.
+        let unbounded_peak = request.prompt.len() + request.max_new_tokens + 1;
+        let capped_peak = resident_cap.saturating_add(2).max(request.prompt.len() + 2);
+        let reserve_tokens = unbounded_peak.min(capped_peak);
+
         let mut session = ActiveSession {
             id: Session(self.next_id),
             policy_kind: request.policy,
@@ -622,7 +755,8 @@ impl Engine {
             resident_cap,
             policies: (0..self.model.config().n_layers).map(|_| request.policy.build()).collect(),
             state: self.model.new_state(),
-            logits: Vec::new(),
+            scratch: self.model.new_scratch(reserve_tokens),
+            victims: Vec::new(),
             position: 0,
             max_new_tokens: request.max_new_tokens,
             stop_tokens: request.stop_tokens,
@@ -632,16 +766,21 @@ impl Engine {
             total_energy_mj: 0.0,
             evictions: 0,
         };
+        session.state.reserve(reserve_tokens, self.model.config().d_model);
         self.next_id += 1;
 
         // Prefill: voting observes, but no eviction.
         for &token in &request.prompt {
-            let out = self.model.forward_in(&mut session.state, token, session.position);
+            self.model.forward_with_scratch(
+                &mut session.state,
+                token,
+                session.position,
+                &mut session.scratch,
+            );
             for (layer, policy) in session.policies.iter_mut().enumerate() {
                 policy.on_append();
-                policy.observe(&out.layer_scores[layer]);
+                policy.observe(session.scratch.scores().layer(layer));
             }
-            session.logits = out.logits;
             session.position += 1;
         }
 
@@ -658,6 +797,14 @@ impl Engine {
     /// decode tick and returns the per-session [`TokenEvent`]s plus the
     /// tick's batched cost. A no-op returning an empty tick when nothing
     /// is active.
+    ///
+    /// With [`EngineBuilder::decode_threads`] > 1 the per-session work
+    /// (greedy argmax → forward pass → observe/evict) fans out across a
+    /// `std::thread::scope` of workers. All shared accounting — the
+    /// batched tick cost and the per-length solo-cost memo — is resolved
+    /// on the coordinator *before* the fan-out, so workers touch only
+    /// their own session and the token streams are byte-identical to the
+    /// serial schedule for any thread count.
     pub fn step(&mut self) -> EngineTick {
         if self.active.is_empty() {
             return EngineTick::default();
@@ -671,60 +818,55 @@ impl Engine {
             shape.weight_bytes_per_token() + lens.iter().map(|&l| shape.kv_bytes_per_token(l)).sum::<u64>();
         let batch_energy_mj = self.energy.token_energy_mj(batch_report.total_cycles, batch_bytes);
 
-        let mut solo_cycles_by_len: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
-        let mut events = Vec::with_capacity(self.active.len());
+        // Per-request accounting stays single-sequence so the report is
+        // identical to a lone `Simulation::run` of the same request.
+        // Capped sessions share a handful of cache lengths in steady
+        // state, so the solo cost is memoized per length across ticks —
+        // resolved here, on the coordinator, before any fan-out.
+        let scheduler = &self.scheduler;
+        let solo: Vec<u64> = lens
+            .iter()
+            .map(|&l| {
+                *self.solo_cycles_by_len.entry(l).or_insert_with(|| scheduler.decode_token(l).total_cycles)
+            })
+            .collect();
+
         // Split field borrows instead of moving `active` out: a panic in a
         // downstream policy or model step must not vanish every in-flight
         // session (same guarantee class as `TransformerModel::forward_token`).
-        let Engine { active, scheduler, model, arch, energy, variant, .. } = self;
-        for (session, &l_before) in active.iter_mut().zip(&lens) {
-            // Greedy next token from the logits of the previous step.
-            let token = veda_tensor::stats::argmax(&session.logits).expect("non-empty logits");
-            session.generated.push(token);
-
-            // Per-request accounting stays single-sequence so the report is
-            // identical to a lone `Simulation::run` of the same request.
-            // Capped sessions share a handful of cache lengths in steady
-            // state, so the solo cost is memoized per length within a tick.
-            let solo_cycles = *solo_cycles_by_len
-                .entry(l_before)
-                .or_insert_with(|| scheduler.decode_token(l_before).total_cycles);
-            let attention_cycles = decode_attention_cycles(arch, *variant, l_before);
-            session.attention_cycles.push(attention_cycles);
-            session.total_cycles += solo_cycles;
-            let solo_bytes = shape.weight_bytes_per_token() + shape.kv_bytes_per_token(l_before);
-            session.total_energy_mj += energy.token_energy_mj(solo_cycles, solo_bytes);
-
-            // Feed the token through the model; policies observe and evict
-            // down to the session's budget.
-            let out = model.forward_in(&mut session.state, token, session.position);
-            let mut evictions = 0;
-            for (layer, policy) in session.policies.iter_mut().enumerate() {
-                policy.on_append();
-                policy.observe(&out.layer_scores[layer]);
-                while session.state.caches()[layer].len() > session.resident_cap {
-                    let len = session.state.caches()[layer].len();
-                    let Some(slot) = policy.select_victim(len) else {
-                        break;
-                    };
-                    session.state.evict(layer, slot);
-                    policy.on_evict(slot);
-                    evictions += 1;
-                }
+        let Engine { active, model, arch, energy, variant, decode_threads, .. } = self;
+        let ctx = StepContext { model, arch, energy, variant: *variant, shape };
+        let workers = (*decode_threads).min(active.len()).max(1);
+        let mut events: Vec<TokenEvent> = Vec::with_capacity(active.len());
+        if workers == 1 {
+            for ((session, &l_before), &solo_cycles) in active.iter_mut().zip(&lens).zip(&solo) {
+                events.push(ctx.advance(session, l_before, solo_cycles));
             }
-            session.logits = out.logits;
-            session.position += 1;
-            session.evictions += evictions;
-
-            let finished =
-                session.generated.len() >= session.max_new_tokens || session.stop_tokens.contains(&token);
-            events.push(TokenEvent {
-                session: session.id,
-                token,
-                attention_cycles,
-                evictions,
-                cache_len: session.state.cache_len(),
-                finished,
+        } else {
+            // Order-preserving fan-out: contiguous chunks of the session
+            // list, one worker each; events are concatenated in chunk
+            // order, so the tick's event order matches the serial path.
+            let chunk = active.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = active
+                    .chunks_mut(chunk)
+                    .zip(lens.chunks(chunk).zip(solo.chunks(chunk)))
+                    .map(|(sessions, (lens, solos))| {
+                        let ctx = &ctx;
+                        scope.spawn(move || {
+                            sessions
+                                .iter_mut()
+                                .zip(lens.iter().zip(solos))
+                                .map(|(session, (&l_before, &solo_cycles))| {
+                                    ctx.advance(session, l_before, solo_cycles)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    events.extend(handle.join().expect("decode worker panicked"));
+                }
             });
         }
 
@@ -838,6 +980,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("variant", &self.variant)
+            .field("decode_threads", &self.decode_threads)
             .field("active_sessions", &self.active.len())
             .field("paused_sessions", &self.paused.len())
             .field("finished", &self.finished.len())
@@ -1133,6 +1276,34 @@ mod tests {
         engine.step();
         engine.pause(s).unwrap();
         engine.drain_report();
+    }
+
+    #[test]
+    fn decode_threads_do_not_change_tokens_or_reports() {
+        let run = |threads: usize| {
+            let mut engine = EngineBuilder::new()
+                .model(ModelConfig::tiny())
+                .decode_threads(threads)
+                .build()
+                .expect("valid config");
+            for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+                let prompt: Vec<usize> = (0..12 + i).map(|j| (j * 5 + i) % 60 + 1).collect();
+                engine
+                    .submit(Request::new(prompt, 6 + i).policy(*policy).budget(Budget::Ratio(0.5)))
+                    .unwrap();
+            }
+            engine.run_to_completion()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "decode_threads({threads}) diverged from serial");
+        }
+    }
+
+    #[test]
+    fn decode_threads_clamp_to_at_least_one() {
+        let engine = EngineBuilder::new().decode_threads(0).build().unwrap();
+        assert_eq!(engine.decode_threads(), 1);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! minimum-importance slot is evicted. With `decay → 1` this approaches
 //! H2O; with `decay → 0` it approaches evict-min-of-last-step.
 
-use crate::policy::{EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Decayed-score eviction baseline.
 ///
@@ -13,7 +14,7 @@ use crate::policy::{EvictionPolicy, HeadScores};
 /// use veda_eviction::{DecayedScorePolicy, EvictionPolicy};
 /// let mut p = DecayedScorePolicy::new(0.5);
 /// for _ in 0..2 { p.on_append(); }
-/// p.observe(&[vec![0.9, 0.1]]);
+/// p.observe(veda_eviction::ScoreView::single(&[0.9, 0.1]));
 /// assert_eq!(p.select_victim(2), Some(1));
 /// ```
 #[derive(Debug, Clone)]
@@ -53,12 +54,12 @@ impl EvictionPolicy for DecayedScorePolicy {
         self.importance.push(0.0);
     }
 
-    fn observe(&mut self, scores: &HeadScores) {
-        let n_heads = scores.len().max(1) as f32;
+    fn observe(&mut self, scores: ScoreView<'_>) {
+        let n_heads = scores.n_heads().max(1) as f32;
         for imp in self.importance.iter_mut() {
             *imp *= self.decay;
         }
-        for head in scores {
+        for head in scores.heads() {
             debug_assert_eq!(head.len(), self.importance.len(), "cache/policy desync");
             for (imp, &s) in self.importance.iter_mut().zip(head.iter()) {
                 *imp += s / n_heads;
@@ -94,8 +95,8 @@ mod tests {
         for _ in 0..2 {
             p.on_append();
         }
-        p.observe(&[vec![1.0, 0.0]]);
-        p.observe(&[vec![0.0, 0.6]]);
+        p.observe(ScoreView::single(&[1.0, 0.0]));
+        p.observe(ScoreView::single(&[0.0, 0.6]));
         // imp0 = 1.0*0.5 = 0.5; imp1 = 0.6 => evict slot 0.
         assert_eq!(p.select_victim(2), Some(0));
     }
@@ -106,8 +107,8 @@ mod tests {
         for _ in 0..2 {
             p.on_append();
         }
-        p.observe(&[vec![10.0, 0.0]]);
-        p.observe(&[vec![0.1, 0.2]]);
+        p.observe(ScoreView::single(&[10.0, 0.0]));
+        p.observe(ScoreView::single(&[0.1, 0.2]));
         assert_eq!(p.select_victim(2), Some(0));
     }
 
@@ -120,8 +121,8 @@ mod tests {
             h.on_append();
         }
         for obs in [[0.2f32, 0.3, 0.5], [0.6, 0.3, 0.1], [0.1, 0.1, 0.8]] {
-            d.observe(&[obs.to_vec()]);
-            h.observe(&[obs.to_vec()]);
+            d.observe(ScoreView::single(&obs));
+            h.observe(ScoreView::single(&obs));
         }
         assert_eq!(d.select_victim(3), h.select_victim(3));
     }

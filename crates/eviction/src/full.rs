@@ -1,6 +1,7 @@
 //! The no-eviction oracle baseline.
 
-use crate::policy::{EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Never evicts. Serves as the accuracy upper bound ("Baseline" in Fig. 8
 /// right: VEDA without cache eviction) and as the memory-unbounded oracle in
@@ -33,7 +34,7 @@ impl EvictionPolicy for FullCachePolicy {
         self.len += 1;
     }
 
-    fn observe(&mut self, _scores: &HeadScores) {}
+    fn observe(&mut self, _scores: ScoreView<'_>) {}
 
     fn select_victim(&mut self, _cache_len: usize) -> Option<usize> {
         None
@@ -64,7 +65,7 @@ mod tests {
         for _ in 0..100 {
             p.on_append();
         }
-        p.observe(&[vec![0.5; 100]]);
+        p.observe(ScoreView::single(&[0.5; 100]));
         assert_eq!(p.select_victim(100), None);
         assert_eq!(p.tracked_len(), 100);
     }

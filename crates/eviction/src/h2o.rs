@@ -12,7 +12,8 @@
 //!   scores, yet all rows are summed with equal weight;
 //! * **outlier bias** — one huge score keeps a position resident forever.
 
-use crate::policy::{EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Accumulated-attention-score eviction.
 ///
@@ -27,7 +28,7 @@ use crate::policy::{EvictionPolicy, HeadScores};
 /// use veda_eviction::{EvictionPolicy, H2oPolicy};
 /// let mut p = H2oPolicy::new();
 /// for _ in 0..3 { p.on_append(); }
-/// p.observe(&[vec![0.7, 0.1, 0.2]]);
+/// p.observe(veda_eviction::ScoreView::single(&[0.7, 0.1, 0.2]));
 /// assert_eq!(p.select_victim(3), Some(1)); // lowest accumulated score
 /// ```
 #[derive(Debug, Clone)]
@@ -77,8 +78,8 @@ impl EvictionPolicy for H2oPolicy {
         self.accumulated.push(0.0);
     }
 
-    fn observe(&mut self, scores: &HeadScores) {
-        for head in scores {
+    fn observe(&mut self, scores: ScoreView<'_>) {
+        for head in scores.heads() {
             debug_assert_eq!(head.len(), self.accumulated.len(), "cache/policy desync");
             for (acc, &s) in self.accumulated.iter_mut().zip(head.iter()) {
                 *acc += s;
@@ -120,8 +121,8 @@ mod tests {
         for _ in 0..2 {
             p.on_append();
         }
-        p.observe(&[vec![0.6, 0.4], vec![0.2, 0.8]]);
-        p.observe(&[vec![0.5, 0.5]]);
+        crate::score::observe_heads(&mut p, &[vec![0.6, 0.4], vec![0.2, 0.8]]);
+        p.observe(ScoreView::single(&[0.5, 0.5]));
         assert!((p.importance()[0] - 1.3).abs() < 1e-6);
         assert!((p.importance()[1] - 1.7).abs() < 1e-6);
     }
@@ -132,7 +133,7 @@ mod tests {
         for _ in 0..3 {
             p.on_append();
         }
-        p.observe(&[vec![0.5, 0.1, 0.4]]);
+        p.observe(ScoreView::single(&[0.5, 0.1, 0.4]));
         assert_eq!(p.select_victim(3), Some(1));
     }
 
@@ -144,13 +145,13 @@ mod tests {
         let mut p = H2oPolicy::with_recent_window(0);
         p.on_append();
         for _ in 0..10 {
-            p.observe(&[vec![0.1]]); // old token trickles up to 1.0
+            p.observe(ScoreView::single(&[0.1])); // old token trickles up to 1.0
             p.on_append();
             p.on_evict(1); // keep a single-slot cache plus the probe below
         }
         p.on_append(); // fresh recent token
-        p.observe(&[vec![0.2, 0.8]]); // recent token gets 0.8 once
-                                      // Old token: 10*0.1 + 0.2 = 1.2 > recent 0.8 => recent evicted.
+        p.observe(ScoreView::single(&[0.2, 0.8])); // recent token gets 0.8 once
+                                                   // Old token: 10*0.1 + 0.2 = 1.2 > recent 0.8 => recent evicted.
         assert_eq!(p.select_victim(2), Some(1));
     }
 
@@ -162,9 +163,9 @@ mod tests {
         }
         // One huge outlier score on position 0, then consistent preference
         // for position 1 — position 0 is still never the victim.
-        p.observe(&[vec![5.0, 0.0]]);
+        p.observe(ScoreView::single(&[5.0, 0.0]));
         for _ in 0..4 {
-            p.observe(&[vec![0.1, 0.9]]);
+            p.observe(ScoreView::single(&[0.1, 0.9]));
         }
         assert_eq!(p.select_victim(2), Some(1));
     }
@@ -175,7 +176,7 @@ mod tests {
         for _ in 0..3 {
             p.on_append();
         }
-        p.observe(&[vec![0.2, 0.3, 0.5]]);
+        p.observe(ScoreView::single(&[0.2, 0.3, 0.5]));
         p.on_evict(0);
         assert_eq!(p.tracked_len(), 2);
         assert!((p.importance()[0] - 0.3).abs() < 1e-6);
@@ -185,7 +186,7 @@ mod tests {
     fn reset_clears_accumulators() {
         let mut p = H2oPolicy::new();
         p.on_append();
-        p.observe(&[vec![1.0]]);
+        p.observe(ScoreView::single(&[1.0]));
         p.reset();
         assert_eq!(p.tracked_len(), 0);
     }

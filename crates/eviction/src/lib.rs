@@ -16,21 +16,23 @@
 //! * [`FullCachePolicy`] — never evicts (the accuracy oracle).
 //!
 //! All policies implement [`EvictionPolicy`] and operate on per-head
-//! post-softmax attention-score observations; they are *pure algorithm
-//! state machines* so both the functional model (`veda-model`) and the
-//! cycle-accurate hardware voting engine (`veda-accel`) can drive them.
+//! post-softmax attention-score observations, delivered as borrowed flat
+//! [`ScoreView`]s (zero-copy, zero-allocation on the decode hot path);
+//! they are *pure algorithm state machines* so both the functional model
+//! (`veda-model`) and the cycle-accurate hardware voting engine
+//! (`veda-accel`) can drive them.
 //!
 //! ## Example
 //!
 //! ```
-//! use veda_eviction::{EvictionPolicy, VotingConfig, VotingPolicy};
+//! use veda_eviction::{EvictionPolicy, ScoreView, VotingConfig, VotingPolicy};
 //!
 //! // Reserved length 1 so this tiny example can evict (the paper uses 32).
 //! let mut policy = VotingPolicy::new(VotingConfig::with_reserved_len(1));
 //! // Simulate three cached tokens and two attention observations.
 //! for _ in 0..3 { policy.on_append(); }
-//! policy.observe(&[vec![0.8, 0.15, 0.05]]);
-//! policy.observe(&[vec![0.7, 0.10, 0.20]]);
+//! policy.observe(ScoreView::single(&[0.8, 0.15, 0.05]));
+//! policy.observe(ScoreView::single(&[0.7, 0.10, 0.20]));
 //! // Cache over budget => pick a victim (never slot 0, the reserved sink).
 //! let victim = policy.select_victim(3);
 //! assert!(matches!(victim, Some(1) | Some(2)));
@@ -43,6 +45,7 @@ pub mod manager;
 pub mod policy;
 pub mod pressure;
 pub mod random;
+pub mod score;
 pub mod sliding;
 pub mod stats;
 pub mod voting;
@@ -54,6 +57,7 @@ pub use manager::{CacheSimulator, SimulatedStep};
 pub use policy::{EvictionPolicy, ParsePolicyKindError, PolicyKind};
 pub use pressure::{BudgetController, PressureConfig};
 pub use random::RandomPolicy;
+pub use score::{observe_heads, observe_heads_into, ScoreView};
 pub use sliding::SlidingWindowPolicy;
 pub use stats::EvictionStats;
 pub use voting::{VotingConfig, VotingPolicy};

@@ -38,6 +38,9 @@ pub struct CacheSimulator {
     resident: Vec<usize>,
     next_token: usize,
     stats: EvictionStats,
+    /// Reusable flat observation buffer (heads concatenated) so repeated
+    /// steps do not reallocate.
+    flat_scores: Vec<f32>,
 }
 
 impl CacheSimulator {
@@ -49,7 +52,14 @@ impl CacheSimulator {
     /// Panics if `budget == 0`.
     pub fn new(policy: Box<dyn EvictionPolicy>, budget: usize) -> Self {
         assert!(budget > 0, "cache budget must be positive");
-        Self { policy, budget, resident: Vec::new(), next_token: 0, stats: EvictionStats::default() }
+        Self {
+            policy,
+            budget,
+            resident: Vec::new(),
+            next_token: 0,
+            stats: EvictionStats::default(),
+            flat_scores: Vec::new(),
+        }
     }
 
     /// The cache budget.
@@ -110,7 +120,7 @@ impl CacheSimulator {
                 self.policy.name()
             );
         }
-        self.policy.observe(scores);
+        crate::score::observe_heads_into(self.policy.as_mut(), scores, &mut self.flat_scores);
         self.next_token = token_idx + 1;
 
         let mut evicted = None;

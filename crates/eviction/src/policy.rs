@@ -18,27 +18,32 @@
 //! absolute token indices: after an eviction every later slot shifts down by
 //! one, mirroring how the hardware vote-count buffer is compacted.
 
-/// Per-head post-softmax attention scores of one token over the cache.
+use crate::score::ScoreView;
+
+/// Per-head post-softmax attention scores of one token over the cache in
+/// the legacy nested representation (hot paths use [`ScoreView`]).
 pub type HeadScores = [Vec<f32>];
 
 /// A KV cache eviction strategy.
 ///
 /// See the [module documentation](self) for the calling protocol. Policies
 /// must be deterministic: the same observation sequence always yields the
-/// same victims.
-pub trait EvictionPolicy {
+/// same victims. `Send` is a supertrait so per-session policy stacks can
+/// move across the engine's decode worker threads.
+pub trait EvictionPolicy: Send {
     /// Short stable identifier, e.g. `"voting"` or `"h2o"`.
     fn name(&self) -> &'static str;
 
     /// Extends per-position state for a newly appended kv vector.
     fn on_append(&mut self);
 
-    /// Feeds the attention scores of the current step.
+    /// Feeds the attention scores of the current step as a flat borrowed
+    /// view.
     ///
-    /// `scores[h][j]` is head `h`'s post-softmax attention from the current
-    /// token to cache slot `j`. Every head slice must have length equal to
-    /// the number of `on_append` calls minus evictions.
-    fn observe(&mut self, scores: &HeadScores);
+    /// `scores.head(h)[j]` is head `h`'s post-softmax attention from the
+    /// current token to cache slot `j`. Every head slice must have length
+    /// equal to the number of `on_append` calls minus evictions.
+    fn observe(&mut self, scores: ScoreView<'_>);
 
     /// Picks the slot to evict, given the current cache length.
     ///
@@ -66,7 +71,7 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
         (**self).on_append();
     }
 
-    fn observe(&mut self, scores: &HeadScores) {
+    fn observe(&mut self, scores: ScoreView<'_>) {
         (**self).observe(scores);
     }
 

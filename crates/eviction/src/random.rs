@@ -4,7 +4,8 @@
 //! policy should beat it. Uses an internal SplitMix64 generator so the crate
 //! stays dependency-free and the policy is reproducible from its seed.
 
-use crate::policy::{EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Evicts a uniformly pseudo-random non-sink slot.
 #[derive(Debug, Clone)]
@@ -44,7 +45,7 @@ impl EvictionPolicy for RandomPolicy {
         self.len += 1;
     }
 
-    fn observe(&mut self, _scores: &HeadScores) {}
+    fn observe(&mut self, _scores: ScoreView<'_>) {}
 
     fn select_victim(&mut self, cache_len: usize) -> Option<usize> {
         debug_assert_eq!(cache_len, self.len, "cache/policy desync");

@@ -6,7 +6,8 @@
 //! out-of-window content — the accuracy loss the paper uses it to
 //! illustrate.
 
-use crate::policy::{EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Sink + recent-window eviction.
 ///
@@ -44,7 +45,7 @@ impl EvictionPolicy for SlidingWindowPolicy {
         self.len += 1;
     }
 
-    fn observe(&mut self, _scores: &HeadScores) {}
+    fn observe(&mut self, _scores: ScoreView<'_>) {}
 
     fn select_victim(&mut self, cache_len: usize) -> Option<usize> {
         debug_assert_eq!(cache_len, self.len, "cache/policy desync");

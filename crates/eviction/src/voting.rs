@@ -25,7 +25,8 @@
 //!   thresholds);
 //! * **outlier bias** — a vote is worth 1 regardless of score magnitude.
 
-use crate::policy::{average_heads, EvictionPolicy, HeadScores};
+use crate::policy::EvictionPolicy;
+use crate::score::ScoreView;
 
 /// Hyper-parameters of the voting algorithm.
 ///
@@ -105,12 +106,15 @@ pub struct VotingPolicy {
     votes: Vec<u16>,
     /// Number of observe() calls so far (the step index `i` of Fig. 3).
     steps_observed: usize,
+    /// Reusable head-average buffer: steady-state observation allocates
+    /// nothing once its capacity is warm.
+    avg_scratch: Vec<f32>,
 }
 
 impl VotingPolicy {
     /// Creates a policy with the given configuration.
     pub fn new(config: VotingConfig) -> Self {
-        Self { config, votes: Vec::new(), steps_observed: 0 }
+        Self { config, votes: Vec::new(), steps_observed: 0, avg_scratch: Vec::new() }
     }
 
     /// The active configuration.
@@ -157,7 +161,7 @@ impl EvictionPolicy for VotingPolicy {
         self.votes.push(0);
     }
 
-    fn observe(&mut self, scores: &HeadScores) {
+    fn observe(&mut self, scores: ScoreView<'_>) {
         self.steps_observed += 1;
         // Reserved stage: the first R steps cast no votes (Fig. 3 line
         // "if (i < R) break").
@@ -165,13 +169,16 @@ impl EvictionPolicy for VotingPolicy {
             return;
         }
         if self.config.per_head_votes {
-            let head_scores: Vec<Vec<f32>> = scores.to_vec();
-            for head in &head_scores {
+            for head in scores.heads() {
                 self.cast_votes(head);
             }
         } else {
-            let avg = average_heads(scores);
+            // Take the scratch out so `cast_votes` can borrow `self`
+            // mutably; moving a Vec does not allocate.
+            let mut avg = std::mem::take(&mut self.avg_scratch);
+            scores.average_into(&mut avg);
             self.cast_votes(&avg);
+            self.avg_scratch = avg;
         }
     }
 
@@ -211,7 +218,7 @@ mod tests {
     use super::*;
 
     fn drive(policy: &mut VotingPolicy, heads: &[Vec<f32>]) {
-        policy.observe(heads);
+        crate::score::observe_heads(policy, heads);
     }
 
     #[test]
@@ -334,7 +341,7 @@ mod tests {
     fn reset_clears_state() {
         let mut p = VotingPolicy::new(VotingConfig::default());
         p.on_append();
-        p.observe(&[vec![1.0]]);
+        p.observe(ScoreView::single(&[1.0]));
         p.reset();
         assert_eq!(p.tracked_len(), 0);
         assert_eq!(p.steps_observed(), 0);

@@ -10,9 +10,10 @@
 use crate::config::ModelConfig;
 use crate::kvcache::LayerKvCache;
 use crate::rope::apply_rope;
+use crate::scratch::ForwardScratch;
 use crate::weights::LayerWeights;
-use veda_tensor::ops::{dot, gemv_outer};
-use veda_tensor::softmax::softmax;
+use veda_tensor::ops::{dot, gemv_outer_into};
+use veda_tensor::softmax::softmax_in_place;
 
 /// Result of one attention step.
 #[derive(Debug, Clone)]
@@ -24,7 +25,65 @@ pub struct AttentionOutput {
     pub head_scores: Vec<Vec<f32>>,
 }
 
-/// Runs one attention step for a single layer.
+/// Runs one attention step for a single layer through reusable scratch
+/// buffers: reads the RMS-normed hidden state from `scratch.normed`,
+/// leaves the `W_O`-projected output in `scratch.attn_out` and appends the
+/// layer's head-major score block to `scratch.scores` (the segment is
+/// sealed here). Allocation-free once the scratch capacity is warm, and
+/// bit-identical to the historical allocating kernel.
+pub(crate) fn attend_into(
+    position: usize,
+    cache: &mut LayerKvCache,
+    w: &LayerWeights,
+    config: &ModelConfig,
+    scratch: &mut ForwardScratch,
+) {
+    let d = config.d_model;
+    let dh = config.head_dim();
+    assert_eq!(scratch.normed.len(), d, "hidden state width mismatch");
+
+    // QKV generation (Step 1 of Fig. 1): x·W via the outer-product view.
+    gemv_outer_into(&scratch.normed, &w.wq, &mut scratch.q);
+    gemv_outer_into(&scratch.normed, &w.wk, &mut scratch.k);
+    gemv_outer_into(&scratch.normed, &w.wv, &mut scratch.v);
+
+    // RoPE per head on q and k.
+    for h in 0..config.n_heads {
+        apply_rope(&mut scratch.q[h * dh..(h + 1) * dh], position, config.rope_theta);
+        apply_rope(&mut scratch.k[h * dh..(h + 1) * dh], position, config.rope_theta);
+    }
+
+    cache.append(position, &scratch.k, &scratch.v);
+    let l = cache.len();
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    scratch.concat.clear();
+    scratch.concat.resize(d, 0.0);
+    for h in 0..config.n_heads {
+        let span = h * dh..(h + 1) * dh;
+        let qh = &scratch.q[span.clone()];
+        // q × Kᵀ: inner product over the (l, d) key rows — l is temporal.
+        let mark = scratch.scores.mark();
+        for row in 0..l {
+            scratch.scores.push(dot(qh, &cache.keys().row(row)[span.clone()]) * scale);
+        }
+        softmax_in_place(scratch.scores.segment_mut(mark));
+        // s' × V: outer product over the (l, d) value rows — l is temporal.
+        let out = &mut scratch.concat[span.clone()];
+        for (row, &sv) in scratch.scores.segment(mark).iter().enumerate() {
+            let vrow = &cache.values().row(row)[span.clone()];
+            for (a, &vv) in out.iter_mut().zip(vrow) {
+                *a += sv * vv;
+            }
+        }
+    }
+    scratch.scores.seal_layer();
+
+    gemv_outer_into(&scratch.concat, &w.wo, &mut scratch.attn_out);
+}
+
+/// Runs one attention step for a single layer (allocating convenience
+/// wrapper over [`attend_into`]).
 ///
 /// `x` is the RMS-normed hidden state of the current token, `position` its
 /// absolute index. The token's K/V vectors are appended to `cache` before
@@ -37,51 +96,12 @@ pub fn attend(
     w: &LayerWeights,
     config: &ModelConfig,
 ) -> AttentionOutput {
-    let d = config.d_model;
-    let dh = config.head_dim();
-    assert_eq!(x.len(), d, "hidden state width mismatch");
-
-    // QKV generation (Step 1 of Fig. 1): x·W via the outer-product view.
-    let mut q = gemv_outer(x, &w.wq);
-    let mut k = gemv_outer(x, &w.wk);
-    let v = gemv_outer(x, &w.wv);
-
-    // RoPE per head on q and k.
-    for h in 0..config.n_heads {
-        apply_rope(&mut q[h * dh..(h + 1) * dh], position, config.rope_theta);
-        apply_rope(&mut k[h * dh..(h + 1) * dh], position, config.rope_theta);
-    }
-
-    cache.append(position, &k, &v);
-    let l = cache.len();
-    let scale = 1.0 / (dh as f32).sqrt();
-
-    let mut concat = vec![0.0f32; d];
-    let mut head_scores = Vec::with_capacity(config.n_heads);
-    for h in 0..config.n_heads {
-        let span = h * dh..(h + 1) * dh;
-        let qh = &q[span.clone()];
-        // q × Kᵀ: inner product over the (l, d) key rows — l is temporal.
-        let mut s: Vec<f32> =
-            (0..l).map(|row| dot(qh, &cache.keys().row(row)[span.clone()]) * scale).collect();
-        s = softmax(&s);
-        // s' × V: outer product over the (l, d) value rows — l is temporal.
-        let out = {
-            let mut acc = vec![0.0f32; dh];
-            for (row, &sv) in s.iter().enumerate() {
-                let vrow = &cache.values().row(row)[span.clone()];
-                for (a, &vv) in acc.iter_mut().zip(vrow) {
-                    *a += sv * vv;
-                }
-            }
-            acc
-        };
-        concat[span].copy_from_slice(&out);
-        head_scores.push(s);
-    }
-
-    let output = gemv_outer(&concat, &w.wo);
-    AttentionOutput { output, head_scores }
+    let mut scratch = ForwardScratch::new();
+    scratch.normed.extend_from_slice(x);
+    scratch.scores.begin_step(config.n_heads);
+    attend_into(position, cache, w, config, &mut scratch);
+    let head_scores = scratch.scores.layer(0).heads().map(<[f32]>::to_vec).collect();
+    AttentionOutput { output: std::mem::take(&mut scratch.attn_out), head_scores }
 }
 
 #[cfg(test)]

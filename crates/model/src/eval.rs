@@ -79,7 +79,7 @@ pub fn transformer_distortion(
 
         // Drive the policy with the pruned model's first-layer observation.
         p.on_append();
-        p.observe(&cut.layer_scores[0]);
+        p.observe(cut.scores.layer(0));
         if pruned.cache_len() > cache_budget {
             if let Some(slot) = p.select_victim(pruned.cache_len()) {
                 pruned.evict_all_layers(slot);

@@ -345,6 +345,7 @@ impl InductionLm {
         let mut rng =
             veda_tensor::rng::seeded(self.config.noise_seed ^ (tokens.len() as u64).wrapping_mul(0x9E37));
         let mut entries: Vec<Entry> = Vec::new();
+        let mut flat_scores: Vec<f32> = Vec::new();
         let mut eval = SampleEval { total_nll: 0.0, tokens: 0, evictions: 0 };
         // Pending prediction distribution context from the previous step.
         let mut pending: Option<(Vec<f32>, usize)> = None; // (weighted scores, prev token)
@@ -365,11 +366,12 @@ impl InductionLm {
                     last.value_token = Some(tok);
                 }
             }
-            // Append the new entry and observe.
+            // Append the new entry and observe (flattened into the
+            // reusable buffer the policies' ScoreView borrows).
             entries.push(Entry { position: pos, key_token: tok, value_token: None });
             policy.on_append();
             let scores = self.head_scores(&entries, tok, pos, &mut rng);
-            policy.observe(&scores);
+            veda_eviction::observe_heads_into(policy, &scores, &mut flat_scores);
 
             // Evict if over budget.
             if entries.len() > budget {

@@ -56,6 +56,46 @@ impl LayerKvCache {
         self.positions.remove(slot);
     }
 
+    /// Removes several resident entries in one stable compaction pass —
+    /// O(l·d) total instead of O(l·d) *per eviction* — used when multiple
+    /// evictions land in one tick (budget shrink). Surviving rows keep
+    /// their order, so the result is bit-identical to calling
+    /// [`LayerKvCache::evict`] per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_slots` is not strictly ascending or any slot is
+    /// out of bounds.
+    pub fn evict_many(&mut self, sorted_slots: &[usize]) {
+        if sorted_slots.is_empty() {
+            return;
+        }
+        self.keys.remove_rows(sorted_slots);
+        self.values.remove_rows(sorted_slots);
+        let mut next_victim = 0;
+        let mut slot = 0;
+        self.positions.retain(|_| {
+            let evict = next_victim < sorted_slots.len() && sorted_slots[next_victim] == slot;
+            if evict {
+                next_victim += 1;
+            }
+            slot += 1;
+            !evict
+        });
+    }
+
+    /// Reserves storage for `tokens` total resident rows of `width`
+    /// features, so [`LayerKvCache::append`] never reallocates while the
+    /// cache grows to its working size (wired to prompt length +
+    /// generation budget at request admission).
+    pub fn reserve(&mut self, tokens: usize, width: usize) {
+        self.keys.reserve_rows(tokens, width);
+        self.values.reserve_rows(tokens, width);
+        if tokens > self.positions.len() {
+            self.positions.reserve(tokens - self.positions.len());
+        }
+    }
+
     /// The key matrix `(l, d)`.
     pub fn keys(&self) -> &Matrix {
         &self.keys
@@ -110,6 +150,41 @@ mod tests {
         assert_eq!(c.positions(), &[0, 2, 3]);
         assert_eq!(c.keys().row(1), &[2.0, 0.0]);
         assert_eq!(c.values().row(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn evict_many_matches_sequential_evictions() {
+        let build = || {
+            let mut c = LayerKvCache::new();
+            for i in 0..6 {
+                c.append(i, &[i as f32, 1.0], &[2.0, i as f32]);
+            }
+            c
+        };
+        for victims in [vec![], vec![0], vec![5], vec![1, 3, 4], vec![0, 1, 2, 3, 4, 5]] {
+            let mut sequential = build();
+            for &v in victims.iter().rev() {
+                sequential.evict(v);
+            }
+            let mut batch = build();
+            batch.evict_many(&victims);
+            assert_eq!(batch.len(), sequential.len(), "victims {victims:?}");
+            assert_eq!(batch.positions(), sequential.positions(), "victims {victims:?}");
+            assert_eq!(batch.keys(), sequential.keys(), "victims {victims:?}");
+            assert_eq!(batch.values(), sequential.values(), "victims {victims:?}");
+        }
+    }
+
+    #[test]
+    fn reserve_prevents_append_reallocation() {
+        let mut c = LayerKvCache::new();
+        c.reserve(8, 2);
+        let keys_buf = c.keys().as_slice().as_ptr();
+        for i in 0..8 {
+            c.append(i, &[1.0, 2.0], &[3.0, 4.0]);
+        }
+        assert_eq!(c.keys().as_slice().as_ptr(), keys_buf, "append must not reallocate");
+        assert_eq!(c.len(), 8);
     }
 
     #[test]

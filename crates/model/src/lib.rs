@@ -32,6 +32,7 @@ pub mod induction;
 pub mod kvcache;
 pub mod rope;
 pub mod sampling;
+pub mod scratch;
 pub mod trace;
 pub mod transformer;
 pub mod weights;
@@ -42,5 +43,6 @@ pub use eval::{evaluate_policy_perplexity, PerplexityReport};
 pub use induction::{InductionConfig, InductionLm};
 pub use kvcache::LayerKvCache;
 pub use sampling::Sampler;
+pub use scratch::{ForwardScratch, ScoreBuffer};
 pub use trace::{AttentionTrace, SyntheticTraceConfig};
 pub use transformer::{SequenceState, StepOutput, TransformerModel};

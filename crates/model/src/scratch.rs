@@ -1,0 +1,209 @@
+//! Reusable per-sequence forward-pass scratch: the zero-allocation decode
+//! hot path.
+//!
+//! One token through [`crate::TransformerModel::forward_in`] historically
+//! allocated ~10 fresh `Vec`s per layer (q/k/v, per-head score vectors,
+//! softmax copies, gate/up/hidden/down, plus the nested
+//! `Vec<Vec<Vec<f32>>>` score tensor of the step output). A
+//! [`ForwardScratch`] owns all of those buffers once per sequence;
+//! [`crate::TransformerModel::forward_with_scratch`] threads them through
+//! every kernel so steady-state decode performs **zero per-token heap
+//! allocations** (pinned by a counting-allocator test) while producing
+//! bit-identical results — every in-place kernel keeps the f32 summation
+//! order of its allocating twin.
+//!
+//! Attention-score observations land in a [`ScoreBuffer`]: one flat
+//! buffer for all layers and heads of the step, exposed to eviction
+//! policies as borrowed [`ScoreView`]s instead of nested vectors.
+
+use veda_eviction::ScoreView;
+
+/// Flat per-step attention-score storage: every layer's head-major score
+/// block, concatenated, with per-layer end offsets.
+///
+/// Layers may have different resident cache lengths (per-layer eviction
+/// can diverge when a policy refuses a victim), so each layer records its
+/// own segment boundary; within a layer all heads have equal length.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScoreBuffer {
+    data: Vec<f32>,
+    /// Cumulative end offset of each layer's segment in `data`.
+    ends: Vec<usize>,
+    n_heads: usize,
+}
+
+impl ScoreBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of layers recorded in the current step.
+    pub fn n_layers(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Heads per layer.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// The flat head-major score block of layer `l` as a [`ScoreView`]
+    /// (the observation eviction policies consume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= n_layers()`.
+    pub fn layer(&self, l: usize) -> ScoreView<'_> {
+        assert!(l < self.ends.len(), "layer {l} out of bounds ({} layers)", self.ends.len());
+        let start = if l == 0 { 0 } else { self.ends[l - 1] };
+        ScoreView::new(&self.data[start..self.ends[l]], self.n_heads)
+    }
+
+    /// Resets the buffer for a new step, retaining capacity.
+    pub(crate) fn begin_step(&mut self, n_heads: usize) {
+        self.data.clear();
+        self.ends.clear();
+        self.n_heads = n_heads;
+    }
+
+    /// Current write position (start of the segment about to be written).
+    pub(crate) fn mark(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends one raw score.
+    pub(crate) fn push(&mut self, score: f32) {
+        self.data.push(score);
+    }
+
+    /// The mutable segment from `mark` to the end (for in-place softmax).
+    pub(crate) fn segment_mut(&mut self, mark: usize) -> &mut [f32] {
+        &mut self.data[mark..]
+    }
+
+    /// The segment from `mark` to the end.
+    pub(crate) fn segment(&self, mark: usize) -> &[f32] {
+        &self.data[mark..]
+    }
+
+    /// Closes the current layer's segment.
+    pub(crate) fn seal_layer(&mut self) {
+        self.ends.push(self.data.len());
+    }
+}
+
+/// Reusable buffers for one sequence's forward pass (see the
+/// [module docs](self)). Create one per decoding session — via
+/// [`crate::TransformerModel::new_scratch`] to pre-size every buffer for
+/// the model geometry — and pass it to every
+/// [`crate::TransformerModel::forward_with_scratch`] call; after the call
+/// the next-token [`ForwardScratch::logits`] and the step's
+/// [`ForwardScratch::scores`] remain readable until the next call.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// Residual-stream hidden state, length `d_model`.
+    pub(crate) hidden: Vec<f32>,
+    /// Pre-norm output feeding attention / FFN / the LM head.
+    pub(crate) normed: Vec<f32>,
+    /// Query projection, length `d_model`.
+    pub(crate) q: Vec<f32>,
+    /// Key projection, length `d_model`.
+    pub(crate) k: Vec<f32>,
+    /// Value projection, length `d_model`.
+    pub(crate) v: Vec<f32>,
+    /// Concatenated per-head attention outputs, length `d_model`.
+    pub(crate) concat: Vec<f32>,
+    /// Attention output after `W_O`, length `d_model`.
+    pub(crate) attn_out: Vec<f32>,
+    /// FFN gate activation, length `ffn_hidden`.
+    pub(crate) gate: Vec<f32>,
+    /// FFN up projection, length `ffn_hidden`.
+    pub(crate) up: Vec<f32>,
+    /// FFN down projection, length `d_model`.
+    pub(crate) down: Vec<f32>,
+    /// Next-token logits, length `vocab_size`.
+    pub(crate) logits: Vec<f32>,
+    /// All attention-score observations of the step.
+    pub(crate) scores: ScoreBuffer,
+}
+
+impl ForwardScratch {
+    /// Creates an empty scratch; buffers grow to their working sizes on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for a model geometry, so even the
+    /// first forward pass allocates only inside the KV cache. `seq_hint`
+    /// pre-sizes the score buffer for an expected resident cache length.
+    pub fn for_config(config: &crate::config::ModelConfig, seq_hint: usize) -> Self {
+        let d = config.d_model;
+        Self {
+            hidden: Vec::with_capacity(d),
+            normed: Vec::with_capacity(d),
+            q: Vec::with_capacity(d),
+            k: Vec::with_capacity(d),
+            v: Vec::with_capacity(d),
+            concat: Vec::with_capacity(d),
+            attn_out: Vec::with_capacity(d),
+            gate: Vec::with_capacity(config.ffn_hidden),
+            up: Vec::with_capacity(config.ffn_hidden),
+            down: Vec::with_capacity(d),
+            logits: Vec::with_capacity(config.vocab_size),
+            scores: ScoreBuffer {
+                data: Vec::with_capacity(config.n_layers * config.n_heads * seq_hint),
+                ends: Vec::with_capacity(config.n_layers),
+                n_heads: config.n_heads,
+            },
+        }
+    }
+
+    /// Next-token logits of the most recent forward pass.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+
+    /// Attention-score observations of the most recent forward pass.
+    pub fn scores(&self) -> &ScoreBuffer {
+        &self.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_buffer_tracks_layer_segments() {
+        let mut b = ScoreBuffer::new();
+        b.begin_step(2);
+        for s in [0.25, 0.75, 0.5, 0.5] {
+            b.push(s);
+        }
+        b.seal_layer();
+        for s in [1.0, 0.0] {
+            b.push(s);
+        }
+        b.seal_layer();
+        assert_eq!(b.n_layers(), 2);
+        let l0 = b.layer(0);
+        assert_eq!(l0.len(), 2);
+        assert_eq!(l0.head(0), &[0.25, 0.75]);
+        assert_eq!(l0.head(1), &[0.5, 0.5]);
+        let l1 = b.layer(1);
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l1.head(0), &[1.0]);
+        assert_eq!(l1.head(1), &[0.0]);
+        // A new step resets the segments.
+        b.begin_step(2);
+        assert_eq!(b.n_layers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn score_buffer_rejects_bad_layer() {
+        ScoreBuffer::new().layer(0);
+    }
+}

@@ -1,12 +1,13 @@
 //! The decoder-only transformer: prefill + autoregressive decode with
 //! per-layer KV caches and eviction hooks.
 
-use crate::attention::{attend, AttentionOutput};
+use crate::attention::attend_into;
 use crate::config::ModelConfig;
 use crate::kvcache::LayerKvCache;
+use crate::scratch::{ForwardScratch, ScoreBuffer};
 use crate::weights::ModelWeights;
-use veda_tensor::norm::rmsnorm;
-use veda_tensor::ops::{gemv_inner, gemv_outer};
+use veda_tensor::norm::rmsnorm_into;
+use veda_tensor::ops::{gemv_inner_into, gemv_outer_into};
 use veda_tensor::softmax::log_softmax;
 
 /// Result of one full forward step (all layers).
@@ -15,8 +16,10 @@ pub struct StepOutput {
     /// Next-token logits, length `vocab_size`.
     pub logits: Vec<f32>,
     /// Per-layer, per-head post-softmax attention scores over the resident
-    /// cache slots — the observation stream for eviction policies.
-    pub layer_scores: Vec<Vec<Vec<f32>>>,
+    /// cache slots — the observation stream for eviction policies. Stored
+    /// flat; `scores.layer(l)` yields the [`veda_eviction::ScoreView`]
+    /// policies observe.
+    pub scores: ScoreBuffer,
 }
 
 /// Per-sequence decoding state: the per-layer KV caches of one sequence.
@@ -60,10 +63,30 @@ impl SequenceState {
         self.caches[layer].evict(slot);
     }
 
+    /// Evicts several cache slots of one layer in a single compaction
+    /// pass (see [`LayerKvCache::evict_many`]). `sorted_slots` must be
+    /// strictly ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or unsorted.
+    pub fn evict_many(&mut self, layer: usize, sorted_slots: &[usize]) {
+        self.caches[layer].evict_many(sorted_slots);
+    }
+
     /// Evicts the same slot in every layer (layer-synchronous eviction).
     pub fn evict_all_layers(&mut self, slot: usize) {
         for cache in &mut self.caches {
             cache.evict(slot);
+        }
+    }
+
+    /// Reserves KV storage in every layer for `tokens` total resident
+    /// rows of `width` features, so prefill and steady-state decode never
+    /// reallocate mid-growth.
+    pub fn reserve(&mut self, tokens: usize, width: usize) {
+        for cache in &mut self.caches {
+            cache.reserve(tokens, width);
         }
     }
 
@@ -178,50 +201,89 @@ impl TransformerModel {
         out
     }
 
+    /// Creates a [`ForwardScratch`] pre-sized for this model's geometry
+    /// (`seq_hint` pre-sizes the score buffer for an expected resident
+    /// cache length).
+    pub fn new_scratch(&self, seq_hint: usize) -> ForwardScratch {
+        ForwardScratch::for_config(&self.config, seq_hint)
+    }
+
     /// Runs one token of an arbitrary sequence through all layers against
-    /// the shared weights. The model itself is untouched (`&self`), so any
-    /// number of sequences can interleave steps.
+    /// the shared weights (allocating convenience wrapper over
+    /// [`TransformerModel::forward_with_scratch`]). The model itself is
+    /// untouched (`&self`), so any number of sequences can interleave
+    /// steps.
     ///
     /// # Panics
     ///
     /// Panics if `token` is outside the vocabulary or the state's layer
     /// count disagrees with the model.
     pub fn forward_in(&self, state: &mut SequenceState, token: usize, position: usize) -> StepOutput {
+        let mut scratch = ForwardScratch::new();
+        self.forward_with_scratch(state, token, position, &mut scratch);
+        StepOutput {
+            logits: std::mem::take(&mut scratch.logits),
+            scores: std::mem::take(&mut scratch.scores),
+        }
+    }
+
+    /// Runs one token of an arbitrary sequence through all layers against
+    /// the shared weights, reusing `scratch` for every intermediate buffer
+    /// — the zero-allocation decode hot path. After the call
+    /// [`ForwardScratch::logits`] holds the next-token logits and
+    /// [`ForwardScratch::scores`] the step's attention observations.
+    ///
+    /// Bit-identical to [`TransformerModel::forward_in`]: every in-place
+    /// kernel preserves the f32 summation order of its allocating twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary or the state's layer
+    /// count disagrees with the model.
+    pub fn forward_with_scratch(
+        &self,
+        state: &mut SequenceState,
+        token: usize,
+        position: usize,
+        scratch: &mut ForwardScratch,
+    ) {
         assert!(token < self.config.vocab_size, "token {token} outside vocabulary");
         if state.caches.is_empty() {
             // Allow `SequenceState::default()` to be used directly.
             *state = self.new_state();
         }
         assert_eq!(state.n_layers(), self.config.n_layers, "sequence state layer count mismatch");
-        let mut x = self.weights.embed(token).to_vec();
-        let mut layer_scores = Vec::with_capacity(self.config.n_layers);
+        scratch.hidden.clear();
+        scratch.hidden.extend_from_slice(self.weights.embed(token));
+        scratch.scores.begin_step(self.config.n_heads);
 
         for (li, cache) in state.caches.iter_mut().enumerate() {
             let w = &self.weights.layers[li];
             // Attention block with pre-norm residual.
-            let normed = rmsnorm(&x, &w.attn_norm, self.eps);
-            let AttentionOutput { output, head_scores } = attend(&normed, position, cache, w, &self.config);
-            for (xi, oi) in x.iter_mut().zip(&output) {
+            rmsnorm_into(&scratch.hidden, &w.attn_norm, self.eps, &mut scratch.normed);
+            attend_into(position, cache, w, &self.config, scratch);
+            for (xi, oi) in scratch.hidden.iter_mut().zip(&scratch.attn_out) {
                 *xi += oi;
             }
-            layer_scores.push(head_scores);
 
             // FFN block with pre-norm residual (Step 4 of Fig. 1).
-            let normed = rmsnorm(&x, &w.ffn_norm, self.eps);
-            let mut gate = gemv_outer(&normed, &w.w1);
-            self.config.activation.apply_slice(&mut gate);
-            let up = gemv_outer(&normed, &w.w3);
-            let hidden = veda_tensor::ops::hadamard(&gate, &up);
-            let down = gemv_outer(&hidden, &w.w2);
-            for (xi, di) in x.iter_mut().zip(&down) {
+            rmsnorm_into(&scratch.hidden, &w.ffn_norm, self.eps, &mut scratch.normed);
+            gemv_outer_into(&scratch.normed, &w.w1, &mut scratch.gate);
+            self.config.activation.apply_slice(&mut scratch.gate);
+            gemv_outer_into(&scratch.normed, &w.w3, &mut scratch.up);
+            // Hadamard gate ∘ up, in place in the gate buffer.
+            for (g, &u) in scratch.gate.iter_mut().zip(&scratch.up) {
+                *g *= u;
+            }
+            gemv_outer_into(&scratch.gate, &w.w2, &mut scratch.down);
+            for (xi, di) in scratch.hidden.iter_mut().zip(&scratch.down) {
                 *xi += di;
             }
         }
 
-        let final_x = rmsnorm(&x, &self.weights.final_norm, self.eps);
+        rmsnorm_into(&scratch.hidden, &self.weights.final_norm, self.eps, &mut scratch.normed);
         // Tied LM head: logits = E · x.
-        let logits = gemv_inner(&final_x, &self.weights.embedding);
-        StepOutput { logits, layer_scores }
+        gemv_inner_into(&scratch.normed, &self.weights.embedding, &mut scratch.logits);
     }
 
     /// Prefills a prompt (GEMM realized as successive GEMVs, as VEDA does),
@@ -286,9 +348,9 @@ mod tests {
         let mut m = TransformerModel::new(cfg.clone());
         m.forward_token(1, 0);
         let out = m.forward_token(2, 1);
-        assert_eq!(out.layer_scores.len(), cfg.n_layers);
-        assert_eq!(out.layer_scores[0].len(), cfg.n_heads);
-        assert_eq!(out.layer_scores[0][0].len(), 2);
+        assert_eq!(out.scores.n_layers(), cfg.n_layers);
+        assert_eq!(out.scores.layer(0).n_heads(), cfg.n_heads);
+        assert_eq!(out.scores.layer(0).len(), 2);
     }
 
     #[test]
@@ -327,7 +389,7 @@ mod tests {
         m.reset();
         assert_eq!(m.cache_len(), 0);
         let out = m.forward_token(1, 0);
-        assert_eq!(out.layer_scores[0][0].len(), 1);
+        assert_eq!(out.scores.layer(0).len(), 1);
     }
 
     #[test]
@@ -395,6 +457,25 @@ mod tests {
         // Cleared state is reusable.
         m.forward_in(&mut st, 2, 0);
         assert_eq!(st.cache_len(), 1);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_allocating_path() {
+        let m = TransformerModel::new(ModelConfig::tiny());
+        let mut state_alloc = m.new_state();
+        let mut state_scratch = m.new_state();
+        let mut scratch = m.new_scratch(8);
+        for (pos, token) in [1usize, 5, 9, 2, 40, 7].into_iter().enumerate() {
+            let out = m.forward_in(&mut state_alloc, token, pos);
+            m.forward_with_scratch(&mut state_scratch, token, pos, &mut scratch);
+            assert_eq!(scratch.logits(), out.logits.as_slice(), "logits diverged at {pos}");
+            assert_eq!(scratch.scores(), &out.scores, "scores diverged at {pos}");
+        }
+        assert_eq!(state_alloc.cache_len(), state_scratch.cache_len());
+        for (a, b) in state_alloc.caches().iter().zip(state_scratch.caches()) {
+            assert_eq!(a.keys(), b.keys());
+            assert_eq!(a.values(), b.values());
+        }
     }
 
     #[test]

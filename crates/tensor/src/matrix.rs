@@ -144,6 +144,56 @@ impl Matrix {
         self.rows -= 1;
     }
 
+    /// Removes every row in `sorted_rows` in one stable compaction pass
+    /// (multi-slot KV eviction: budget shrink evicts several residents in
+    /// a single tick).
+    ///
+    /// Surviving rows keep their relative order, so the result is
+    /// bit-identical to calling [`Matrix::remove_row`] once per index —
+    /// but the data is moved once (O(rows · cols) total) instead of once
+    /// per removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted_rows` is not strictly ascending or any index is
+    /// out of bounds.
+    pub fn remove_rows(&mut self, sorted_rows: &[usize]) {
+        let Some(&first) = sorted_rows.first() else { return };
+        assert!(
+            sorted_rows.windows(2).all(|w| w[0] < w[1]),
+            "remove_rows: indices must be strictly ascending, got {sorted_rows:?}"
+        );
+        let last = *sorted_rows.last().expect("non-empty");
+        assert!(last < self.rows, "row index {last} out of bounds ({} rows)", self.rows);
+        let cols = self.cols;
+        let mut dst = first;
+        let mut next_victim = 0;
+        for src in first..self.rows {
+            if next_victim < sorted_rows.len() && sorted_rows[next_victim] == src {
+                next_victim += 1;
+                continue;
+            }
+            if dst != src {
+                self.data.copy_within(src * cols..(src + 1) * cols, dst * cols);
+            }
+            dst += 1;
+        }
+        self.data.truncate(dst * cols);
+        self.rows = dst;
+    }
+
+    /// Reserves backing storage for at least `rows` total rows of `cols`
+    /// columns (the KV cache pre-sizes for prompt + generation budget so
+    /// [`Matrix::push_row`] never reallocates during decode). When the
+    /// matrix already has a width, `cols` is ignored in favour of it.
+    pub fn reserve_rows(&mut self, rows: usize, cols: usize) {
+        let cols = if self.cols > 0 { self.cols } else { cols };
+        let need = rows * cols;
+        if need > self.data.len() {
+            self.data.reserve(need - self.data.len());
+        }
+    }
+
     /// Returns the transposed matrix (fresh allocation).
     pub fn transposed(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -314,6 +364,48 @@ mod tests {
         assert_eq!(m.rows(), 2);
         assert_eq!(m.row(0), &[1.0, 2.0]);
         assert_eq!(m.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn remove_rows_matches_sequential_remove_row() {
+        let rows: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 10.0 + i as f32]).collect();
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        for victims in [vec![], vec![0], vec![7], vec![1, 4, 5], vec![0, 1, 2, 3, 4, 5, 6, 7]] {
+            let mut single = Matrix::from_rows(&refs);
+            // Descending order keeps single-removal indices stable.
+            for &v in victims.iter().rev() {
+                single.remove_row(v);
+            }
+            let mut batch = Matrix::from_rows(&refs);
+            batch.remove_rows(&victims);
+            assert_eq!(batch, single, "victims {victims:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn remove_rows_rejects_unsorted_indices() {
+        let mut m = Matrix::zeros(4, 2);
+        m.remove_rows(&[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_rows_rejects_out_of_bounds() {
+        let mut m = Matrix::zeros(4, 2);
+        m.remove_rows(&[1, 4]);
+    }
+
+    #[test]
+    fn reserve_rows_prevents_push_row_reallocation() {
+        let mut m = Matrix::default();
+        m.reserve_rows(16, 3);
+        let buffer = m.as_slice().as_ptr();
+        for i in 0..16 {
+            m.push_row(&[i as f32, 0.0, 1.0]).unwrap();
+        }
+        assert_eq!(m.as_slice().as_ptr(), buffer, "no reallocation during growth");
+        assert_eq!(m.rows(), 16);
     }
 
     #[test]

@@ -62,6 +62,27 @@ pub fn rmsnorm(x: &[f32], gamma: &[f32], eps: f32) -> Vec<f32> {
         .collect()
 }
 
+/// In-place variant of [`rmsnorm`]: writes the normalized vector into
+/// `out`, reusing its allocation. Bit-identical to [`rmsnorm`] (same
+/// mean-square reduction and per-element scaling order).
+///
+/// # Panics
+///
+/// Panics if non-empty `gamma` length differs from `x`.
+pub fn rmsnorm_into(x: &[f32], gamma: &[f32], eps: f32, out: &mut Vec<f32>) {
+    out.clear();
+    if x.is_empty() {
+        return;
+    }
+    assert!(gamma.is_empty() || gamma.len() == x.len(), "rmsnorm: gamma length mismatch");
+    let ms = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    out.extend(x.iter().enumerate().map(|(i, &v)| {
+        let g = if gamma.is_empty() { 1.0 } else { gamma[i] };
+        v * inv * g
+    }));
+}
+
 /// One-pass streaming mean/variance via `Σx` and `Σx²`, mirroring the
 /// element-serial reduction unit of the SFU.
 ///
@@ -164,6 +185,19 @@ mod tests {
         for v in y {
             assert!((v - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn rmsnorm_into_is_bit_identical_to_allocating() {
+        let x = [3.0_f32, -4.0, 0.5, 2.25];
+        let gamma = [1.5_f32, 0.5, 2.0, 1.0];
+        let mut out = vec![7.0; 9];
+        rmsnorm_into(&x, &gamma, DEFAULT_EPS, &mut out);
+        assert_eq!(out, rmsnorm(&x, &gamma, DEFAULT_EPS));
+        rmsnorm_into(&x, &[], DEFAULT_EPS, &mut out);
+        assert_eq!(out, rmsnorm(&x, &[], DEFAULT_EPS));
+        rmsnorm_into(&[], &[], DEFAULT_EPS, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

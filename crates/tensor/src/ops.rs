@@ -118,6 +118,39 @@ pub fn gemv_outer(s: &[f32], m: &Matrix) -> Vec<f32> {
     out
 }
 
+/// In-place variant of [`gemv_inner`]: writes `q × mᵀ` into `out`,
+/// reusing its allocation (the vector is cleared and refilled; capacity is
+/// retained across calls). Bit-identical to [`gemv_inner`] — the summation
+/// order of every dot product is unchanged.
+///
+/// This is the allocation-free kernel of the decode hot path
+/// (`ForwardScratch` in `veda-model` threads reusable buffers through it).
+///
+/// # Panics
+///
+/// Panics if `q.len() != m.cols()`.
+pub fn gemv_inner_into(q: &[f32], m: &Matrix, out: &mut Vec<f32>) {
+    assert_eq!(q.len(), m.cols(), "gemv_inner: q length {} vs matrix cols {}", q.len(), m.cols());
+    out.clear();
+    out.extend(m.iter_rows().map(|row| dot(q, row)));
+}
+
+/// In-place variant of [`gemv_outer`]: accumulates `Σ_i s[i] · m.row(i)`
+/// into `out`, reusing its allocation. Bit-identical to [`gemv_outer`] —
+/// rows are accumulated in the same order.
+///
+/// # Panics
+///
+/// Panics if `s.len() != m.rows()`.
+pub fn gemv_outer_into(s: &[f32], m: &Matrix, out: &mut Vec<f32>) {
+    assert_eq!(s.len(), m.rows(), "gemv_outer: s length {} vs matrix rows {}", s.len(), m.rows());
+    out.clear();
+    out.resize(m.cols(), 0.0);
+    for (i, &si) in s.iter().enumerate() {
+        axpy(si, m.row(i), out);
+    }
+}
+
 /// Checked variant of [`gemv_inner`].
 ///
 /// # Errors
@@ -199,6 +232,21 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 2.0]]);
         let s = [0.3, 0.7];
         assert!(max_abs_diff(&gemv_outer(&s, &m), &gemv_by_columns(&s, &m)) < 1e-6);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bit_for_bit() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, -4.0, 0.25], &[5.0, 6.0, -0.125]]);
+        let q = [0.5, -1.0, 2.0];
+        let mut out = vec![9.0; 7]; // stale content must be overwritten
+        gemv_inner_into(&q, &m, &mut out);
+        assert_eq!(out, gemv_inner(&q, &m));
+        gemv_outer_into(&q, &m, &mut out);
+        assert_eq!(out, gemv_outer(&q, &m));
+        // Reuse without reallocation once capacity is warm.
+        let cap = out.capacity();
+        gemv_outer_into(&q, &m, &mut out);
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

@@ -27,6 +27,25 @@ pub fn softmax(x: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// In-place variant of [`softmax`]: overwrites `x` with its softmax.
+/// Bit-identical to the allocating two-pass version (same max fold, same
+/// exponentiation and summation order) while performing no heap
+/// allocation — the decode hot path applies it to per-head score segments
+/// living in a reusable scratch buffer.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+    }
+    let sum: f32 = x.iter().sum();
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
 /// Softmax of `x / temperature` (temperature > 0).
 ///
 /// # Panics
@@ -156,6 +175,17 @@ mod tests {
         let p = softmax(&[-2.0, 0.0, 1.0, 5.0]);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
         assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_in_place_is_bit_identical_to_allocating() {
+        let xs = [0.1_f32, -3.0, 2.5, 0.1, 7.25, -0.5];
+        let reference = softmax(&xs);
+        let mut inplace = xs;
+        softmax_in_place(&mut inplace);
+        assert_eq!(inplace.as_slice(), reference.as_slice(), "must match bit for bit");
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
     }
 
     #[test]

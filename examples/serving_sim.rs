@@ -30,6 +30,7 @@ struct Args {
     capacity_kb: u64,
     policy: Option<PolicyKind>,
     variant: DataflowVariant,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         capacity_kb: 32,
         policy: None,
         variant: DataflowVariant::FlexibleElementSerial,
+        threads: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,11 +57,12 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--capacity-kb" => parsed.capacity_kb = value()?.parse()?,
             "--policy" => parsed.policy = Some(value()?.parse()?),
             "--variant" => parsed.variant = value()?.parse()?,
+            "--threads" => parsed.threads = value()?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
                      \x20                  [--sched fcfs|round_robin|srb|priority] [--requests N]\n\
-                     \x20                  [--capacity-kb KB] [--policy P] [--variant V]"
+                     \x20                  [--capacity-kb KB] [--policy P] [--variant V] [--threads N]"
                 );
                 std::process::exit(0);
             }
@@ -101,7 +104,11 @@ fn build_workload(args: &Args) -> Workload {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
-    let engine = EngineBuilder::new().model(ModelConfig::tiny()).variant(args.variant).build()?;
+    let engine = EngineBuilder::new()
+        .model(ModelConfig::tiny())
+        .variant(args.variant)
+        .decode_threads(args.threads)
+        .build()?;
     let kv_per_token = engine.kv_bytes_per_token();
     let workload = build_workload(&args);
     let config = ServerConfig {
@@ -111,8 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!(
-        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow ==",
-        args.requests, args.arrival, args.rate, args.sched, args.variant
+        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow, {} decode thread(s) ==",
+        args.requests,
+        args.arrival,
+        args.rate,
+        args.sched,
+        args.variant,
+        engine.decode_threads(),
     );
     println!(
         "   seed {}, KV capacity {} KiB ({} B/token => ~{} resident tokens)\n",

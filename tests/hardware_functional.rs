@@ -45,7 +45,7 @@ fn element_serial_softmax_matches_reference_on_real_scores() {
         out = model.forward_token((pos * 3) % cfg.vocab_size, pos);
     }
     // Re-normalize one head's raw-ish scores through the SFU model.
-    let scores = &out.layer_scores[0][0];
+    let scores = out.scores.layer(0).head(0);
     let mut sm = SoftmaxUnit::new(SfuConfig::default());
     for &s in scores {
         sm.push(s.ln()); // feed logits
@@ -73,10 +73,10 @@ fn voting_engine_tracks_software_policy_on_transformer_scores() {
         engine.on_append().expect("capacity");
         sw.on_append();
         // Layer 0, averaged across heads (Section V aggregation).
-        let avg = veda_eviction::policy::average_heads(&out.layer_scores[0]);
+        let avg = out.scores.layer(0).average();
         let quantized: Vec<f32> = avg.iter().map(|&x| veda_tensor::fp16::quantize_f32(x)).collect();
         engine.process_head(&avg);
-        sw.observe(&[quantized]);
+        sw.observe(veda_eviction::ScoreView::single(&quantized));
         assert_eq!(engine.policy().vote_counts(), sw.vote_counts(), "desync at pos {pos}");
 
         if model.cache_len() > budget {
@@ -107,7 +107,7 @@ fn outer_product_attention_matches_reference_on_real_values() {
     for r in 0..cache.len() {
         values_h.row_mut(r).copy_from_slice(&cache.values().row(r)[..dh]);
     }
-    let s = &out.layer_scores[1][0];
+    let s = out.scores.layer(1).head(0);
 
     let mut array = PeArray::veda_tile();
     array.configure(ArrayMode::OuterProduct);

@@ -13,7 +13,11 @@ use veda_serving::{
 };
 
 fn engine() -> veda::Engine {
-    EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config")
+    engine_with_threads(1)
+}
+
+fn engine_with_threads(threads: usize) -> veda::Engine {
+    EngineBuilder::new().model(ModelConfig::tiny()).decode_threads(threads).build().expect("valid config")
 }
 
 fn workload(kind: ArrivalKind, seed: u64, total: usize) -> Workload {
@@ -99,6 +103,38 @@ fn same_seed_runs_are_bit_identical() {
             tokens_by_arrival(&c),
             "{sched}: different seeds produce different workloads"
         );
+    }
+}
+
+#[test]
+fn parallel_decode_is_bit_identical_to_serial() {
+    // The tentpole invariant of the session-parallel engine: the same
+    // seeded request mix run at decode_threads 1, 2 and 8 yields
+    // byte-identical ServingReports (and therefore EngineReports and
+    // token streams) across arrival processes and schedulers. The default
+    // RequestMix rotates through every eviction policy, so all policy
+    // stacks cross the worker threads.
+    let run_with_threads = |threads: usize, kind: ArrivalKind, sched: SchedKind| {
+        let config = ServerConfig {
+            admission: AdmissionConfig { capacity_bytes: 24 << 10, max_queue_depth: 64 },
+            sched,
+            ..ServerConfig::default()
+        };
+        Server::new(engine_with_threads(threads), workload(kind, 11, 18), config).run()
+    };
+    for kind in [ArrivalKind::Poisson, ArrivalKind::Burst] {
+        for sched in [SchedKind::Fcfs, SchedKind::Srb, SchedKind::Priority] {
+            let serial = run_with_threads(1, kind, sched);
+            for threads in [2, 8] {
+                let parallel = run_with_threads(threads, kind, sched);
+                assert_eq!(parallel, serial, "{kind}/{sched}: decode_threads({threads}) changed the report");
+                assert_eq!(
+                    tokens_by_arrival(&parallel),
+                    tokens_by_arrival(&serial),
+                    "{kind}/{sched}: decode_threads({threads}) changed a token stream"
+                );
+            }
+        }
     }
 }
 
