@@ -68,17 +68,31 @@ pub fn decode_attention_cycles(arch: &ArchConfig, variant: DataflowVariant, l: u
 /// Cycles of the prefill attention for a prompt of length `p_len`
 /// (per head): row `i` attends to `i+1` keys. The flexible variants skip
 /// the causal upper triangle (Section V); the baseline's fixed GEMM kernel
-/// computes full rows.
+/// computes full rows. The whole-prompt prefill is exactly a chunked
+/// prefill starting from an empty cache.
 pub fn prefill_attention_cycles_per_head(arch: &ArchConfig, variant: DataflowVariant, p_len: usize) -> u64 {
+    chunked_prefill_attention_cycles_per_head(arch, variant, 0, p_len)
+}
+
+/// Cycles of one head's attention for a *chunked-prefill* chunk: `tokens`
+/// consecutive prompt rows appended to a cache already holding
+/// `start_len` entries. Row `i` of the chunk attends causally to
+/// `start_len + i + 1` keys under the flexible variants; the baseline's
+/// fixed GEMM kernel computes full `start_len + tokens` rows. Within the
+/// chunk the softmax of row `i` overlaps with row `i+1`'s GEMVs in *all*
+/// variants (rows are independent); only the per-row drain differs.
+pub fn chunked_prefill_attention_cycles_per_head(
+    arch: &ArchConfig,
+    variant: DataflowVariant,
+    start_len: usize,
+    tokens: usize,
+) -> u64 {
     let mut total = 0u64;
-    for i in 0..p_len {
-        let effective_l = if variant.flexible() { i + 1 } else { p_len };
-        // Within the prefill pipeline the softmax of row i overlaps with
-        // row i+1's GEMVs in *all* variants (rows are independent); only
-        // the per-row drain differs.
-        let d = arch.head_dim;
-        let p = arch.macs();
-        let chunks_d = (d as u64).div_ceil(p as u64);
+    let d = arch.head_dim;
+    let p = arch.macs();
+    let chunks_d = (d as u64).div_ceil(p as u64);
+    for i in 0..tokens {
+        let effective_l = if variant.flexible() { start_len + i + 1 } else { start_len + tokens };
         let qk = effective_l as u64 * chunks_d;
         let sv = if variant.flexible() {
             effective_l as u64 * chunks_d
@@ -94,9 +108,20 @@ pub fn prefill_attention_cycles_per_head(arch: &ArchConfig, variant: DataflowVar
         total += qk + sv + drain;
     }
     if !variant.flexible() {
-        total += p_len as u64 * arch.calibration.transpose_maintenance_per_head;
+        total += tokens as u64 * arch.calibration.transpose_maintenance_per_head;
     }
     total
+}
+
+/// Cycles of a full chunked-prefill chunk (all heads); see
+/// [`chunked_prefill_attention_cycles_per_head`].
+pub fn chunked_prefill_attention_cycles(
+    arch: &ArchConfig,
+    variant: DataflowVariant,
+    start_len: usize,
+    tokens: usize,
+) -> u64 {
+    arch.n_heads as u64 * chunked_prefill_attention_cycles_per_head(arch, variant, start_len, tokens)
 }
 
 /// Average attention cycles per generated token over a generation phase:
@@ -214,6 +239,36 @@ mod tests {
         let a = arch();
         assert!(eviction_speedup(&a, 512, 512, 0.2) > eviction_speedup(&a, 512, 512, 0.4));
         assert!(eviction_speedup(&a, 512, 1024, 0.3) > eviction_speedup(&a, 512, 128, 0.3));
+    }
+
+    #[test]
+    fn chunked_prefill_from_empty_cache_matches_whole_prompt_prefill() {
+        let a = ArchConfig::veda();
+        for variant in
+            [DataflowVariant::Baseline, DataflowVariant::Flexible, DataflowVariant::FlexibleElementSerial]
+        {
+            for p_len in [1, 7, 64, 257] {
+                assert_eq!(
+                    chunked_prefill_attention_cycles_per_head(&a, variant, 0, p_len),
+                    prefill_attention_cycles_per_head(&a, variant, p_len),
+                    "{variant:?} p_len {p_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_cost_grows_with_start_len_and_tokens() {
+        let a = ArchConfig::veda();
+        let v = DataflowVariant::FlexibleElementSerial;
+        assert_eq!(chunked_prefill_attention_cycles_per_head(&a, v, 100, 0), 0);
+        let early = chunked_prefill_attention_cycles_per_head(&a, v, 0, 16);
+        let late = chunked_prefill_attention_cycles_per_head(&a, v, 512, 16);
+        assert!(late > early, "rows deeper in the prompt attend to more keys");
+        let small = chunked_prefill_attention_cycles_per_head(&a, v, 64, 8);
+        let big = chunked_prefill_attention_cycles_per_head(&a, v, 64, 32);
+        assert!(big > small);
+        assert_eq!(chunked_prefill_attention_cycles(&a, v, 64, 8), a.n_heads as u64 * small, "heads sum");
     }
 
     #[test]

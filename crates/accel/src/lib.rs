@@ -50,5 +50,5 @@ pub use array::{ArrayMode, PeArray};
 pub use attention::decode_attention_cycles;
 pub use pipeline::AttentionPipeline;
 pub use report::CycleReport;
-pub use schedule::{DecodeScheduler, LlamaShape};
+pub use schedule::{DecodeScheduler, LlamaShape, PrefillChunk};
 pub use voting::VotingEngine;

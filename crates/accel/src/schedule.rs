@@ -9,9 +9,24 @@
 //! variant-dependent kernel cycles from [`crate::attention`].
 
 use crate::arch::{ArchConfig, DataflowVariant};
-use crate::attention::decode_attention_cycles;
+use crate::attention::{chunked_prefill_attention_cycles, decode_attention_cycles};
 use crate::report::CycleReport;
 use veda_mem::{AccessPattern, HbmConfig, HbmModel};
+
+/// One prefilling sequence's share of a mixed tick: `tokens` consecutive
+/// prompt tokens appended to a cache already holding `start_len` entries
+/// (Sarathi/vLLM-style chunked prefill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillChunk {
+    /// Cache length before the chunk (prompt tokens already consumed).
+    pub start_len: usize,
+    /// Prompt tokens this chunk consumes (must be ≥ 1).
+    pub tokens: usize,
+    /// Whether this chunk consumes the prompt's final token — only then
+    /// does the sequence need the LM head (its logits seed the first
+    /// decode step); mid-prompt chunks skip it.
+    pub completes_prompt: bool,
+}
 
 /// Geometry of the model being scheduled (decode-time view; no tensors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,13 +63,34 @@ impl LlamaShape {
         2 * (self.n_layers as u64 * per_layer + d * self.vocab_size as u64)
     }
 
+    /// KV cache bytes one sequence streams in **one layer** for one token
+    /// at cache length `l`: read K and V at `l` entries, write the new
+    /// token's K/V pair. The single source of the KV byte layout — the
+    /// all-layer and chunk variants below, and the scheduler's per-layer
+    /// attention costing, all derive from it.
+    pub fn layer_kv_bytes(&self, l: usize) -> u64 {
+        let d = self.d_model as u64;
+        2 * (l as u64) * d * 2 + 2 * d * 2
+    }
+
+    /// KV cache bytes one sequence streams in **one layer** for a
+    /// chunked-prefill chunk of `tokens` prompt tokens appended to a
+    /// cache of `start_len` entries: each row reads the cache at its own
+    /// (growing) length and writes its K/V pair, summed token-serially.
+    pub fn layer_prefill_kv_bytes(&self, start_len: usize, tokens: usize) -> u64 {
+        (0..tokens).map(|i| self.layer_kv_bytes(start_len + i)).sum()
+    }
+
     /// KV cache bytes streamed per token at cache length `l` (read K and V
     /// across all layers, plus the new token's write).
     pub fn kv_bytes_per_token(&self, l: usize) -> u64 {
-        let d = self.d_model as u64;
-        let read = 2 * (l as u64) * d * 2;
-        let write = 2 * d * 2;
-        self.n_layers as u64 * (read + write)
+        self.n_layers as u64 * self.layer_kv_bytes(l)
+    }
+
+    /// KV cache bytes streamed by a chunked-prefill chunk across all
+    /// layers (see [`LlamaShape::layer_prefill_kv_bytes`]).
+    pub fn prefill_kv_bytes(&self, start_len: usize, tokens: usize) -> u64 {
+        self.n_layers as u64 * self.layer_prefill_kv_bytes(start_len, tokens)
     }
 }
 
@@ -102,14 +138,16 @@ impl DecodeScheduler {
         &self.shape
     }
 
-    /// Cycles of a batched linear GEMV `(1,k)×(k,n)` applied to `batch`
-    /// sequences: compute runs once per sequence, chunked on the array, but
-    /// the weights stream from HBM **once** for the whole batch — the
-    /// bandwidth amortization that makes batched decode pay.
-    fn linear(&self, report: &mut CycleReport, name: &'static str, k: usize, n: usize, batch: u64) {
+    /// Cycles of a batched linear GEMV `(1,k)×(k,n)` applied to `tokens`
+    /// input rows (one per decode sequence, plus every prompt token of the
+    /// tick's prefill chunks): compute runs once per row, chunked on the
+    /// array, but the weights stream from HBM **once** for the whole batch
+    /// — the bandwidth amortization that makes batched decode pay and that
+    /// chunked prefill piggybacks on.
+    fn linear(&self, report: &mut CycleReport, name: &'static str, k: usize, n: usize, tokens: u64) {
         // Outer-product mapping: k temporal, n spatial (weights stream row
         // by row in (k, n) layout — sequential).
-        let compute = batch * self.arch.flexible_gemv_cycles(k, n);
+        let compute = tokens * self.arch.flexible_gemv_cycles(k, n);
         let memory = self.hbm.cost(k * n * 2, AccessPattern::Sequential);
         report.add_overlapped(name, compute, memory);
     }
@@ -122,48 +160,85 @@ impl DecodeScheduler {
     }
 
     /// One batched decode tick: every sequence in the batch advances by one
-    /// token. Linear-layer weights stream from HBM once for the whole batch
-    /// (shared across sequences), while attention — whose operand is each
-    /// sequence's private KV cache — is charged per sequence at its own
-    /// cache length `cache_lens[i]`, as are the per-sequence normalizations.
+    /// token. Equivalent to [`DecodeScheduler::mixed_batch`] with no
+    /// prefill chunks (and costed identically).
     ///
     /// # Panics
     ///
     /// Panics if `cache_lens` is empty.
     pub fn decode_batch(&self, cache_lens: &[usize]) -> CycleReport {
         assert!(!cache_lens.is_empty(), "decode batch must be non-empty");
-        let batch = cache_lens.len() as u64;
+        self.mixed_batch(&[], cache_lens)
+    }
+
+    /// One *mixed* tick: every decode sequence advances by one token
+    /// **and** every prefilling sequence consumes its [`PrefillChunk`] of
+    /// prompt tokens. Linear-layer weights stream from HBM once for the
+    /// whole tick, shared across both phases (one GEMV pass per input row:
+    /// one row per decode sequence, one per prompt token); attention —
+    /// whose operand is each sequence's private KV cache — is charged per
+    /// decode sequence at its own cache length and per prefill chunk
+    /// token-serially at its growing cache lengths, as are the
+    /// per-row normalizations. The LM head runs for decode rows and for
+    /// chunks that complete their prompt (their logits seed the first
+    /// decode step); mid-prompt chunks skip it.
+    ///
+    /// With `prefill` empty this is exactly the pre-chunking
+    /// `decode_batch` costing — the byte-identity the engine's
+    /// instant-prefill compatibility mode relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both `prefill` and `cache_lens` are empty, or if any
+    /// chunk has zero tokens.
+    pub fn mixed_batch(&self, prefill: &[PrefillChunk], cache_lens: &[usize]) -> CycleReport {
+        assert!(!prefill.is_empty() || !cache_lens.is_empty(), "mixed tick must be non-empty");
+        assert!(prefill.iter().all(|c| c.tokens > 0), "prefill chunks must consume at least one token");
+        let prefill_tokens: u64 = prefill.iter().map(|c| c.tokens as u64).sum();
+        let tokens = cache_lens.len() as u64 + prefill_tokens;
+        let lm_rows = cache_lens.len() as u64 + prefill.iter().filter(|c| c.completes_prompt).count() as u64;
         let d = self.shape.d_model;
         let f = self.shape.ffn_hidden;
         let mut report = CycleReport::new();
 
         for _ in 0..self.shape.n_layers {
-            self.linear(&mut report, "qkv", d, 3 * d, batch);
+            self.linear(&mut report, "qkv", d, 3 * d, tokens);
 
             // Attention kernels + KV stream, per sequence: each sequence's
             // compute overlaps with its own cache stream.
             for &l in cache_lens {
                 let attn_compute = decode_attention_cycles(&self.arch, self.variant, l);
-                let kv_bytes = 2 * l * d * 2 + 2 * d * 2;
-                let attn_memory = self.hbm.cost(kv_bytes, AccessPattern::Sequential);
+                let kv_bytes = self.shape.layer_kv_bytes(l);
+                let attn_memory = self.hbm.cost(kv_bytes as usize, AccessPattern::Sequential);
                 report.add_overlapped("attention", attn_compute, attn_memory);
             }
+            for chunk in prefill {
+                let attn_compute =
+                    chunked_prefill_attention_cycles(&self.arch, self.variant, chunk.start_len, chunk.tokens);
+                let kv_bytes = self.shape.layer_prefill_kv_bytes(chunk.start_len, chunk.tokens);
+                let attn_memory = self.hbm.cost(kv_bytes as usize, AccessPattern::Sequential);
+                report.add_overlapped("prefill_attention", attn_compute, attn_memory);
+            }
 
-            self.linear(&mut report, "proj", d, d, batch);
-            self.linear(&mut report, "ffn_gate_up", d, 2 * f, batch);
-            self.linear(&mut report, "ffn_down", f, d, batch);
+            self.linear(&mut report, "proj", d, d, tokens);
+            self.linear(&mut report, "ffn_gate_up", d, 2 * f, tokens);
+            self.linear(&mut report, "ffn_down", f, d, tokens);
 
-            // Layernorm/RMSnorm per sequence: O(1) drain under
+            // Layernorm/RMSnorm per input row: O(1) drain under
             // element-serial scheduling; a blocking
             // reduction+normalization otherwise.
             if self.variant.element_serial() {
-                report.add_exposed_sfu("norm", batch * 2 * self.arch.calibration.element_serial_drain);
+                report.add_exposed_sfu("norm", tokens * 2 * self.arch.calibration.element_serial_drain);
             } else {
                 let per_norm = (d as u64).div_ceil(2) * 2; // reduce + normalize at 2/cycle
-                report.add_exposed_sfu("norm", batch * 2 * per_norm);
+                report.add_exposed_sfu("norm", tokens * 2 * per_norm);
             }
         }
-        self.linear(&mut report, "lm_head", d, self.shape.vocab_size, batch);
+        // No sequence needs logits this tick (all chunks are mid-prompt):
+        // the LM head neither computes nor streams its weights.
+        if lm_rows > 0 {
+            self.linear(&mut report, "lm_head", d, self.shape.vocab_size, lm_rows);
+        }
         report
     }
 
@@ -298,5 +373,81 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_batch_panics() {
         DecodeScheduler::veda_llama7b().decode_batch(&[]);
+    }
+
+    #[test]
+    fn mixed_batch_with_no_prefill_is_exactly_decode_batch() {
+        let sched = DecodeScheduler::veda_llama7b();
+        for lens in [vec![512], vec![128, 4096], vec![64; 8]] {
+            assert_eq!(sched.mixed_batch(&[], &lens), sched.decode_batch(&lens));
+        }
+    }
+
+    #[test]
+    fn prefill_chunks_make_the_tick_dearer() {
+        let sched = DecodeScheduler::veda_llama7b();
+        let decode_only = sched.decode_batch(&[512, 512]).total_cycles;
+        let chunk = PrefillChunk { start_len: 0, tokens: 64, completes_prompt: false };
+        let mixed = sched.mixed_batch(&[chunk], &[512, 512]).total_cycles;
+        assert!(mixed > decode_only, "a prefill chunk must add work: {mixed} vs {decode_only}");
+        let bigger = PrefillChunk { start_len: 0, tokens: 256, completes_prompt: false };
+        let heavier = sched.mixed_batch(&[bigger], &[512, 512]).total_cycles;
+        assert!(heavier > mixed, "larger chunks cost more: {heavier} vs {mixed}");
+    }
+
+    #[test]
+    fn mixed_batch_shares_one_weight_stream() {
+        // A mixed tick streams the linear weights once, so it is cheaper
+        // than costing prefill and decode as separate ticks. On the paper's
+        // 128-MAC array the GEMVs are compute-bound, so the saving is
+        // modest; a wider array exposes the full bandwidth amortization
+        // (same reasoning as `batching_amortizes_weight_streaming`).
+        let chunk = PrefillChunk { start_len: 0, tokens: 8, completes_prompt: false };
+        let sched = DecodeScheduler::veda_llama7b();
+        let mixed = sched.mixed_batch(&[chunk], &[512]).total_cycles;
+        let separate =
+            sched.mixed_batch(&[chunk], &[]).total_cycles + sched.decode_batch(&[512]).total_cycles;
+        assert!(mixed < separate, "one weight stream must beat two: {mixed} vs {separate}");
+
+        let mut wide_arch = ArchConfig::veda();
+        wide_arch.pe_lanes *= 8;
+        let wide = DecodeScheduler::new(
+            wide_arch,
+            LlamaShape::llama2_7b(),
+            HbmConfig::default(),
+            DataflowVariant::FlexibleElementSerial,
+        );
+        let mixed = wide.mixed_batch(&[chunk], &[512]).total_cycles;
+        let separate = wide.mixed_batch(&[chunk], &[]).total_cycles + wide.decode_batch(&[512]).total_cycles;
+        assert!(mixed < separate * 3 / 4, "wide array should amortize better: {mixed} vs {separate}");
+    }
+
+    #[test]
+    fn completing_chunk_pays_the_lm_head() {
+        let sched = DecodeScheduler::veda_llama7b();
+        let mid = PrefillChunk { start_len: 128, tokens: 32, completes_prompt: false };
+        let last = PrefillChunk { completes_prompt: true, ..mid };
+        let without = sched.mixed_batch(&[mid], &[]).total_cycles;
+        let with = sched.mixed_batch(&[last], &[]).total_cycles;
+        assert!(with > without, "the completing chunk must charge the LM head: {with} vs {without}");
+    }
+
+    #[test]
+    fn prefill_only_tick_is_valid_and_empty_mixed_tick_panics() {
+        let sched = DecodeScheduler::veda_llama7b();
+        let chunk = PrefillChunk { start_len: 0, tokens: 16, completes_prompt: true };
+        assert!(sched.mixed_batch(&[chunk], &[]).total_cycles > 0);
+        let r = std::panic::catch_unwind(|| sched.mixed_batch(&[], &[]));
+        assert!(r.is_err(), "a tick with no work must panic");
+    }
+
+    #[test]
+    fn prefill_kv_bytes_sum_token_serially() {
+        let s = LlamaShape::llama2_7b();
+        assert_eq!(s.prefill_kv_bytes(10, 0), 0);
+        assert_eq!(
+            s.prefill_kv_bytes(10, 3),
+            s.kv_bytes_per_token(10) + s.kv_bytes_per_token(11) + s.kv_bytes_per_token(12)
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Wall-clock decode throughput baseline: serial vs session-parallel
 //! engine ticks across a batch sweep, plus the allocating vs scratch
-//! forward path, written to `BENCH_decode.json` so future PRs have a
-//! pinned perf reference.
+//! forward path, written to `BENCH_decode.json` — and a chunked-prefill
+//! interference sweep (chunk size × prompt length → TTFT p50/p99 and
+//! decode tokens/s in *virtual* time), written to `BENCH_prefill.json` —
+//! so future PRs have pinned perf references.
 //!
 //! ```sh
 //! cargo run --release -p veda-bench --bin throughput            # full sweep
@@ -10,26 +12,35 @@
 
 use std::time::Instant;
 
-use veda::{Budget, EngineBuilder, Request};
+use veda::{Budget, EngineBuilder, Request, SessionPhase, TokenEvent};
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 
 struct Args {
     quick: bool,
     json: String,
+    prefill_json: String,
     gen_tokens: usize,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
-    let mut parsed = Args { quick: false, json: "BENCH_decode.json".to_string(), gen_tokens: 32 };
+    let mut parsed = Args {
+        quick: false,
+        json: "BENCH_decode.json".to_string(),
+        prefill_json: "BENCH_prefill.json".to_string(),
+        gen_tokens: 32,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
             "--json" => parsed.json = args.next().ok_or("missing value after --json")?,
+            "--prefill-json" => {
+                parsed.prefill_json = args.next().ok_or("missing value after --prefill-json")?;
+            }
             "--gen" => parsed.gen_tokens = args.next().ok_or("missing value after --gen")?.parse()?,
             "--help" | "-h" => {
-                println!("usage: throughput [--quick] [--json PATH] [--gen N]");
+                println!("usage: throughput [--quick] [--json PATH] [--prefill-json PATH] [--gen N]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?} (try --help)").into()),
@@ -81,6 +92,99 @@ fn measure_engine(model: &ModelConfig, batch: usize, threads: usize, gen_tokens:
         wall_s,
         tokens_per_s: tokens as f64 / wall_s.max(1e-12),
         ns_per_token: wall_s * 1e9 / tokens.max(1) as f64,
+    }
+}
+
+struct PrefillPoint {
+    /// Prompt tokens per prefilling session per tick; 0 = instant
+    /// (off-clock) prefill.
+    chunk: usize,
+    prompt_len: usize,
+    ttft_p50_us: f64,
+    ttft_p99_us: f64,
+    /// Decode throughput (generated tokens per *virtual* second) over the
+    /// probe phase — the interference signal: prefill chunks lengthen the
+    /// mixed ticks the background decode sessions ride on.
+    decode_tokens_per_s: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample set.
+fn percentile_us(samples: &mut [u64], q: f64) -> f64 {
+    samples.sort_unstable();
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1] as f64
+}
+
+/// Chunked-prefill interference, measured in virtual time on the tiny
+/// geometry: 4 long-running decode sessions share the engine with a
+/// sequence of prefill probes of `prompt_len` tokens each; per probe we
+/// record TTFT in engine cycles (converted to µs at the architecture
+/// clock), and across the whole probe phase the decode tokens/s the
+/// background sessions sustained.
+fn measure_prefill(model: &ModelConfig, chunk: usize, prompt_len: usize, probes: usize) -> PrefillPoint {
+    let mut builder = EngineBuilder::new().model(model.clone());
+    if chunk > 0 {
+        builder = builder.prefill_chunk(chunk);
+    }
+    let mut engine = builder.build().expect("valid config");
+    let clock_ghz = engine.arch().clock_ghz;
+
+    // Background decoders, sized to outlive every probe.
+    let bg_new = probes * (prompt_len + 20) + 32;
+    let background: Vec<_> = (0..4)
+        .map(|i| {
+            let prompt: Vec<usize> = (0..16).map(|j| (j * 7 + i * 13) % (model.vocab_size - 1) + 1).collect();
+            engine
+                .submit(Request::new(prompt, bg_new).policy(PolicyKind::Voting).budget(Budget::Ratio(0.5)))
+                .expect("valid request")
+        })
+        .collect();
+    while background.iter().any(|&s| engine.session_phase(s) == Some(SessionPhase::Prefilling)) {
+        engine.step();
+    }
+
+    let mut ttft_us: Vec<u64> = Vec::with_capacity(probes);
+    let mut span_cycles = 0u64;
+    let mut span_decode_tokens = 0u64;
+    for p in 0..probes {
+        let prompt: Vec<usize> =
+            (0..prompt_len).map(|j| (j * 11 + p * 29) % (model.vocab_size - 1) + 1).collect();
+        let probe = engine
+            .submit(Request::new(prompt, 4).policy(PolicyKind::Voting).budget(Budget::Ratio(0.5)))
+            .expect("valid request");
+        let mut probe_cycles = 0u64;
+        let mut first_token_at: Option<u64> = None;
+        while engine.is_active(probe) {
+            let tick = engine.step();
+            probe_cycles += tick.batch_cycles;
+            span_cycles += tick.batch_cycles;
+            span_decode_tokens +=
+                tick.events.iter().filter(|e| e.generated_token().is_some() && e.session() != probe).count()
+                    as u64;
+            if first_token_at.is_none()
+                && tick
+                    .events
+                    .iter()
+                    .any(|e| e.session() == probe && matches!(e, TokenEvent::Generated { .. }))
+            {
+                first_token_at = Some(probe_cycles);
+            }
+        }
+        let cycles = first_token_at.expect("probe generated at least one token");
+        ttft_us.push((cycles as f64 / (clock_ghz * 1e3)).round() as u64);
+    }
+    assert!(
+        background.iter().all(|&s| engine.is_active(s)),
+        "background sessions must outlive the probe phase"
+    );
+
+    let span_seconds = span_cycles as f64 / (clock_ghz * 1e9);
+    PrefillPoint {
+        chunk,
+        prompt_len,
+        ttft_p50_us: percentile_us(&mut ttft_us, 0.50),
+        ttft_p99_us: percentile_us(&mut ttft_us, 0.99),
+        decode_tokens_per_s: span_decode_tokens as f64 / span_seconds.max(1e-12),
     }
 }
 
@@ -185,6 +289,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             points.push(p);
         }
     }
+
+    // Chunked-prefill interference sweep: chunk size × prompt length →
+    // TTFT p50/p99 and background decode tokens/s, in virtual time (the
+    // numbers are deterministic — the sweep is a model property, not a
+    // wall-clock measurement, so it runs on the tiny geometry in both
+    // modes).
+    let (chunks, prompt_lens, probes) = if args.quick {
+        (vec![0usize, 4, 16], vec![24usize, 64], 4usize)
+    } else {
+        (vec![0usize, 4, 16, 64], vec![32usize, 128, 256], 8usize)
+    };
+    let prefill_model = ModelConfig::tiny();
+    println!("\n== chunked-prefill interference (virtual time, tiny model; chunk 0 = instant) ==");
+    println!(
+        "   {:>6} {:>8} {:>12} {:>12} {:>16}",
+        "chunk", "prompt", "ttft_p50_us", "ttft_p99_us", "decode tok/s"
+    );
+    let mut prefill_points: Vec<PrefillPoint> = Vec::new();
+    for &chunk in &chunks {
+        for &prompt_len in &prompt_lens {
+            let p = measure_prefill(&prefill_model, chunk, prompt_len, probes);
+            println!(
+                "   {:>6} {:>8} {:>12.0} {:>12.0} {:>16.1}",
+                p.chunk, p.prompt_len, p.ttft_p50_us, p.ttft_p99_us, p.decode_tokens_per_s
+            );
+            prefill_points.push(p);
+        }
+    }
+    let mut prefill_json = String::new();
+    prefill_json.push_str("{\n");
+    prefill_json.push_str("  \"model\": \"tiny\",\n");
+    prefill_json.push_str(&format!("  \"probes_per_point\": {probes},\n"));
+    prefill_json.push_str(
+        "  \"note\": \"chunk 0 = instant (off-clock) prefill; TTFT in virtual microseconds at the \
+         architecture clock, decode_tokens_per_s is the 4 background decode sessions' virtual \
+         throughput while prefill probes interfere\",\n",
+    );
+    prefill_json.push_str("  \"sweep\": [\n");
+    for (i, p) in prefill_points.iter().enumerate() {
+        prefill_json.push_str(&format!(
+            "    {{\"chunk\": {}, \"prompt_len\": {}, \"ttft_p50_us\": {:.1}, \
+             \"ttft_p99_us\": {:.1}, \"decode_tokens_per_s\": {:.1}}}{}\n",
+            p.chunk,
+            p.prompt_len,
+            p.ttft_p50_us,
+            p.ttft_p99_us,
+            p.decode_tokens_per_s,
+            if i + 1 == prefill_points.len() { "" } else { "," },
+        ));
+    }
+    prefill_json.push_str("  ]\n}\n");
+    std::fs::write(&args.prefill_json, &prefill_json)?;
+    println!("\nwrote {}", args.prefill_json);
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();

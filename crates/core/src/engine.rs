@@ -1,27 +1,54 @@
 //! The session-based serving engine: long-lived substrate, per-request
-//! sessions, incremental batched decode.
+//! sessions, two-phase (prefill → decode) incremental batched serving.
 //!
 //! An [`Engine`] owns the model weights, accelerator architecture, decode
 //! scheduler and energy model **once**. Callers [`Engine::submit`]
 //! [`Request`]s — each with its own prompt, generation limit, stop tokens,
-//! eviction policy and [`Budget`] — and receive [`Session`] handles. Every
-//! [`Engine::step`] is one *batched decode tick*: all active sessions
-//! advance by one token in round-robin, the tick is costed through
-//! [`DecodeScheduler::decode_batch`] (weights stream from HBM once per
-//! tick, shared by the whole batch), and a [`TokenEvent`] per session lets
-//! callers stream tokens as they are produced. With
-//! [`EngineBuilder::decode_threads`] the per-session work of a tick fans
-//! out across scoped worker threads — order-preserving and byte-identical
-//! to the serial schedule — while each session's forward pass runs through
-//! its own reusable [`ForwardScratch`], so steady-state decode performs
-//! zero per-token heap allocations.
+//! eviction policy and [`Budget`] — and receive [`Session`] handles. A
+//! session moves through a phase machine ([`SessionPhase`]):
+//! `Prefilling → Decoding → Finished`.
 //!
-//! Per-request accounting stays single-sequence: each finished session
-//! yields the exact [`SimulationReport`] the legacy one-shot
-//! [`crate::Simulation::run`] would produce for the same prompt — the
-//! determinism invariant the integration tests pin down. Batch-level
-//! throughput and energy are aggregated separately into an
-//! [`EngineReport`].
+//! **Submission is two-phase.** `submit` only validates the request,
+//! reserves the session's peak KV footprint
+//! ([`Request::reserve_resident_tokens`]) and enqueues it in the
+//! `Prefilling` phase; the prompt is consumed *on the clock* by
+//! subsequent [`Engine::step`] ticks, up to
+//! [`EngineBuilder::prefill_chunk`] prompt tokens per tick
+//! (Sarathi/vLLM-style chunked prefill). Every tick builds a **mixed
+//! batch**: each decoding session advances by one token *and* each
+//! prefilling session consumes its chunk, costed together through
+//! [`DecodeScheduler::mixed_batch`] so the linear-layer weights stream
+//! from HBM once per tick across both phases. A per-tick token budget
+//! ([`EngineBuilder::tick_token_budget`]) is shared across phases: decode
+//! tokens are never throttled, prefill chunks are dealt the remainder in
+//! session order. Each tick yields one [`TokenEvent`] per session that
+//! advanced — [`TokenEvent::Generated`] for decode,
+//! [`TokenEvent::PrefillProgress`] for prefill — so callers can stream
+//! both output tokens and time-to-first-token progress.
+//!
+//! **Compatibility: instant prefill.** With the default
+//! `prefill_chunk = usize::MAX` the whole prompt is consumed
+//! synchronously (and cost-free) inside `submit`, exactly as the
+//! pre-chunking engine did: token streams, eviction counts, tick counts
+//! and per-request reports are byte-identical, which the integration and
+//! property tests pin down. A finite chunk changes only *when* work lands
+//! on the clock, never *which* tokens a request generates — chunked
+//! prefill observes attention scores without evicting, exactly like
+//! instant prefill (VEDA Fig. 3's reserved + voting stages).
+//!
+//! With [`EngineBuilder::decode_threads`] the per-session work of a tick
+//! (decode steps *and* prefill chunks) fans out across scoped worker
+//! threads — order-preserving and byte-identical to the serial schedule —
+//! while each session's forward pass runs through its own reusable
+//! [`ForwardScratch`], so steady-state decode performs zero per-token
+//! heap allocations.
+//!
+//! Per-request accounting stays single-sequence and decode-only: each
+//! finished session yields the exact [`SimulationReport`] the legacy
+//! one-shot [`crate::Simulation::run`] would produce for the same prompt —
+//! the determinism invariant the integration tests pin down. Batch-level
+//! throughput, energy and on-clock prefill tokens are aggregated
+//! separately into an [`EngineReport`].
 //!
 //! VEDA's layer-wise voting eviction protocol runs per session: each
 //! session instantiates its own per-layer policy stack via
@@ -43,7 +70,7 @@ use std::collections::HashMap;
 
 use veda_accel::arch::{ArchConfig, DataflowVariant};
 use veda_accel::attention::decode_attention_cycles;
-use veda_accel::schedule::{DecodeScheduler, LlamaShape};
+use veda_accel::schedule::{DecodeScheduler, LlamaShape, PrefillChunk};
 use veda_cost::EnergyModel;
 use veda_eviction::{EvictionPolicy, PolicyKind};
 use veda_mem::HbmConfig;
@@ -187,6 +214,36 @@ impl Request {
         self.stop_tokens = stop_tokens.into();
         self
     }
+
+    /// Peak resident tokens this request can reach if nothing is ever
+    /// evicted: the whole prompt plus every generated token. This is the
+    /// conservative bound admission controllers reserve against —
+    /// deliberately ignoring the cache [`Budget`], because eviction
+    /// policies may refuse to evict below their protected prefix (the
+    /// voting policy never evicts inside its reserved length), so the
+    /// budget is not a guaranteed ceiling while `prompt + generated` is.
+    ///
+    /// The single source of the engine/admission reservation math: both
+    /// [`crate::Engine::submit`]'s KV pre-allocation and the serving
+    /// stack's `AdmissionController` derive from this helper, so the two
+    /// accountings cannot drift.
+    pub fn peak_resident_tokens(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens
+    }
+
+    /// KV rows the engine reserves up front for this request's session:
+    /// the unbounded peak ([`Request::peak_resident_tokens`] plus one for
+    /// the append-then-evict overshoot), clipped by the budget cap (plus
+    /// two slots of slack, but never below the prompt — prefill never
+    /// evicts, so the full prompt length is always reached). Reserving
+    /// this up front means neither prefill nor steady-state decode ever
+    /// reallocates KV storage.
+    pub fn reserve_resident_tokens(&self) -> usize {
+        let unbounded_peak = self.peak_resident_tokens() + 1;
+        let resident_cap = self.budget.resolve(self.prompt.len());
+        let capped_peak = resident_cap.saturating_add(2).max(self.prompt.len() + 2);
+        unbounded_peak.min(capped_peak)
+    }
 }
 
 /// Handle of one submitted request within an [`Engine`].
@@ -206,33 +263,111 @@ impl std::fmt::Display for Session {
     }
 }
 
-/// One token emitted by one session during an [`Engine::step`] tick.
+/// Lifecycle phase of a session (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionPhase {
+    /// The prompt is still being consumed; no output token yet.
+    Prefilling,
+    /// The prompt is consumed; each tick decodes one generated token.
+    Decoding,
+    /// The session retired; its report is available until taken.
+    Finished,
+}
+
+impl std::fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionPhase::Prefilling => "prefilling",
+            SessionPhase::Decoding => "decoding",
+            SessionPhase::Finished => "finished",
+        })
+    }
+}
+
+/// Per-session outcome of one [`Engine::step`] tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TokenEvent {
-    /// The emitting session.
-    pub session: Session,
-    /// The generated token id.
-    pub token: usize,
-    /// Attention cycles of this token at the session's pre-step cache
-    /// length (single-sequence cycle model).
-    pub attention_cycles: u64,
-    /// Evictions performed across all layers after appending this token.
-    pub evictions: usize,
-    /// The session's cache length after eviction.
-    pub cache_len: usize,
-    /// Whether this token finished the session (limit or stop token).
-    pub finished: bool,
+pub enum TokenEvent {
+    /// A decoding session emitted one generated token.
+    Generated {
+        /// The emitting session.
+        session: Session,
+        /// The generated token id.
+        token: usize,
+        /// Attention cycles of this token at the session's pre-step cache
+        /// length (single-sequence cycle model).
+        attention_cycles: u64,
+        /// Evictions performed across all layers after appending this
+        /// token.
+        evictions: usize,
+        /// The session's cache length after eviction.
+        cache_len: usize,
+        /// Whether this token finished the session (limit or stop token).
+        finished: bool,
+    },
+    /// A prefilling session consumed a chunk of prompt tokens (no output
+    /// token yet — its first [`TokenEvent::Generated`] comes the tick
+    /// after the prompt is fully consumed).
+    PrefillProgress {
+        /// The prefilling session.
+        session: Session,
+        /// Prompt tokens consumed this tick.
+        tokens: usize,
+        /// Prompt tokens still unconsumed after this tick (`0` means
+        /// prefill completed and the session enters the `Decoding`
+        /// phase).
+        remaining: usize,
+        /// The session's cache length after the chunk (prefill never
+        /// evicts).
+        cache_len: usize,
+        /// Whether this event retired the session — only possible when
+        /// prefill completed and the request asked for zero generated
+        /// tokens.
+        finished: bool,
+    },
+}
+
+impl TokenEvent {
+    /// The session this event belongs to.
+    pub fn session(&self) -> Session {
+        match *self {
+            TokenEvent::Generated { session, .. } | TokenEvent::PrefillProgress { session, .. } => session,
+        }
+    }
+
+    /// Whether this event retired its session this tick.
+    pub fn finished(&self) -> bool {
+        match *self {
+            TokenEvent::Generated { finished, .. } | TokenEvent::PrefillProgress { finished, .. } => finished,
+        }
+    }
+
+    /// The generated token id, if this is a decode event.
+    pub fn generated_token(&self) -> Option<usize> {
+        match *self {
+            TokenEvent::Generated { token, .. } => Some(token),
+            TokenEvent::PrefillProgress { .. } => None,
+        }
+    }
 }
 
 /// Result of one [`Engine::step`] tick.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineTick {
-    /// One event per session that advanced this tick, in session order.
+    /// One event per session that advanced this tick, in session order
+    /// (decode and prefill events interleaved by session).
     pub events: Vec<TokenEvent>,
-    /// Number of sessions batched in this tick.
+    /// Number of sessions that advanced in this tick (decode steps plus
+    /// prefill chunks; prefilling sessions starved by the tick token
+    /// budget do not count).
     pub batch_size: usize,
-    /// Critical-path cycles of the batched tick
-    /// ([`DecodeScheduler::decode_batch`]).
+    /// Generated tokens emitted this tick (decode events).
+    pub decode_tokens: usize,
+    /// Prompt tokens consumed by prefill chunks this tick.
+    pub prefill_tokens: usize,
+    /// Prefilling sessions that consumed a chunk this tick.
+    pub prefill_sessions: usize,
+    /// Critical-path cycles of the mixed tick
+    /// ([`DecodeScheduler::mixed_batch`]).
     pub batch_cycles: u64,
     /// Energy of the batched tick in millijoules (core + HBM, weights
     /// streamed once).
@@ -263,10 +398,15 @@ pub struct RequestOutcome {
 pub struct EngineReport {
     /// Finished requests in completion order.
     pub requests: Vec<RequestOutcome>,
-    /// Batched decode ticks executed.
+    /// Batched (mixed prefill/decode) ticks executed.
     pub ticks: u64,
     /// Total tokens generated across all requests.
     pub total_tokens: usize,
+    /// Prompt tokens consumed by on-clock chunked prefill across all
+    /// ticks. Zero under instant prefill
+    /// (`prefill_chunk = usize::MAX`), where prompts are consumed
+    /// cost-free at [`Engine::submit`].
+    pub prefill_tokens: usize,
     /// Sum of batched-tick critical-path cycles.
     pub batched_total_cycles: u64,
     /// Batched decode throughput at the architecture clock.
@@ -302,6 +442,7 @@ impl std::fmt::Display for EngineReport {
             self.max_concurrency
         )?;
         writeln!(f, "  tokens generated       : {}", self.total_tokens)?;
+        writeln!(f, "  prefill tokens on clock: {}", self.prefill_tokens)?;
         writeln!(f, "  batched cycles         : {}", self.batched_total_cycles)?;
         writeln!(f, "  batched tokens/s       : {:.1}", self.batched_tokens_per_second)?;
         writeln!(f, "  batched energy/token   : {:.3} mJ", self.batched_energy_mj_per_token)?;
@@ -340,6 +481,8 @@ pub struct EngineBuilder {
     variant: DataflowVariant,
     hbm: HbmConfig,
     decode_threads: usize,
+    prefill_chunk: usize,
+    tick_token_budget: usize,
 }
 
 impl Default for EngineBuilder {
@@ -356,6 +499,8 @@ impl EngineBuilder {
             variant: DataflowVariant::FlexibleElementSerial,
             hbm: HbmConfig::default(),
             decode_threads: 1,
+            prefill_chunk: usize::MAX,
+            tick_token_budget: usize::MAX,
         }
     }
 
@@ -385,6 +530,38 @@ impl EngineBuilder {
     /// pinned by the integration tests.
     pub fn decode_threads(mut self, threads: usize) -> Self {
         self.decode_threads = threads.max(1);
+        self
+    }
+
+    /// Sets how many prompt tokens one [`Engine::step`] tick may consume
+    /// per prefilling session (Sarathi/vLLM-style chunked prefill).
+    /// Values are clamped to at least one.
+    ///
+    /// The default, `usize::MAX`, selects **instant prefill**: the whole
+    /// prompt is consumed synchronously (and cost-free) inside
+    /// [`Engine::submit`], byte-identical to the pre-chunking engine. Any
+    /// finite value makes prefill first-class scheduled work: `submit`
+    /// only validates, reserves KV and enqueues the session in the
+    /// [`SessionPhase::Prefilling`] phase, and `step` consumes the prompt
+    /// in chunks on the clock, mixed into the decode batch. The generated
+    /// token stream and eviction counts are identical for every chunk
+    /// size — only the tick timeline changes — which the property tests
+    /// pin down.
+    pub fn prefill_chunk(mut self, tokens: usize) -> Self {
+        self.prefill_chunk = tokens.max(1);
+        self
+    }
+
+    /// Sets the per-tick token budget shared across phases: one
+    /// [`Engine::step`] tick spends one budget token per decoding session
+    /// and deals the remainder to prefilling sessions (in session order,
+    /// up to [`EngineBuilder::prefill_chunk`] each). Decode is never
+    /// throttled — a budget smaller than the decode batch only starves
+    /// prefill for that tick. Values are clamped to at least one; the
+    /// default `usize::MAX` leaves prefill bounded by the chunk size
+    /// alone.
+    pub fn tick_token_budget(mut self, tokens: usize) -> Self {
+        self.tick_token_budget = tokens.max(1);
         self
     }
 
@@ -423,6 +600,8 @@ impl EngineBuilder {
             scheduler,
             energy,
             decode_threads: self.decode_threads.max(1),
+            prefill_chunk: self.prefill_chunk.max(1),
+            tick_token_budget: self.tick_token_budget.max(1),
             solo_cycles_by_len: HashMap::new(),
             active: Vec::new(),
             paused: Vec::new(),
@@ -430,6 +609,7 @@ impl EngineBuilder {
             next_id: 0,
             ticks: 0,
             tokens_emitted: 0,
+            prefill_tokens: 0,
             batched_cycles: 0,
             batched_energy_mj: 0.0,
             sequential_cycles: 0,
@@ -453,6 +633,12 @@ struct ActiveSession {
     scratch: ForwardScratch,
     /// Reusable per-layer eviction victim list (original slot indices).
     victims: Vec<usize>,
+    /// The request's prompt; consumed by prefill (instantly at submit or
+    /// chunk by chunk on the clock).
+    prompt: Vec<usize>,
+    /// Prompt tokens consumed so far; the session is `Prefilling` while
+    /// this is short of the prompt length.
+    prefilled: usize,
     position: usize,
     max_new_tokens: usize,
     stop_tokens: Vec<usize>,
@@ -464,11 +650,49 @@ struct ActiveSession {
 }
 
 impl ActiveSession {
+    /// Whether the prompt is fully consumed (the session decodes).
+    fn is_decoding(&self) -> bool {
+        self.prefilled == self.prompt.len()
+    }
+
     /// The cache length the cycle model charges for the next decode step
     /// (mirrors the legacy `Simulation::run` clamping).
     fn costed_len(&self) -> usize {
         self.state.cache_len().min(self.resident_cap.max(1)).max(1)
     }
+}
+
+/// Consumes the next `tokens` prompt tokens of `session`: forward pass
+/// per token, policies observe the attention scores, **no eviction**
+/// (Fig. 3's reserved + voting stages). Shared by instant prefill at
+/// [`Engine::submit`] and chunked prefill inside [`Engine::step`], so the
+/// two paths are op-for-op identical.
+fn run_prefill(model: &TransformerModel, session: &mut ActiveSession, tokens: usize) {
+    for i in session.prefilled..session.prefilled + tokens {
+        let token = session.prompt[i];
+        let position = session.position;
+        let ActiveSession { state, scratch, policies, .. } = session;
+        model.forward_with_scratch(state, token, position, scratch);
+        for (layer, policy) in policies.iter_mut().enumerate() {
+            policy.on_append();
+            policy.observe(scratch.scores().layer(layer));
+        }
+        session.position += 1;
+    }
+    session.prefilled += tokens;
+}
+
+/// Per-session work of one tick, resolved on the coordinator before any
+/// fan-out so workers touch only their own session.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    /// Advance one generated token (pre-resolved cost inputs).
+    Decode { l_before: usize, solo_cycles: u64 },
+    /// Consume `tokens` prompt tokens.
+    Prefill { tokens: usize },
+    /// No work this tick (the tick token budget starved this prefilling
+    /// session).
+    Wait,
 }
 
 /// Shared read-only context of one decode tick, borrowed by every worker
@@ -484,6 +708,30 @@ struct StepContext<'a> {
 }
 
 impl StepContext<'_> {
+    /// Executes one session's tick plan, returning its event (`None` for
+    /// [`Plan::Wait`]).
+    fn execute(&self, session: &mut ActiveSession, plan: Plan) -> Option<TokenEvent> {
+        match plan {
+            Plan::Wait => None,
+            Plan::Decode { l_before, solo_cycles } => Some(self.advance(session, l_before, solo_cycles)),
+            Plan::Prefill { tokens } => Some(self.prefill(session, tokens)),
+        }
+    }
+
+    /// Consumes one prefill chunk (observe-only forward passes — see
+    /// [`run_prefill`]) and reports the session's prefill progress.
+    fn prefill(&self, session: &mut ActiveSession, tokens: usize) -> TokenEvent {
+        run_prefill(self.model, session, tokens);
+        let remaining = session.prompt.len() - session.prefilled;
+        TokenEvent::PrefillProgress {
+            session: session.id,
+            tokens,
+            remaining,
+            cache_len: session.state.cache_len(),
+            finished: remaining == 0 && session.max_new_tokens == 0,
+        }
+    }
+
     /// Advances one session by one token: greedy argmax over the previous
     /// step's logits, single-sequence cost accounting (from the
     /// pre-resolved `solo_cycles`), forward pass through the session's
@@ -544,7 +792,7 @@ impl StepContext<'_> {
 
         let finished =
             session.generated.len() >= session.max_new_tokens || session.stop_tokens.contains(&token);
-        TokenEvent {
+        TokenEvent::Generated {
             session: session.id,
             token,
             attention_cycles,
@@ -564,6 +812,11 @@ pub struct Engine {
     energy: EnergyModel,
     /// Worker threads one [`Engine::step`] fans sessions across (≥ 1).
     decode_threads: usize,
+    /// Prompt tokens one tick may consume per prefilling session
+    /// (`usize::MAX` = instant prefill at submit).
+    prefill_chunk: usize,
+    /// Per-tick token budget shared across phases (≥ 1).
+    tick_token_budget: usize,
     /// Cross-tick memo of single-sequence decode cost per cache length,
     /// resolved on the coordinator before any fan-out (capped sessions
     /// share a handful of lengths in steady state).
@@ -574,6 +827,7 @@ pub struct Engine {
     next_id: usize,
     ticks: u64,
     tokens_emitted: usize,
+    prefill_tokens: usize,
     batched_cycles: u64,
     batched_energy_mj: f64,
     sequential_cycles: u64,
@@ -600,6 +854,33 @@ impl Engine {
     /// [`EngineBuilder::decode_threads`]).
     pub fn decode_threads(&self) -> usize {
         self.decode_threads
+    }
+
+    /// Prompt tokens one tick may consume per prefilling session —
+    /// `usize::MAX` means instant prefill at submit (see
+    /// [`EngineBuilder::prefill_chunk`]).
+    pub fn prefill_chunk(&self) -> usize {
+        self.prefill_chunk
+    }
+
+    /// Per-tick token budget shared across phases (see
+    /// [`EngineBuilder::tick_token_budget`]).
+    pub fn tick_token_budget(&self) -> usize {
+        self.tick_token_budget
+    }
+
+    /// The lifecycle phase of `session`: `Prefilling`/`Decoding` for
+    /// in-flight sessions (active or paused), `Finished` once its report
+    /// is available, `None` for unknown sessions (or after the report was
+    /// taken).
+    pub fn session_phase(&self, session: Session) -> Option<SessionPhase> {
+        if let Some(s) = self.active.iter().chain(&self.paused).find(|s| s.id == session) {
+            Some(if s.is_decoding() { SessionPhase::Decoding } else { SessionPhase::Prefilling })
+        } else if self.is_finished(session) {
+            Some(SessionPhase::Finished)
+        } else {
+            None
+        }
     }
 
     /// Number of sessions currently decoding.
@@ -716,10 +997,16 @@ impl Engine {
         Some(self.finished.remove(idx).report)
     }
 
-    /// Admits a request: validates it, runs prefill (policies observe, no
-    /// eviction — Fig. 3's reserved + voting stages), and returns the
-    /// session handle. The session then advances one token per
-    /// [`Engine::step`].
+    /// Admits a request: validates it, reserves its KV storage
+    /// ([`Request::reserve_resident_tokens`]) and enqueues the session in
+    /// the [`SessionPhase::Prefilling`] phase. With the default instant
+    /// prefill (`prefill_chunk = usize::MAX`) the whole prompt is
+    /// additionally consumed here, synchronously and off the clock —
+    /// byte-identical to the pre-chunking engine — and the session
+    /// returns already `Decoding`; with a finite chunk the prompt is
+    /// consumed by subsequent [`Engine::step`] ticks. Prefill observes
+    /// attention scores but never evicts (Fig. 3's reserved + voting
+    /// stages) on either path.
     ///
     /// # Errors
     ///
@@ -739,14 +1026,9 @@ impl Engine {
         request.budget.validate()?;
         let resident_cap = request.budget.resolve(request.prompt.len());
 
-        // Peak resident tokens this session can reach: prompt + full
-        // generation if unbounded, otherwise the budget cap (+1 for the
-        // append-then-evict overshoot; prefill never evicts, so the
-        // prompt length is always reached). Reserving it up front means
-        // neither prefill nor steady-state decode reallocates KV storage.
-        let unbounded_peak = request.prompt.len() + request.max_new_tokens + 1;
-        let capped_peak = resident_cap.saturating_add(2).max(request.prompt.len() + 2);
-        let reserve_tokens = unbounded_peak.min(capped_peak);
+        // Reserving the session's peak KV rows up front means neither
+        // prefill nor steady-state decode reallocates KV storage.
+        let reserve_tokens = request.reserve_resident_tokens();
 
         let mut session = ActiveSession {
             id: Session(self.next_id),
@@ -757,6 +1039,8 @@ impl Engine {
             state: self.model.new_state(),
             scratch: self.model.new_scratch(reserve_tokens),
             victims: Vec::new(),
+            prompt: request.prompt,
+            prefilled: 0,
             position: 0,
             max_new_tokens: request.max_new_tokens,
             stop_tokens: request.stop_tokens,
@@ -768,68 +1052,97 @@ impl Engine {
         };
         session.state.reserve(reserve_tokens, self.model.config().d_model);
         self.next_id += 1;
-
-        // Prefill: voting observes, but no eviction.
-        for &token in &request.prompt {
-            self.model.forward_with_scratch(
-                &mut session.state,
-                token,
-                session.position,
-                &mut session.scratch,
-            );
-            for (layer, policy) in session.policies.iter_mut().enumerate() {
-                policy.on_append();
-                policy.observe(session.scratch.scores().layer(layer));
-            }
-            session.position += 1;
-        }
-
         let id = session.id;
-        if session.max_new_tokens == 0 {
-            self.retire(session);
-        } else {
-            self.active.push(session);
+
+        if self.prefill_chunk == usize::MAX {
+            // Instant prefill: consume the whole prompt now, off the
+            // clock (the pre-chunking compatibility path).
+            let tokens = session.prompt.len();
+            run_prefill(&self.model, &mut session, tokens);
+            if session.max_new_tokens == 0 {
+                self.retire(session);
+                return Ok(id);
+            }
         }
+        self.active.push(session);
         Ok(id)
     }
 
-    /// Advances every active session by one token in a single batched
-    /// decode tick and returns the per-session [`TokenEvent`]s plus the
-    /// tick's batched cost. A no-op returning an empty tick when nothing
-    /// is active.
+    /// Executes one *mixed* tick: every decoding session advances by one
+    /// token and every prefilling session consumes up to
+    /// [`EngineBuilder::prefill_chunk`] prompt tokens (within the shared
+    /// [`EngineBuilder::tick_token_budget`]), all costed as one batch
+    /// through [`DecodeScheduler::mixed_batch`] — weights stream from HBM
+    /// once per tick across both phases. Returns the per-session
+    /// [`TokenEvent`]s plus the tick's batched cost. A no-op returning an
+    /// empty tick when nothing is active.
     ///
     /// With [`EngineBuilder::decode_threads`] > 1 the per-session work
-    /// (greedy argmax → forward pass → observe/evict) fans out across a
+    /// (greedy argmax → forward pass → observe/evict for decode; the
+    /// observe-only chunk forward passes for prefill) fans out across a
     /// `std::thread::scope` of workers. All shared accounting — the
-    /// batched tick cost and the per-length solo-cost memo — is resolved
-    /// on the coordinator *before* the fan-out, so workers touch only
-    /// their own session and the token streams are byte-identical to the
-    /// serial schedule for any thread count.
+    /// per-session tick plan, the mixed-batch cost and the per-length
+    /// solo-cost memo — is resolved on the coordinator *before* the
+    /// fan-out, so workers touch only their own session and the token
+    /// streams are byte-identical to the serial schedule for any thread
+    /// count.
     pub fn step(&mut self) -> EngineTick {
         if self.active.is_empty() {
             return EngineTick::default();
         }
-        let lens: Vec<usize> = self.active.iter().map(ActiveSession::costed_len).collect();
 
-        // Cost the batch: weights stream once per tick across sessions.
-        let batch_report = self.scheduler.decode_batch(&lens);
+        // Resolve the tick plan on the coordinator. Decode sessions
+        // advance one token each and are never throttled; the remaining
+        // tick token budget is dealt to prefilling sessions in session
+        // order, up to `prefill_chunk` each. Per-request accounting stays
+        // single-sequence so the report is identical to a lone
+        // `Simulation::run` of the same request; capped sessions share a
+        // handful of cache lengths in steady state, so the solo cost is
+        // memoized per length across ticks.
+        let decode_count = self.active.iter().filter(|s| s.is_decoding()).count();
+        let mut prefill_budget = self.tick_token_budget.saturating_sub(decode_count);
+        let mut decode_lens: Vec<usize> = Vec::with_capacity(decode_count);
+        let mut chunks: Vec<PrefillChunk> = Vec::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(self.active.len());
+        for session in &self.active {
+            if session.is_decoding() {
+                let l = session.costed_len();
+                decode_lens.push(l);
+                let scheduler = &self.scheduler;
+                let solo_cycles = *self
+                    .solo_cycles_by_len
+                    .entry(l)
+                    .or_insert_with(|| scheduler.decode_token(l).total_cycles);
+                plans.push(Plan::Decode { l_before: l, solo_cycles });
+            } else {
+                let remaining = session.prompt.len() - session.prefilled;
+                let take = remaining.min(self.prefill_chunk).min(prefill_budget);
+                if take == 0 {
+                    plans.push(Plan::Wait);
+                } else {
+                    prefill_budget -= take;
+                    chunks.push(PrefillChunk {
+                        start_len: session.state.cache_len(),
+                        tokens: take,
+                        completes_prompt: take == remaining,
+                    });
+                    plans.push(Plan::Prefill { tokens: take });
+                }
+            }
+        }
+        debug_assert!(
+            decode_count > 0 || chunks.iter().map(|c| c.tokens).sum::<usize>() > 0,
+            "a non-empty tick must make progress (budget and chunk are clamped to >= 1)"
+        );
+
+        // Cost the mixed batch: weights stream once per tick across both
+        // phases.
+        let batch_report = self.scheduler.mixed_batch(&chunks, &decode_lens);
         let shape = *self.scheduler.shape();
-        let batch_bytes =
-            shape.weight_bytes_per_token() + lens.iter().map(|&l| shape.kv_bytes_per_token(l)).sum::<u64>();
+        let batch_bytes = shape.weight_bytes_per_token()
+            + decode_lens.iter().map(|&l| shape.kv_bytes_per_token(l)).sum::<u64>()
+            + chunks.iter().map(|c| shape.prefill_kv_bytes(c.start_len, c.tokens)).sum::<u64>();
         let batch_energy_mj = self.energy.token_energy_mj(batch_report.total_cycles, batch_bytes);
-
-        // Per-request accounting stays single-sequence so the report is
-        // identical to a lone `Simulation::run` of the same request.
-        // Capped sessions share a handful of cache lengths in steady
-        // state, so the solo cost is memoized per length across ticks —
-        // resolved here, on the coordinator, before any fan-out.
-        let scheduler = &self.scheduler;
-        let solo: Vec<u64> = lens
-            .iter()
-            .map(|&l| {
-                *self.solo_cycles_by_len.entry(l).or_insert_with(|| scheduler.decode_token(l).total_cycles)
-            })
-            .collect();
 
         // Split field borrows instead of moving `active` out: a panic in a
         // downstream policy or model step must not vanish every in-flight
@@ -837,35 +1150,33 @@ impl Engine {
         let Engine { active, model, arch, energy, variant, decode_threads, .. } = self;
         let ctx = StepContext { model, arch, energy, variant: *variant, shape };
         let workers = (*decode_threads).min(active.len()).max(1);
-        let mut events: Vec<TokenEvent> = Vec::with_capacity(active.len());
+        let mut outcomes: Vec<Option<TokenEvent>> = Vec::with_capacity(active.len());
         if workers == 1 {
-            for ((session, &l_before), &solo_cycles) in active.iter_mut().zip(&lens).zip(&solo) {
-                events.push(ctx.advance(session, l_before, solo_cycles));
+            for (session, &plan) in active.iter_mut().zip(&plans) {
+                outcomes.push(ctx.execute(session, plan));
             }
         } else {
             // Order-preserving fan-out: contiguous chunks of the session
-            // list, one worker each; events are concatenated in chunk
+            // list, one worker each; outcomes are concatenated in chunk
             // order, so the tick's event order matches the serial path.
             let chunk = active.len().div_ceil(workers);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = active
                     .chunks_mut(chunk)
-                    .zip(lens.chunks(chunk).zip(solo.chunks(chunk)))
-                    .map(|(sessions, (lens, solos))| {
+                    .zip(plans.chunks(chunk))
+                    .map(|(sessions, plans)| {
                         let ctx = &ctx;
                         scope.spawn(move || {
                             sessions
                                 .iter_mut()
-                                .zip(lens.iter().zip(solos))
-                                .map(|(session, (&l_before, &solo_cycles))| {
-                                    ctx.advance(session, l_before, solo_cycles)
-                                })
+                                .zip(plans)
+                                .map(|(session, &plan)| ctx.execute(session, plan))
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
                 for handle in handles {
-                    events.extend(handle.join().expect("decode worker panicked"));
+                    outcomes.extend(handle.join().expect("decode worker panicked"));
                 }
             });
         }
@@ -873,8 +1184,25 @@ impl Engine {
         // Retire finished sessions (frees their KV state and policies). No
         // user code runs past this point, so draining here is panic-safe.
         let sessions: Vec<ActiveSession> = self.active.drain(..).collect();
-        for (session, event) in sessions.into_iter().zip(&events) {
-            if event.finished {
+        let mut events: Vec<TokenEvent> = Vec::with_capacity(sessions.len());
+        let mut decode_tokens = 0;
+        let mut prefill_tokens = 0;
+        let mut prefill_sessions = 0;
+        for (session, outcome) in sessions.into_iter().zip(outcomes) {
+            let Some(event) = outcome else {
+                self.active.push(session);
+                continue;
+            };
+            match event {
+                TokenEvent::Generated { .. } => decode_tokens += 1,
+                TokenEvent::PrefillProgress { tokens, .. } => {
+                    prefill_tokens += tokens;
+                    prefill_sessions += 1;
+                }
+            }
+            let finished = event.finished();
+            events.push(event);
+            if finished {
                 self.retire(session);
             } else {
                 self.active.push(session);
@@ -882,13 +1210,17 @@ impl Engine {
         }
 
         self.ticks += 1;
-        self.tokens_emitted += events.len();
+        self.tokens_emitted += decode_tokens;
+        self.prefill_tokens += prefill_tokens;
         self.batched_cycles += batch_report.total_cycles;
         self.batched_energy_mj += batch_energy_mj;
-        self.max_concurrency = self.max_concurrency.max(lens.len());
+        self.max_concurrency = self.max_concurrency.max(events.len());
 
         EngineTick {
-            batch_size: lens.len(),
+            batch_size: events.len(),
+            decode_tokens,
+            prefill_tokens,
+            prefill_sessions,
             batch_cycles: batch_report.total_cycles,
             batch_energy_mj,
             kv_bytes_resident: self.kv_bytes_active(),
@@ -927,6 +1259,7 @@ impl Engine {
         let report = EngineReport {
             ticks: self.ticks,
             total_tokens: self.tokens_emitted,
+            prefill_tokens: self.prefill_tokens,
             batched_total_cycles: self.batched_cycles,
             batched_tokens_per_second: if seconds > 0.0 { self.tokens_emitted as f64 / seconds } else { 0.0 },
             batched_energy_mj_per_token: if self.tokens_emitted == 0 {
@@ -940,6 +1273,7 @@ impl Engine {
         };
         self.ticks = 0;
         self.tokens_emitted = 0;
+        self.prefill_tokens = 0;
         self.batched_cycles = 0;
         self.batched_energy_mj = 0.0;
         self.sequential_cycles = 0;
@@ -981,6 +1315,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("variant", &self.variant)
             .field("decode_threads", &self.decode_threads)
+            .field("prefill_chunk", &self.prefill_chunk)
             .field("active_sessions", &self.active.len())
             .field("paused_sessions", &self.paused.len())
             .field("finished", &self.finished.len())
@@ -1062,8 +1397,8 @@ mod tests {
         let tick = engine.step();
         assert_eq!(tick.batch_size, 2);
         assert_eq!(tick.events.len(), 2);
-        assert_eq!(tick.events[0].session, a);
-        assert_eq!(tick.events[1].session, b);
+        assert_eq!(tick.events[0].session(), a);
+        assert_eq!(tick.events[1].session(), b);
         assert!(tick.batch_cycles > 0);
         assert!(tick.batch_energy_mj > 0.0);
 
@@ -1198,7 +1533,7 @@ mod tests {
         for _ in 0..3 {
             let tick = engine.step();
             assert_eq!(tick.batch_size, 1, "paused session must not advance");
-            assert!(tick.events.iter().all(|e| e.session == b));
+            assert!(tick.events.iter().all(|e| e.session() == b));
         }
         let bytes_in = engine.resume(a).expect("a is paused");
         assert_eq!(bytes_out, bytes_in, "pause leaves KV state untouched");
@@ -1262,8 +1597,11 @@ mod tests {
         assert_eq!(engine.tighten_budget(Session(99), 4), None);
 
         let tick = engine.step();
-        assert!(tick.events[0].evictions > 0, "next tick evicts down to the new cap");
-        assert_eq!(tick.events[0].cache_len, 6);
+        let TokenEvent::Generated { evictions, cache_len, .. } = tick.events[0] else {
+            panic!("decoding session must emit a generated token");
+        };
+        assert!(evictions > 0, "next tick evicts down to the new cap");
+        assert_eq!(cache_len, 6);
         assert_eq!(engine.tighten_budget(s, 0), Some(1), "cap floors at one resident token");
         engine.run_to_completion();
     }
@@ -1304,6 +1642,200 @@ mod tests {
     fn decode_threads_clamp_to_at_least_one() {
         let engine = EngineBuilder::new().decode_threads(0).build().unwrap();
         assert_eq!(engine.decode_threads(), 1);
+    }
+
+    fn chunked_engine(chunk: usize) -> Engine {
+        EngineBuilder::new().model(ModelConfig::tiny()).prefill_chunk(chunk).build().expect("valid config")
+    }
+
+    #[test]
+    fn chunked_prefill_consumes_prompt_on_the_clock() {
+        let mut engine = chunked_engine(4);
+        let s = engine.submit(Request::new((1..=10).collect::<Vec<_>>(), 3)).unwrap();
+        assert_eq!(engine.session_phase(s), Some(SessionPhase::Prefilling));
+        assert_eq!(engine.kv_bytes_active(), 0, "submit reserves but does not prefill");
+        assert!(engine.is_active(s), "prefilling sessions live in the active set");
+
+        // 10 prompt tokens at chunk 4: three prefill ticks (4 + 4 + 2).
+        for (tick_no, (expect_tokens, expect_remaining)) in [(4, 6), (4, 2), (2, 0)].iter().enumerate() {
+            let tick = engine.step();
+            assert_eq!(tick.batch_size, 1);
+            assert_eq!(tick.prefill_tokens, *expect_tokens, "tick {tick_no}");
+            assert_eq!(tick.prefill_sessions, 1);
+            assert_eq!(tick.decode_tokens, 0);
+            assert!(tick.batch_cycles > 0, "prefill ticks are costed");
+            assert!(tick.batch_energy_mj > 0.0);
+            let TokenEvent::PrefillProgress { session, tokens, remaining, cache_len, finished } =
+                tick.events[0]
+            else {
+                panic!("prefilling session must emit PrefillProgress");
+            };
+            assert_eq!(session, s);
+            assert_eq!(tokens, *expect_tokens);
+            assert_eq!(remaining, *expect_remaining);
+            assert_eq!(cache_len, 10 - expect_remaining, "prefill never evicts");
+            assert!(!finished, "a request with max_new_tokens > 0 survives prefill");
+        }
+        assert_eq!(engine.session_phase(s), Some(SessionPhase::Decoding));
+
+        // Decode: one generated token per tick, as ever.
+        let tick = engine.step();
+        assert_eq!((tick.decode_tokens, tick.prefill_tokens), (1, 0));
+        assert!(matches!(tick.events[0], TokenEvent::Generated { .. }));
+        while engine.is_active(s) {
+            engine.step();
+        }
+        assert_eq!(engine.session_phase(s), Some(SessionPhase::Finished));
+    }
+
+    #[test]
+    fn chunked_prefill_matches_instant_prefill_exactly() {
+        // The compatibility invariant: the chunk size changes only *when*
+        // prompt work lands on the clock, never which tokens a request
+        // generates, what it evicts, or its decode-side report.
+        for policy in PolicyKind::ALL {
+            let request = || {
+                let prompt: Vec<usize> = (0..23).map(|j| (j * 7 + 3) % 60 + 1).collect();
+                Request::new(prompt, 8).policy(policy).budget(Budget::Ratio(0.5))
+            };
+            let mut instant = engine();
+            let si = instant.submit(request()).unwrap();
+            while instant.is_active(si) {
+                instant.step();
+            }
+            let reference = instant.take_report(si).unwrap();
+
+            for chunk in [1, 3, 8, 64] {
+                let mut chunked = chunked_engine(chunk);
+                let sc = chunked.submit(request()).unwrap();
+                while chunked.is_active(sc) {
+                    chunked.step();
+                }
+                assert_eq!(
+                    chunked.take_report(sc).unwrap(),
+                    reference,
+                    "{policy}/chunk {chunk}: chunked prefill changed the request's outcome"
+                );
+                let report = chunked.drain_report();
+                assert_eq!(
+                    report.prefill_tokens, 23,
+                    "{policy}/chunk {chunk}: the whole prompt lands on the clock"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_is_identical_across_decode_threads() {
+        let run = |threads: usize| {
+            let mut engine = EngineBuilder::new()
+                .model(ModelConfig::tiny())
+                .decode_threads(threads)
+                .prefill_chunk(3)
+                .build()
+                .expect("valid config");
+            for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+                let prompt: Vec<usize> = (0..12 + i).map(|j| (j * 5 + i) % 60 + 1).collect();
+                engine
+                    .submit(Request::new(prompt, 6 + i).policy(*policy).budget(Budget::Ratio(0.5)))
+                    .unwrap();
+            }
+            engine.run_to_completion()
+        };
+        let serial = run(1);
+        assert!(serial.prefill_tokens > 0);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), serial, "decode_threads({threads}) diverged under chunked prefill");
+        }
+    }
+
+    #[test]
+    fn tick_token_budget_throttles_prefill_but_never_decode() {
+        let mut engine = EngineBuilder::new()
+            .model(ModelConfig::tiny())
+            .prefill_chunk(8)
+            .tick_token_budget(2)
+            .build()
+            .expect("valid config");
+        let a = engine.submit(Request::new(vec![1; 8], 12)).unwrap();
+        let b = engine.submit(Request::new(vec![2; 8], 12)).unwrap();
+
+        // Budget 2, chunk 8: the first prefilling session takes the whole
+        // budget; the second waits (no event).
+        let tick = engine.step();
+        assert_eq!(tick.prefill_tokens, 2);
+        assert_eq!(tick.batch_size, 1, "the starved session emits no event");
+        assert_eq!(tick.events[0].session(), a);
+
+        // Prefill keeps making progress under the budget until both
+        // sessions decode.
+        while engine.session_phase(a) == Some(SessionPhase::Prefilling)
+            || engine.session_phase(b) == Some(SessionPhase::Prefilling)
+        {
+            let tick = engine.step();
+            assert!(tick.prefill_tokens + tick.decode_tokens <= 2, "tick budget respected");
+            assert!(tick.batch_size > 0, "every tick makes progress");
+        }
+
+        // Both decoding with a budget of 2: decode is never throttled, so
+        // both sessions advance every tick.
+        let tick = engine.step();
+        assert_eq!(tick.decode_tokens, 2);
+        while engine.active_sessions() > 0 {
+            engine.step();
+        }
+        assert!(engine.is_finished(a) && engine.is_finished(b));
+    }
+
+    #[test]
+    fn zero_token_request_retires_at_end_of_chunked_prefill() {
+        let mut engine = chunked_engine(2);
+        let s = engine.submit(Request::new(vec![1, 2, 3, 4, 5], 0)).unwrap();
+        assert!(engine.is_active(s), "chunked zero-token requests still prefill on the clock");
+        let mut last = EngineTick::default();
+        while engine.is_active(s) {
+            last = engine.step();
+        }
+        assert!(
+            matches!(last.events[0], TokenEvent::PrefillProgress { remaining: 0, finished: true, .. }),
+            "the completing chunk retires a zero-token request"
+        );
+        let report = engine.take_report(s).unwrap();
+        assert!(report.generated.is_empty());
+        assert_eq!(report.final_cache_len, 5);
+    }
+
+    #[test]
+    fn prefill_chunk_and_tick_budget_clamp_to_at_least_one() {
+        let engine = EngineBuilder::new().prefill_chunk(0).tick_token_budget(0).build().unwrap();
+        assert_eq!(engine.prefill_chunk(), 1);
+        assert_eq!(engine.tick_token_budget(), 1);
+    }
+
+    #[test]
+    fn reserve_math_lives_on_request() {
+        let request = Request::new(vec![1; 10], 6).budget(Budget::Unbounded);
+        assert_eq!(request.peak_resident_tokens(), 16);
+        assert_eq!(request.reserve_resident_tokens(), 17, "unbounded: peak + overshoot slot");
+        let capped = Request::new(vec![1; 10], 6).budget(Budget::Fixed(4));
+        assert_eq!(capped.peak_resident_tokens(), 16, "the peak bound ignores the budget");
+        assert_eq!(capped.reserve_resident_tokens(), 12, "reserve clips to the prompt + slack");
+    }
+
+    #[test]
+    fn session_phase_tracks_paused_and_unknown_sessions() {
+        let mut engine = chunked_engine(4);
+        let s = engine.submit(Request::new(prompt(), 2)).unwrap();
+        assert_eq!(engine.session_phase(Session(99)), None);
+        engine.pause(s).unwrap();
+        assert_eq!(engine.session_phase(s), Some(SessionPhase::Prefilling), "paused sessions keep phase");
+        engine.resume(s).unwrap();
+        while engine.is_active(s) {
+            engine.step();
+        }
+        assert_eq!(engine.session_phase(s), Some(SessionPhase::Finished));
+        engine.take_report(s).unwrap();
+        assert_eq!(engine.session_phase(s), None, "taken reports forget the session");
     }
 
     #[test]

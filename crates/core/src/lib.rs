@@ -16,28 +16,49 @@
 //! * the memory substrates ([`veda_mem`]) and cost models ([`veda_cost`]).
 //!
 //! The central type is the serving [`Engine`]: a long-lived object that
-//! owns the substrate once and serves many concurrent requests. On top of
-//! it, the `veda-serving` crate runs the full serving stack — Workload
-//! (seeded arrival processes) → Admission (KV bytes accounted against HBM
-//! capacity) → Scheduler (FCFS / round-robin / shortest-remaining-budget /
-//! priority tiers, with preemption and host-link KV swap) → Engine — under
-//! a virtual clock; the engine's contribution is the session lifecycle:
-//! capacity introspection ([`Engine::kv_bytes_active`],
-//! [`Engine::kv_bytes_per_token`]), [`Engine::pause`] / [`Engine::resume`]
-//! (preemption that never changes a session's token stream), and
-//! [`Engine::tighten_budget`] (budget shrink under memory pressure).
+//! owns the substrate once and serves many concurrent requests through a
+//! **two-phase session lifecycle** —
+//! `submit → prefill ticks → decode ticks → report`:
 //!
-//! Submit
-//! [`Request`]s — each with its own prompt, token limit, stop tokens,
-//! [`veda_eviction::PolicyKind`] and [`Budget`] — and drive decode
-//! incrementally with [`Engine::step`]: every step is one *batched decode
-//! tick* in which all active [`Session`]s advance by one token, linear
-//! layer weights stream from HBM once for the whole batch, and a
-//! [`TokenEvent`] per session lets callers stream output as it is
-//! produced. Finished sessions free their KV state and yield a
-//! per-request [`SimulationReport`]; [`Engine::run_to_completion`] (or
-//! [`Engine::drain_report`]) additionally aggregates batched
-//! throughput/energy into an [`EngineReport`].
+//! 1. [`Engine::submit`] validates a [`Request`] (prompt, token limit,
+//!    stop tokens, [`veda_eviction::PolicyKind`], [`Budget`]), reserves
+//!    its peak KV footprint ([`Request::reserve_resident_tokens`]) and
+//!    enqueues the [`Session`] in the [`SessionPhase::Prefilling`] phase.
+//! 2. Each [`Engine::step`] is one *mixed batched tick*: every decoding
+//!    session advances by one token **and** every prefilling session
+//!    consumes up to [`EngineBuilder::prefill_chunk`] prompt tokens
+//!    (Sarathi/vLLM-style chunked prefill), under a shared
+//!    [`EngineBuilder::tick_token_budget`]. Linear-layer weights stream
+//!    from HBM once for the whole tick across both phases, and one
+//!    [`TokenEvent`] per session ([`TokenEvent::Generated`] /
+//!    [`TokenEvent::PrefillProgress`]) lets callers stream output and
+//!    prefill progress as they happen.
+//! 3. A session whose prompt is consumed moves to
+//!    [`SessionPhase::Decoding`]; its first generated token arrives the
+//!    following tick.
+//! 4. Finished sessions free their KV state and yield a per-request
+//!    [`SimulationReport`]; [`Engine::run_to_completion`] (or
+//!    [`Engine::drain_report`]) additionally aggregates batched
+//!    throughput/energy and on-clock prefill tokens into an
+//!    [`EngineReport`].
+//!
+//! With the default `prefill_chunk = usize::MAX` the prompt is instead
+//! consumed instantly (and cost-free) inside `submit` — byte-identical to
+//! the pre-chunking engine, pinned by the integration and property tests.
+//! Either way the chunk size never changes *which* tokens a request
+//! generates, only when the work lands on the clock.
+//!
+//! On top of the engine, the `veda-serving` crate runs the full serving
+//! stack — Workload (seeded arrival processes) → Admission (KV bytes
+//! accounted against HBM capacity) → Scheduler (FCFS / round-robin /
+//! shortest-remaining-budget / priority tiers, with preemption and
+//! host-link KV swap serialized into the clock) → Engine — under a
+//! virtual clock; the engine's contribution is the session lifecycle:
+//! capacity introspection ([`Engine::kv_bytes_active`],
+//! [`Engine::kv_bytes_per_token`], [`Engine::session_phase`]),
+//! [`Engine::pause`] / [`Engine::resume`] (preemption that never changes
+//! a session's token stream), and [`Engine::tighten_budget`] (budget
+//! shrink under memory pressure).
 //!
 //! ## Quickstart: the serving engine
 //!
@@ -76,6 +97,35 @@
 //! # Ok::<(), veda::BuildError>(())
 //! ```
 //!
+//! ## Chunked prefill
+//!
+//! A finite [`EngineBuilder::prefill_chunk`] makes prefill first-class
+//! scheduled work — `submit` returns a `Prefilling` session and `step`
+//! consumes the prompt in on-clock chunks mixed into the decode batch:
+//!
+//! ```
+//! use veda::{EngineBuilder, Request, SessionPhase, TokenEvent};
+//!
+//! let mut engine = EngineBuilder::new()
+//!     .model(veda_model::ModelConfig::tiny())
+//!     .prefill_chunk(4)
+//!     .build()?;
+//! let s = engine.submit(Request::new((1..=10).collect::<Vec<_>>(), 4))?;
+//! assert_eq!(engine.session_phase(s), Some(SessionPhase::Prefilling));
+//!
+//! // A 10-token prompt at chunk 4: ticks consume 4 + 4 + 2 tokens…
+//! let tick = engine.step();
+//! assert!(matches!(tick.events[0], TokenEvent::PrefillProgress { tokens: 4, .. }));
+//! engine.step();
+//! engine.step();
+//! // …then the session decodes; tokens are identical to instant prefill.
+//! assert_eq!(engine.session_phase(s), Some(SessionPhase::Decoding));
+//! let report = engine.run_to_completion();
+//! assert_eq!(report.prefill_tokens, 10);
+//! assert_eq!(report.requests[0].report.generated.len(), 4);
+//! # Ok::<(), veda::BuildError>(())
+//! ```
+//!
 //! ## Legacy one-shot API
 //!
 //! The pre-engine entry point survives as a thin shim over a
@@ -103,7 +153,8 @@ pub mod error;
 pub mod simulator;
 
 pub use engine::{
-    Budget, Engine, EngineBuilder, EngineReport, EngineTick, Request, RequestOutcome, Session, TokenEvent,
+    Budget, Engine, EngineBuilder, EngineReport, EngineTick, Request, RequestOutcome, Session, SessionPhase,
+    TokenEvent,
 };
 pub use error::BuildError;
 pub use simulator::{Simulation, SimulationBuilder, SimulationReport};

@@ -90,10 +90,13 @@ impl AdmissionController {
         self.config.capacity_bytes.saturating_sub(self.reserved)
     }
 
-    /// Conservative peak resident-token count of a request (see the
+    /// Conservative peak resident-token count of a request — delegates to
+    /// [`Request::peak_resident_tokens`], the single source of the
+    /// reservation math shared with the engine's submit-time KV
+    /// pre-allocation, so the two accountings cannot drift (see the
     /// [module docs](self) for why the cache budget is ignored).
     pub fn peak_resident_tokens(request: &Request) -> usize {
-        request.prompt.len() + request.max_new_tokens
+        request.peak_resident_tokens()
     }
 
     /// Peak KV bytes of a request given the engine's per-token KV cost

@@ -3,32 +3,45 @@
 //! The serving layer over the [`veda::Engine`]: workload generation,
 //! admission control, and preemptive scheduling under a virtual clock.
 //!
-//! The engine (PR 1) answers "how fast does a *batch* decode?"; this
-//! crate answers "what happens under *traffic*?" — the regime where
-//! VEDA's KV eviction actually pays, because device memory, not compute,
-//! decides how many users fit. The stack is:
+//! The engine answers "how fast does a *batch* decode?"; this crate
+//! answers "what happens under *traffic*?" — the regime where VEDA's KV
+//! eviction actually pays, because device memory, not compute, decides
+//! how many users fit. A request's serving lifecycle is two-phase end to
+//! end: `submitted → queued → admitted → prefill ticks → first token →
+//! decode ticks → finished`. Admission calls [`veda::Engine::submit`],
+//! which only validates, reserves KV and enqueues the session in its
+//! `Prefilling` phase; with a finite
+//! [`veda::EngineBuilder::prefill_chunk`] the prompt is then consumed by
+//! on-clock mixed prefill/decode ticks, so TTFT and queueing percentiles
+//! measure real prefill work (under the default instant prefill the
+//! prompt is consumed at the admission tick, as the pre-chunking stack
+//! did). The stack is:
 //!
 //! * [`Workload`] — seeded, reproducible timed arrivals: open-loop
 //!   Poisson, bursty on-off, a closed-loop N-users think-time model, and
 //!   deterministic trace replay, over a configurable [`RequestMix`] of
 //!   policies, budgets, prompt lengths and priorities.
 //! * [`AdmissionController`] — accounts each admitted session's peak KV
-//!   bytes against the HBM capacity
-//!   ([`veda_mem::HbmConfig::capacity_bytes`]); requests that cannot fit
-//!   now wait in a bounded queue, requests that can never fit are
-//!   rejected.
+//!   bytes (from [`veda::Request::peak_resident_tokens`], the same helper
+//!   the engine's KV pre-allocation derives from) against the HBM
+//!   capacity ([`veda_mem::HbmConfig::capacity_bytes`]); requests that
+//!   cannot fit now wait in a bounded queue, requests that can never fit
+//!   are rejected.
 //! * [`SchedulerPolicy`] ([`SchedKind`]) — FCFS, round-robin,
 //!   shortest-remaining-budget and priority tiers decide which queued
 //!   request is admitted next, and (for the preemptive policies) which
 //!   running session is paused and swapped out over the PCIe-style
 //!   [`veda_mem::HostLink`] to make room. Preemption never changes a
-//!   request's generated tokens — only when they appear.
+//!   request's generated tokens — only when they appear. Swap latency is
+//!   serialized into the clock: a resumed session re-enters the batch
+//!   only after its swap-in transfer's cycles have elapsed.
 //! * [`Server`] — the virtual-clock loop binding the three to the
-//!   engine's batched decode ticks, emitting per-request
+//!   engine's mixed prefill/decode ticks, emitting per-request
 //!   submitted/admitted/first-token/finished timestamps and a
 //!   [`ServingReport`] with TTFT, queueing delay, end-to-end latency
 //!   percentiles, time-per-output-token, queue depth over time, and
-//!   preemption/rejection/swap accounting.
+//!   preemption/rejection/swap accounting (including ticks spent waiting
+//!   on swap-ins).
 //!
 //! ## Example
 //!

@@ -122,6 +122,10 @@ pub struct ServingReport {
     pub swap_in_bytes: u64,
     /// Host-link cycles spent on swap traffic.
     pub swap_cycles: u64,
+    /// Ticks sessions spent waiting for an in-flight swap-in transfer to
+    /// complete (swap latency serialized into the clock): each tick, each
+    /// session parked in the swap-in phase contributes one.
+    pub swap_wait_ticks: u64,
     /// Budget-shrink interventions (sessions whose caps were tightened).
     pub budget_shrinks: u64,
     /// Queue depth sampled after each executed tick.
@@ -208,8 +212,8 @@ impl std::fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "  swap traffic           : {} B out, {} B in, {} link cycles",
-            self.swap_out_bytes, self.swap_in_bytes, self.swap_cycles
+            "  swap traffic           : {} B out, {} B in, {} link cycles, {} wait ticks",
+            self.swap_out_bytes, self.swap_in_bytes, self.swap_cycles, self.swap_wait_ticks
         )?;
         writeln!(
             f,

@@ -1,28 +1,41 @@
 //! The virtual-clock serving loop: arrivals → admission → scheduling →
-//! batched decode.
+//! mixed prefill/decode ticks.
 //!
 //! One [`Server::tick`] is one virtual-clock step, aligned with one
-//! batched engine decode tick:
+//! batched engine tick:
 //!
 //! 1. **Arrivals** due at the current tick are screened — requests whose
 //!    peak KV footprint can never fit are rejected immediately, as are
 //!    arrivals beyond the queue-depth limit; the rest wait in the queue.
-//! 2. **Resume**: previously preempted sessions whose reservation fits
-//!    again are swapped back in (host-link traffic) and rejoin the batch.
-//! 3. **Admission**: the scheduling policy repeatedly names the next
+//! 2. **Swap-in completion**: preempted sessions whose host-link swap-in
+//!    finished (its cycles, accumulated against the engine's per-tick
+//!    cycle counts, have elapsed) rejoin the batch. Swap latency is
+//!    *serialized into the clock*: a resumed session re-enters the batch
+//!    at least one tick after its swap-in starts, later for large KV
+//!    states or slow links.
+//! 3. **Swap-in start**: preempted sessions whose reservation fits again
+//!    re-reserve their bytes and begin their swap-in transfer.
+//! 4. **Admission**: the scheduling policy repeatedly names the next
 //!    queued candidate; each is admitted if its peak reservation fits,
 //!    after preempting victims (swap-out) if the policy offers any. The
 //!    first candidate that still does not fit blocks the queue — no
-//!    backfill, so a policy's ordering is exactly what runs.
-//! 4. **Decode**: the engine advances every active session one token;
-//!    first-token and completion ticks are recorded per request, and
-//!    completions notify closed-loop workloads.
-//! 5. Optionally, a [`BudgetController`] responds to high KV occupancy by
+//!    backfill, so a policy's ordering is exactly what runs. Admission
+//!    calls [`veda::Engine::submit`], which only validates, reserves KV
+//!    and enqueues the session in its `Prefilling` phase — with a finite
+//!    [`veda::EngineBuilder::prefill_chunk`] the prompt is then consumed
+//!    on the clock, so TTFT and queueing percentiles measure real
+//!    prefill work rather than a fictional instant prefill.
+//! 5. **Step**: the engine advances every decoding session one token and
+//!    every prefilling session one prompt chunk; first-token and
+//!    completion ticks are recorded per request, and completions notify
+//!    closed-loop workloads.
+//! 6. Optionally, a [`BudgetController`] responds to high KV occupancy by
 //!    tightening session budgets (the opt-in alternative to preemption —
 //!    it changes generated tokens, preemption never does).
 //!
 //! Idle spans with no queued work fast-forward the clock to the next
-//! arrival, so sparse workloads cost nothing to simulate.
+//! arrival (and the cycle counter to the next swap-in completion), so
+//! sparse workloads cost nothing to simulate.
 
 use std::collections::VecDeque;
 
@@ -74,8 +87,9 @@ struct QueuedEntry {
     est_bytes: u64,
 }
 
-/// An admitted session — in the `running` set it is decoding, in the
-/// `paused` set its KV state lives on the host until resumed.
+/// An admitted session — in the `running` set it is prefilling/decoding,
+/// in the `paused` set its KV state lives on the host until resumed, in
+/// the `swapping` set its KV state is in flight back over the host link.
 #[derive(Debug)]
 struct SessionEntry {
     record: usize,
@@ -84,6 +98,15 @@ struct SessionEntry {
     est_bytes: u64,
     /// Current resident-token cap (tracked for budget shrinking).
     cap: usize,
+}
+
+/// A preempted session whose KV state is moving back over the host link;
+/// it rejoins the batch once the engine's cycle clock reaches `ready_at`.
+#[derive(Debug)]
+struct SwapInEntry {
+    entry: SessionEntry,
+    /// Engine-cycle timestamp at which the swap-in transfer completes.
+    ready_at: u64,
 }
 
 /// The serving loop (see the [module docs](self)).
@@ -97,9 +120,13 @@ pub struct Server {
     max_ticks: u64,
     kv_bytes_per_token: u64,
     now: u64,
+    /// Engine cycles elapsed so far (sum of executed tick batch cycles) —
+    /// the clock swap-in completions are timed against.
+    elapsed_cycles: u64,
     queue: VecDeque<QueuedEntry>,
     running: Vec<SessionEntry>,
     paused: Vec<SessionEntry>,
+    swapping: Vec<SwapInEntry>,
     records: Vec<RequestRecord>,
     queue_depth: Vec<usize>,
     admitted: usize,
@@ -108,6 +135,7 @@ pub struct Server {
     rejected_invalid: usize,
     preemptions: u64,
     resumes: u64,
+    swap_wait_ticks: u64,
     budget_shrinks: u64,
     decode_ticks: u64,
     kv_resident_peak: u64,
@@ -136,9 +164,11 @@ impl Server {
             max_ticks: config.max_ticks,
             kv_bytes_per_token,
             now: 0,
+            elapsed_cycles: 0,
             queue: VecDeque::new(),
             running: Vec::new(),
             paused: Vec::new(),
+            swapping: Vec::new(),
             records: Vec::new(),
             queue_depth: Vec::new(),
             admitted: 0,
@@ -147,6 +177,7 @@ impl Server {
             rejected_invalid: 0,
             preemptions: 0,
             resumes: 0,
+            swap_wait_ticks: 0,
             budget_shrinks: 0,
             decode_ticks: 0,
             kv_resident_peak: 0,
@@ -179,9 +210,10 @@ impl Server {
         self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
     }
 
-    /// Requests currently queued, decoding, or preempted.
+    /// Requests currently queued, prefilling/decoding, preempted, or
+    /// swapping back in.
     pub fn in_flight(&self) -> usize {
-        self.queue.len() + self.running.len() + self.paused.len()
+        self.queue.len() + self.running.len() + self.paused.len() + self.swapping.len()
     }
 
     /// KV bytes currently reserved by admission control.
@@ -204,17 +236,29 @@ impl Server {
         for arrival in self.workload.take_arrivals(self.now) {
             self.accept(arrival);
         }
-        self.resume_paused();
+        self.complete_swap_ins();
+        self.start_swap_ins();
         self.admit_from_queue();
 
+        let mut stepped_cycles = 0;
         if self.engine.active_sessions() > 0 {
             let tick = self.engine.step();
             self.decode_ticks += 1;
+            stepped_cycles = tick.batch_cycles;
             self.kv_resident_peak = self.kv_resident_peak.max(tick.kv_bytes_resident);
             for event in &tick.events {
                 self.observe(event);
             }
             self.apply_pressure();
+        }
+        self.elapsed_cycles += stepped_cycles;
+        self.swap_wait_ticks += self.swapping.len() as u64;
+        if stepped_cycles == 0 && !self.swapping.is_empty() {
+            // Nothing decoded this tick but swap-ins are in flight:
+            // fast-forward the cycle clock to the earliest completion so
+            // the run cannot stall on an otherwise idle engine.
+            let earliest = self.swapping.iter().map(|s| s.ready_at).min().expect("non-empty");
+            self.elapsed_cycles = self.elapsed_cycles.max(earliest);
         }
         self.kv_reserved_peak = self.kv_reserved_peak.max(self.admission.reserved_bytes());
         self.queue_depth.push(self.queue.len());
@@ -291,18 +335,41 @@ impl Server {
         self.records.push(record);
     }
 
-    /// Swaps preempted sessions back in while their reservations fit,
-    /// oldest preemption first.
-    fn resume_paused(&mut self) {
+    /// Re-admits swapped-in sessions whose host-link transfer has
+    /// completed (its cycles have elapsed on the engine clock), oldest
+    /// swap first. The session's bytes were re-reserved and the transfer
+    /// charged when the swap *started* ([`Server::start_swap_ins`]); this
+    /// is where the latency finally releases the session into the batch.
+    fn complete_swap_ins(&mut self) {
+        let mut i = 0;
+        while i < self.swapping.len() {
+            if self.swapping[i].ready_at <= self.elapsed_cycles {
+                let SwapInEntry { entry, .. } = self.swapping.remove(i);
+                self.engine.resume(entry.session).expect("swapping entry tracks the engine");
+                self.running.push(entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Starts swapping preempted sessions back in while their
+    /// reservations fit, oldest preemption first. The reservation is
+    /// taken and the host-link transfer charged immediately (the space
+    /// must be held for the DMA), but the session only rejoins the batch
+    /// once the transfer's cycles have elapsed — swap latency is
+    /// serialized into the clock, not instantaneous.
+    fn start_swap_ins(&mut self) {
         let mut i = 0;
         while i < self.paused.len() {
             if self.admission.would_fit(self.paused[i].est_bytes) {
                 let entry = self.paused.remove(i);
-                let bytes = self.engine.resume(entry.session).expect("paused entry tracks the engine");
-                self.link.transfer(bytes, SwapDirection::In);
+                let bytes =
+                    self.engine.session_kv_bytes(entry.session).expect("paused entry tracks the engine");
+                let cycles = self.link.transfer(bytes, SwapDirection::In);
                 self.admission.reserve(entry.est_bytes);
                 self.resumes += 1;
-                self.running.push(entry);
+                self.swapping.push(SwapInEntry { entry, ready_at: self.elapsed_cycles + cycles });
             } else {
                 i += 1;
             }
@@ -367,7 +434,12 @@ impl Server {
         self.paused.push(entry);
     }
 
-    /// Submits a queued request into the engine (prefill runs here).
+    /// Submits a queued request into the engine. The engine only
+    /// validates, reserves KV and enqueues the session in its
+    /// `Prefilling` phase; with a finite
+    /// [`veda::EngineBuilder::prefill_chunk`] the prompt is consumed by
+    /// subsequent on-clock ticks (instant prefill consumes it here,
+    /// synchronously, as the pre-chunking stack did).
     fn admit(&mut self, entry: QueuedEntry) {
         let prompt_len = entry.request.prompt.len();
         let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
@@ -388,20 +460,26 @@ impl Server {
         });
     }
 
-    /// Applies one session's token event to its record; completions
-    /// release their reservation and notify closed-loop workloads.
+    /// Applies one session's tick event to its record. Prefill progress
+    /// only moves the clock (the record's first-token tick stays unset —
+    /// that is exactly what makes TTFT real under chunked prefill);
+    /// generated tokens update the record, and completions release their
+    /// reservation and notify closed-loop workloads.
     fn observe(&mut self, event: &TokenEvent) {
+        let TokenEvent::Generated { session, finished, .. } = *event else {
+            return;
+        };
         let index = self
             .running
             .iter()
-            .position(|r| r.session == event.session)
+            .position(|r| r.session == session)
             .expect("every stepped session has a running entry");
         let record = &mut self.records[self.running[index].record];
         record.generated_tokens += 1;
         if record.first_token.is_none() {
             record.first_token = Some(self.now);
         }
-        if event.finished {
+        if finished {
             record.finished = Some(self.now);
             let entry = self.running.remove(index);
             self.admission.release(entry.est_bytes);
@@ -431,6 +509,10 @@ impl Server {
     fn into_report(mut self) -> ServingReport {
         // Safety valve: a truncated run still drains the engine so the
         // batched accounting is complete and well-formed.
+        let swapping: Vec<SwapInEntry> = std::mem::take(&mut self.swapping);
+        for swap in swapping {
+            self.engine.resume(swap.entry.session).expect("swapping entry tracks the engine");
+        }
         let paused: Vec<SessionEntry> = std::mem::take(&mut self.paused);
         for entry in paused {
             self.engine.resume(entry.session).expect("paused entry tracks the engine");
@@ -452,6 +534,7 @@ impl Server {
             swap_out_bytes: self.link.bytes(SwapDirection::Out),
             swap_in_bytes: self.link.bytes(SwapDirection::In),
             swap_cycles: self.link.total_cycles(),
+            swap_wait_ticks: self.swap_wait_ticks,
             budget_shrinks: self.budget_shrinks,
             queue_depth: self.queue_depth,
             kv_resident_peak_bytes: self.kv_resident_peak,
@@ -470,6 +553,7 @@ impl std::fmt::Debug for Server {
             .field("queued", &self.queue.len())
             .field("running", &self.running.len())
             .field("paused", &self.paused.len())
+            .field("swapping", &self.swapping.len())
             .field("records", &self.records.len())
             .finish()
     }

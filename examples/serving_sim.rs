@@ -31,6 +31,9 @@ struct Args {
     policy: Option<PolicyKind>,
     variant: DataflowVariant,
     threads: usize,
+    /// Prompt tokens one tick may consume per prefilling session;
+    /// 0 selects instant (off-clock) prefill.
+    prefill_chunk: usize,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         policy: None,
         variant: DataflowVariant::FlexibleElementSerial,
         threads: 1,
+        prefill_chunk: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,11 +62,13 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--policy" => parsed.policy = Some(value()?.parse()?),
             "--variant" => parsed.variant = value()?.parse()?,
             "--threads" => parsed.threads = value()?.parse()?,
+            "--prefill-chunk" => parsed.prefill_chunk = value()?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
                      \x20                  [--sched fcfs|round_robin|srb|priority] [--requests N]\n\
-                     \x20                  [--capacity-kb KB] [--policy P] [--variant V] [--threads N]"
+                     \x20                  [--capacity-kb KB] [--policy P] [--variant V] [--threads N]\n\
+                     \x20                  [--prefill-chunk N]   (0 = instant prefill at admission)"
                 );
                 std::process::exit(0);
             }
@@ -104,11 +110,12 @@ fn build_workload(args: &Args) -> Workload {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
-    let engine = EngineBuilder::new()
-        .model(ModelConfig::tiny())
-        .variant(args.variant)
-        .decode_threads(args.threads)
-        .build()?;
+    let mut builder =
+        EngineBuilder::new().model(ModelConfig::tiny()).variant(args.variant).decode_threads(args.threads);
+    if args.prefill_chunk > 0 {
+        builder = builder.prefill_chunk(args.prefill_chunk);
+    }
+    let engine = builder.build()?;
     let kv_per_token = engine.kv_bytes_per_token();
     let workload = build_workload(&args);
     let config = ServerConfig {
@@ -117,14 +124,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ServerConfig::default()
     };
 
+    let prefill_mode = if args.prefill_chunk > 0 {
+        format!("chunked prefill ({} tokens/tick)", args.prefill_chunk)
+    } else {
+        "instant prefill".to_string()
+    };
     println!(
-        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow, {} decode thread(s) ==",
+        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow, {} decode thread(s), {} ==",
         args.requests,
         args.arrival,
         args.rate,
         args.sched,
         args.variant,
         engine.decode_threads(),
+        prefill_mode,
     );
     println!(
         "   seed {}, KV capacity {} KiB ({} B/token => ~{} resident tokens)\n",
@@ -158,7 +171,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n{}", report);
     println!("{}", report.engine);
-    println!("(ticks are batched decode steps of the virtual clock; per-request");
-    println!(" tok/s in the engine report are single-sequence equivalents)");
+
+    // Prefill-vs-decode token share of the on-clock work.
+    let prefill = report.engine.prefill_tokens;
+    let decode = report.engine.total_tokens;
+    let total = prefill + decode;
+    if prefill > 0 {
+        println!(
+            "prefill/decode token share : {:.1}% prefill ({} prompt tokens on the clock) / {:.1}% decode ({} generated)",
+            100.0 * prefill as f64 / total.max(1) as f64,
+            prefill,
+            100.0 * decode as f64 / total.max(1) as f64,
+            decode,
+        );
+    } else {
+        println!(
+            "prefill/decode token share : instant prefill (prompts consumed off-clock at admission) / {decode} generated"
+        );
+    }
+    println!("(ticks are batched mixed prefill/decode steps of the virtual clock;");
+    println!(" per-request tok/s in the engine report are single-sequence equivalents)");
     Ok(())
 }

@@ -263,6 +263,96 @@ fn budget_shrink_mode_tightens_caps_under_pressure() {
 }
 
 #[test]
+fn chunked_prefill_makes_ttft_real_and_monotone_in_prompt_length() {
+    // Three lone requests (arrivals spaced so nothing queues or batches)
+    // under FCFS with a finite prefill chunk: TTFT must be strictly
+    // positive — the prompt is consumed on the clock, not instantly at
+    // admission — and monotone in prompt length.
+    use veda::Request;
+    use veda_serving::ServingRequest;
+    let chunk = 4;
+    let engine =
+        EngineBuilder::new().model(ModelConfig::tiny()).prefill_chunk(chunk).build().expect("valid config");
+    let prompt_lens = [8usize, 16, 32];
+    let arrivals = prompt_lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let prompt: Vec<usize> = (0..len).map(|j| (j * 3 + 1) % 60 + 1).collect();
+            (300 * i as u64, ServingRequest { request: Request::new(prompt, 4), priority: 0 })
+        })
+        .collect();
+    let config = ServerConfig { sched: SchedKind::Fcfs, ..ServerConfig::default() };
+    let report = Server::new(engine, Workload::trace(arrivals), config).run();
+    assert_eq!(report.completed, 3);
+
+    let ttfts: Vec<u64> =
+        report.records.iter().map(|r| r.ttft().expect("completed request has a TTFT")).collect();
+    for (i, (&ttft, &len)) in ttfts.iter().zip(&prompt_lens).enumerate() {
+        assert!(ttft > 0, "request {i}: chunked prefill must make TTFT strictly positive");
+        assert!(
+            ttft >= (len as u64).div_ceil(chunk as u64),
+            "request {i}: TTFT {ttft} cannot beat its own prefill ({len} tokens at chunk {chunk})"
+        );
+    }
+    assert!(ttfts.windows(2).all(|w| w[0] < w[1]), "TTFT must grow with prompt length: {ttfts:?}");
+    assert!(report.ttft().expect("completed requests").p50 > 0, "TTFT percentiles are nonzero");
+    assert!(report.engine.prefill_tokens > 0, "prompt tokens land on the clock");
+}
+
+#[test]
+fn chunked_prefill_stack_is_bit_identical_across_threads() {
+    // The parallel fan-out covers prefill chunks exactly like decode
+    // steps: a chunked-prefill serving run must not depend on the worker
+    // thread count.
+    let run_chunked = |threads: usize| {
+        let engine = EngineBuilder::new()
+            .model(ModelConfig::tiny())
+            .decode_threads(threads)
+            .prefill_chunk(4)
+            .build()
+            .expect("valid config");
+        let config = ServerConfig {
+            admission: AdmissionConfig { capacity_bytes: 24 << 10, max_queue_depth: 64 },
+            sched: SchedKind::Fcfs,
+            ..ServerConfig::default()
+        };
+        Server::new(engine, workload(ArrivalKind::Poisson, 11, 18), config).run()
+    };
+    let serial = run_chunked(1);
+    assert!(serial.engine.prefill_tokens > 0, "chunked prefill must be exercised");
+    for threads in [2, 8] {
+        let parallel = run_chunked(threads);
+        assert_eq!(parallel, serial, "decode_threads({threads}) changed a chunked-prefill run");
+    }
+}
+
+#[test]
+fn swap_latency_delays_resumed_sessions_without_changing_tokens() {
+    // The serialized-swap invariant: under capacity pressure, every
+    // swap-in parks its session for at least one tick (the transfer's
+    // cycles must elapse on the clock), yet the delay changes only when
+    // tokens appear, never which tokens a request generates.
+    let unconstrained = run(ArrivalKind::Poisson, SchedKind::Priority, 13, 8 << 30);
+    assert_eq!(unconstrained.swap_wait_ticks, 0, "no pressure, no swap waits");
+
+    let constrained = run(ArrivalKind::Poisson, SchedKind::Priority, 13, 14 << 10);
+    assert!(constrained.resumes > 0, "tight capacity must force swap-ins");
+    assert!(
+        constrained.swap_wait_ticks >= constrained.resumes,
+        "each swap-in waits at least one tick: {} waits for {} resumes",
+        constrained.swap_wait_ticks,
+        constrained.resumes
+    );
+    assert_eq!(constrained.completed, constrained.submitted, "swap latency delays, never kills");
+    assert_eq!(
+        tokens_by_arrival(&constrained),
+        tokens_by_arrival(&unconstrained),
+        "swap latency must not change any generated token sequence"
+    );
+}
+
+#[test]
 fn report_display_shows_latency_table() {
     let text = run(ArrivalKind::Poisson, SchedKind::Srb, 3, 20 << 10).to_string();
     for needle in ["ttft", "p50", "p95", "p99", "queue depth", "preemptions", "rejected", "swap traffic"] {
