@@ -5,7 +5,7 @@
 //!
 //! Two layers of modelling live here:
 //!
-//! * **Functional** — [`pe`]/[`array`] implement the runtime-reconfigurable
+//! * **Functional** — [`pe`]/[`array`](mod@array) implement the runtime-reconfigurable
 //!   PE array bit-for-bit: 2-bit mode control, type-A/B PEs, the two-level
 //!   (L1/L2) adder tree, inner-product and outer-product configurations.
 //!   [`sfu`] implements the element-serial reduction/normalization units
@@ -22,6 +22,19 @@
 //!   the analogous model, with every calibration constant documented in
 //!   [`arch::BaselineCalibration`].
 //!
+//! The serving engine's batched tick is costed here too:
+//! [`DecodeScheduler::mixed_batch`] charges one tick in which every
+//! decode sequence advances a token and every prefilling sequence
+//! consumes a [`PrefillChunk`] — linear-layer weights stream from HBM
+//! once for the whole tick (the amortization that makes batching pay),
+//! while attention is charged per sequence at its own cache length. A
+//! chunk's `start_len` is whatever KV is already resident, so a sequence
+//! seeded from a shared-prefix cache entry is charged prefill for its
+//! unshared suffix only while its attention still covers the full
+//! resident span. Everything is a pure function of its inputs — no
+//! wall-clock, no randomness — so cycle reports are reproducible by
+//! construction.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,6 +47,10 @@
 //! let veda = decode_attention_cycles(&arch, DataflowVariant::FlexibleElementSerial, l);
 //! assert!(veda < base);
 //! ```
+
+// Every public item in the accelerator model is documented; rustdoc
+// enforces it so the API surface cannot silently rot.
+#![deny(missing_docs)]
 
 pub mod arch;
 pub mod array;

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use veda::{Budget, EngineBuilder, Request, SessionPhase, TokenEvent};
+use veda::{Budget, EngineBuilder, PrefixCacheConfig, PrefixCacheStats, Request, SessionPhase, TokenEvent};
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 
@@ -188,6 +188,53 @@ fn measure_prefill(model: &ModelConfig, chunk: usize, prompt_len: usize, probes:
     }
 }
 
+struct PrefixCachePoint {
+    /// Shared prefix length of the workload's prompts.
+    prefix_len: usize,
+    /// On-clock prefill tokens with the cache disabled / enabled (the
+    /// delta is the prefill work the sharing removed).
+    prefill_tokens_disabled: usize,
+    prefill_tokens_enabled: usize,
+    stats: PrefixCacheStats,
+}
+
+/// Shared-prefix reuse, measured in virtual time: `waves` waves of 4
+/// requests sharing a `prefix_len`-token prefix (plus private suffixes)
+/// run through a chunked-prefill engine, once with the prefix cache off
+/// and once on. Deterministic — a model property like the interference
+/// sweep, not a wall-clock measurement.
+fn measure_prefix_cache(model: &ModelConfig, prefix_len: usize, waves: usize) -> PrefixCachePoint {
+    let run = |enabled: bool| {
+        let mut builder = EngineBuilder::new().model(model.clone()).prefill_chunk(8);
+        if enabled {
+            builder = builder.prefix_cache(PrefixCacheConfig {
+                min_match_tokens: 4,
+                max_entries: 32,
+                ..PrefixCacheConfig::default()
+            });
+        }
+        let mut engine = builder.build().expect("valid config");
+        let mut prefill_tokens = 0;
+        for wave in 0..waves {
+            for i in 0..4 {
+                let mut prompt: Vec<usize> =
+                    (0..prefix_len).map(|j| (j * 7 + 3) % (model.vocab_size - 1) + 1).collect();
+                prompt.extend((0..6 + i).map(|j| (j * 11 + wave * 5 + i * 17) % (model.vocab_size - 1) + 1));
+                engine
+                    .submit(Request::new(prompt, 4).policy(PolicyKind::Voting).budget(Budget::Ratio(0.5)))
+                    .expect("valid request");
+            }
+            while engine.active_sessions() > 0 {
+                prefill_tokens += engine.step().prefill_tokens;
+            }
+        }
+        (prefill_tokens, engine.prefix_cache_stats())
+    };
+    let (prefill_tokens_disabled, _) = run(false);
+    let (prefill_tokens_enabled, stats) = run(true);
+    PrefixCachePoint { prefix_len, prefill_tokens_disabled, prefill_tokens_enabled, stats }
+}
+
 struct ForwardPoint {
     label: &'static str,
     ns_per_token: f64,
@@ -337,6 +384,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.ttft_p99_us,
             p.decode_tokens_per_s,
             if i + 1 == prefill_points.len() { "" } else { "," },
+        ));
+    }
+    prefill_json.push_str("  ],\n");
+
+    // Shared-prefix reuse: hit stats and saved on-clock prefill tokens
+    // per shared-prefix length (virtual time; deterministic).
+    let prefix_lens: &[usize] = if args.quick { &[16, 48] } else { &[16, 48, 96] };
+    let waves = if args.quick { 3 } else { 6 };
+    println!("\n== shared-prefix cache ({waves} waves of 4 requests per point, chunked prefill) ==");
+    println!(
+        "   {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "prefix", "hit rate", "prefill off", "prefill on", "saved toks", "entries"
+    );
+    prefill_json.push_str(
+        "  \"prefix_cache_note\": \"waves of 4 requests sharing a prefix, chunked prefill (chunk 8); \
+         prefill_tokens_* are on-clock prompt tokens with the cache disabled/enabled, \
+         shared_tokens is the prefill work the cache absorbed\",\n",
+    );
+    prefill_json.push_str("  \"prefix_cache\": [\n");
+    for (i, &prefix_len) in prefix_lens.iter().enumerate() {
+        let p = measure_prefix_cache(&prefill_model, prefix_len, waves);
+        println!(
+            "   {:>6} {:>9.0}% {:>12} {:>12} {:>12} {:>10}",
+            p.prefix_len,
+            100.0 * p.stats.hit_rate(),
+            p.prefill_tokens_disabled,
+            p.prefill_tokens_enabled,
+            p.stats.shared_tokens,
+            p.stats.entries
+        );
+        prefill_json.push_str(&format!(
+            "    {{\"prefix_len\": {}, \"hit_rate\": {:.4}, \"hits\": {}, \"lookups\": {}, \
+             \"prefill_tokens_disabled\": {}, \"prefill_tokens_enabled\": {}, \
+             \"shared_tokens\": {}, \"entries\": {}, \"resident_bytes\": {}}}{}\n",
+            p.prefix_len,
+            p.stats.hit_rate(),
+            p.stats.hits,
+            p.stats.hits + p.stats.misses,
+            p.prefill_tokens_disabled,
+            p.prefill_tokens_enabled,
+            p.stats.shared_tokens,
+            p.stats.entries,
+            p.stats.resident_bytes,
+            if i + 1 == prefix_lens.len() { "" } else { "," },
         ));
     }
     prefill_json.push_str("  ]\n}\n");

@@ -11,8 +11,8 @@
 //! | Fig. 8 left (perplexity vs cache size) | [`fig8_left`] | `fig8_left` |
 //! | Fig. 8 center (dataflow ablation) | [`fig8_center`] | `fig8_center` |
 //! | Fig. 8 right (eviction speedup) | [`fig8_right`] | `fig8_right` |
-//! | Table I (area/power breakdown) | [`veda_cost::table1`] | `table1` |
-//! | Table II (accelerator comparison) | [`veda_cost::table2`] | `table2` |
+//! | Table I (area/power breakdown) | [`veda_cost::table1()`] | `table1` |
+//! | Table II (accelerator comparison) | [`veda_cost::table2()`] | `table2` |
 //! | hyper-parameter ablation (extension) | [`hparam_ablation`] | `ablation_hparams` |
 
 use veda_accel::arch::{ArchConfig, DataflowVariant};

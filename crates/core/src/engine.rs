@@ -77,7 +77,9 @@ use veda_mem::HbmConfig;
 use veda_model::{ForwardScratch, ModelConfig, SequenceState, TransformerModel};
 
 use crate::error::BuildError;
+use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
 use crate::simulator::SimulationReport;
+use veda_model::ScoreBuffer;
 
 /// KV cache budget of one request.
 ///
@@ -243,6 +245,25 @@ impl Request {
         let resident_cap = self.budget.resolve(self.prompt.len());
         let capped_peak = resident_cap.saturating_add(2).max(self.prompt.len() + 2);
         unbounded_peak.min(capped_peak)
+    }
+
+    /// Whether this request's session can never be forced to evict: its
+    /// resolved budget cap is at least its unbounded peak
+    /// ([`Request::peak_resident_tokens`]), so the cache never exceeds
+    /// the cap and no eviction ever runs (`Budget::Unbounded`, or a
+    /// fixed/ratio cap at or above `prompt + max_new_tokens`).
+    ///
+    /// This is the soundness condition for the serving layer's
+    /// shared-prefix admission discount: an eviction inside a shared
+    /// prefix span privatizes it (the session then *owns* those bytes —
+    /// see [`veda_model::LayerKvCache::seed_from`]), so only sessions
+    /// that provably never evict can reserve less than their full peak.
+    /// Note that [`Engine::tighten_budget`] (the opt-in lossy pressure
+    /// response) can retroactively break this promise — which is why the
+    /// bundled `veda-serving` server disables the discount entirely when
+    /// budget shrinking is configured.
+    pub fn never_evicts(&self) -> bool {
+        self.budget.resolve(self.prompt.len()) >= self.peak_resident_tokens()
     }
 }
 
@@ -418,6 +439,11 @@ pub struct EngineReport {
     pub sequential_total_cycles: u64,
     /// Largest batch observed in one tick.
     pub max_concurrency: usize,
+    /// Shared-prefix cache counters at drain time (all-zero when the
+    /// cache is disabled). Unlike the tick/token accumulators these are
+    /// cumulative over the engine's lifetime — the cache itself persists
+    /// across report drains.
+    pub prefix: crate::prefix::PrefixCacheStats,
 }
 
 impl EngineReport {
@@ -448,6 +474,18 @@ impl std::fmt::Display for EngineReport {
         writeln!(f, "  batched energy/token   : {:.3} mJ", self.batched_energy_mj_per_token)?;
         writeln!(f, "  sequential cycles      : {}", self.sequential_total_cycles)?;
         writeln!(f, "  batching speedup       : {:.2}x", self.batching_speedup())?;
+        if self.prefix.hits + self.prefix.misses > 0 {
+            writeln!(
+                f,
+                "  prefix cache           : {} hits / {} lookups ({:.0}%), {} prompt tokens shared, {} entries ({} B)",
+                self.prefix.hits,
+                self.prefix.hits + self.prefix.misses,
+                100.0 * self.prefix.hit_rate(),
+                self.prefix.shared_tokens,
+                self.prefix.entries,
+                self.prefix.resident_bytes,
+            )?;
+        }
         for r in &self.requests {
             let budget = match r.budget {
                 Budget::Unbounded => "∞".to_string(),
@@ -483,6 +521,7 @@ pub struct EngineBuilder {
     decode_threads: usize,
     prefill_chunk: usize,
     tick_token_budget: usize,
+    prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl Default for EngineBuilder {
@@ -501,6 +540,7 @@ impl EngineBuilder {
             decode_threads: 1,
             prefill_chunk: usize::MAX,
             tick_token_budget: usize::MAX,
+            prefix_cache: None,
         }
     }
 
@@ -565,6 +605,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the shared-prefix KV cache (see [`crate::prefix`]):
+    /// [`Engine::submit`] matches each request's prompt against cached
+    /// prefix entries (token-exact longest match of at least
+    /// [`PrefixCacheConfig::min_match_tokens`] tokens), and a hit seeds
+    /// the session's KV state from the cached rows — only the unshared
+    /// suffix is prefilled, the session's policy stack replays the cached
+    /// observation stream, and the scheduler charges only the suffix's
+    /// prefill work (attention still covers the full resident length via
+    /// the chunk's `start_len`). Prompts that *miss* insert themselves as
+    /// a new entry when their prefill completes, while room remains.
+    ///
+    /// Disabled by default — and **off means off**: the engine is
+    /// byte-identical to one built without this call, which the
+    /// equivalence tests pin. Enabled, the sharing changes only *where
+    /// bytes live and when prefill work lands on the clock*, never which
+    /// tokens a request generates — pinned by the
+    /// `prefix_equivalence` property tests.
+    pub fn prefix_cache(mut self, config: PrefixCacheConfig) -> Self {
+        self.prefix_cache = Some(config);
+        self
+    }
+
     /// Builds the engine: allocates the shared weights, shapes the
     /// architecture to the model's attention geometry and derives the
     /// scheduler and energy model.
@@ -602,6 +664,7 @@ impl EngineBuilder {
             decode_threads: self.decode_threads.max(1),
             prefill_chunk: self.prefill_chunk.max(1),
             tick_token_budget: self.tick_token_budget.max(1),
+            prefix_cache: self.prefix_cache.map(PrefixCache::new),
             solo_cycles_by_len: HashMap::new(),
             active: Vec::new(),
             paused: Vec::new(),
@@ -639,6 +702,12 @@ struct ActiveSession {
     /// Prompt tokens consumed so far; the session is `Prefilling` while
     /// this is short of the prompt length.
     prefilled: usize,
+    /// When `Some`, this session records its prompt's per-token
+    /// attention-score observations during prefill, to be inserted as a
+    /// prefix-cache entry once the prompt completes. Only set for
+    /// prompts that *missed* the cache at submit (hit prompts insert
+    /// nothing), so the recorded stream always covers the whole prompt.
+    prefix_obs: Option<Vec<ScoreBuffer>>,
     position: usize,
     max_new_tokens: usize,
     stop_tokens: Vec<usize>,
@@ -677,9 +746,31 @@ fn run_prefill(model: &TransformerModel, session: &mut ActiveSession, tokens: us
             policy.on_append();
             policy.observe(scratch.scores().layer(layer));
         }
+        if let Some(obs) = session.prefix_obs.as_mut() {
+            // This prompt is a prefix-cache insertion candidate: record
+            // the token's observation stream for later replay.
+            obs.push(session.scratch.scores().clone());
+        }
         session.position += 1;
     }
     session.prefilled += tokens;
+}
+
+/// Replays a prefix-cache hit into a freshly built session: the first
+/// `matched` recorded observation streams are fed to the policy stack in
+/// exactly the order [`run_prefill`] would have produced them — per token,
+/// every layer appends then observes — so the policies' internal state
+/// (H2O score sums, vote counts, windows) is bit-identical to having run
+/// the shared span's forward passes, which were skipped.
+fn replay_observations(session: &mut ActiveSession, observations: &[ScoreBuffer], matched: usize) {
+    for step in &observations[..matched] {
+        for (layer, policy) in session.policies.iter_mut().enumerate() {
+            policy.on_append();
+            policy.observe(step.layer(layer));
+        }
+        session.position += 1;
+    }
+    session.prefilled += matched;
 }
 
 /// Per-session work of one tick, resolved on the coordinator before any
@@ -817,6 +908,9 @@ pub struct Engine {
     prefill_chunk: usize,
     /// Per-tick token budget shared across phases (≥ 1).
     tick_token_budget: usize,
+    /// Shared-prefix KV cache (`None` = disabled, the default — the
+    /// disabled engine is byte-identical to the pre-prefix-cache engine).
+    prefix_cache: Option<PrefixCache>,
     /// Cross-tick memo of single-sequence decode cost per cache length,
     /// resolved on the coordinator before any fan-out (capped sessions
     /// share a handful of lengths in steady state).
@@ -906,7 +1000,10 @@ impl Engine {
     /// KV bytes (FP16) resident in device memory across all *active*
     /// sessions. Paused sessions are excluded: the serving layer that
     /// paused them decides whether their KV state stays resident or is
-    /// swapped to the host.
+    /// swapped to the host. Shared prefix spans are also excluded — those
+    /// bytes are resident **once**, inside their prefix-cache entry
+    /// ([`Engine::prefix_cache_bytes`]), no matter how many sessions
+    /// reference them.
     pub fn kv_bytes_active(&self) -> u64 {
         self.active.iter().map(|s| s.state.fp16_bytes() as u64).sum()
     }
@@ -934,6 +1031,39 @@ impl Engine {
         let cfg = self.model.config();
         // K and V rows of d_model FP16 values per layer.
         (cfg.n_layers as u64) * 2 * (cfg.d_model as u64) * 2
+    }
+
+    /// Whether the shared-prefix KV cache is enabled (see
+    /// [`EngineBuilder::prefix_cache`]).
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.prefix_cache.is_some()
+    }
+
+    /// Prompt tokens a [`Engine::submit`] of this prompt would currently
+    /// serve from the prefix cache (token-exact longest match, capped one
+    /// short of the prompt, zero when disabled or below the minimum).
+    ///
+    /// Serving layers call this at admission time to reserve only the
+    /// **unshared** peak KV bytes of a known-prefix request. The estimate
+    /// is conservative: entries are insert-only within a run, so by the
+    /// time the request is actually submitted the match can only have
+    /// grown, never shrunk.
+    pub fn prefix_match_len(&self, prompt: &[usize]) -> usize {
+        self.prefix_cache.as_ref().map_or(0, |cache| cache.match_len(prompt))
+    }
+
+    /// Aggregate prefix-cache counters (all-zero when disabled). Also
+    /// reported on [`EngineReport::prefix`].
+    pub fn prefix_cache_stats(&self) -> PrefixCacheStats {
+        self.prefix_cache.as_ref().map_or_else(PrefixCacheStats::default, PrefixCache::stats)
+    }
+
+    /// FP16 bytes the cached prefix entries keep resident in HBM —
+    /// counted **once**, independently of how many sessions reference
+    /// them. Not included in [`Engine::kv_bytes_active`], which accounts
+    /// only the bytes sessions privately own.
+    pub fn prefix_cache_bytes(&self) -> u64 {
+        self.prefix_cache.as_ref().map_or(0, PrefixCache::resident_bytes)
     }
 
     /// Pauses an active session: it keeps its KV state, logits and policy
@@ -1041,6 +1171,7 @@ impl Engine {
             victims: Vec::new(),
             prompt: request.prompt,
             prefilled: 0,
+            prefix_obs: None,
             position: 0,
             max_new_tokens: request.max_new_tokens,
             stop_tokens: request.stop_tokens,
@@ -1054,11 +1185,34 @@ impl Engine {
         self.next_id += 1;
         let id = session.id;
 
+        // Shared-prefix reuse: a token-exact match against the prefix
+        // cache seeds the session's KV state from the cached rows (a
+        // shared span — resident once, copy-on-evict) and replays the
+        // cached observation stream into the fresh policy stack, so the
+        // shared span's forward passes are skipped without changing a
+        // single downstream token. Only the unshared suffix goes through
+        // (instant or chunked) prefill below. Only prompts that *miss*
+        // become insertion candidates: a hit prompt's shareable span is
+        // already cached, and storing its private suffix too would bloat
+        // the cache with rows no future prompt can match.
+        let projected_entry_bytes = session.prompt.len() as u64 * self.kv_bytes_per_token();
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            if let Some(hit) = cache.lookup(&session.prompt) {
+                session.state.seed_from(hit.state, hit.matched);
+                let matched = hit.matched;
+                let observations = hit.observations;
+                replay_observations(&mut session, observations, matched);
+            } else if cache.wants(&session.prompt, projected_entry_bytes) {
+                session.prefix_obs = Some(Vec::with_capacity(session.prompt.len()));
+            }
+        }
+
         if self.prefill_chunk == usize::MAX {
             // Instant prefill: consume the whole prompt now, off the
             // clock (the pre-chunking compatibility path).
-            let tokens = session.prompt.len();
+            let tokens = session.prompt.len() - session.prefilled;
             run_prefill(&self.model, &mut session, tokens);
+            self.harvest_prefix(&mut session);
             if session.max_new_tokens == 0 {
                 self.retire(session);
                 return Ok(id);
@@ -1066,6 +1220,25 @@ impl Engine {
         }
         self.active.push(session);
         Ok(id)
+    }
+
+    /// Inserts a session's completed prompt into the prefix cache, if the
+    /// session was recording for insertion (it missed the cache at submit
+    /// — see [`Engine::submit`]). Called on the coordinator the moment
+    /// prefill completes: the state holds exactly the prompt's KV rows
+    /// (prefill never evicts) and the recorded observation stream covers
+    /// every prompt token.
+    fn harvest_prefix(&mut self, session: &mut ActiveSession) {
+        debug_assert_eq!(session.prefilled, session.prompt.len());
+        let Some(observations) = session.prefix_obs.take() else { return };
+        let cache = self.prefix_cache.as_mut().expect("recording implies an enabled cache");
+        // The entry owns its bytes outright: snapshot the state (a cold
+        // session has no shared span, but clearing the marker keeps the
+        // residency-root invariant unconditional).
+        let mut state = self.model.new_state();
+        state.seed_from(&session.state, session.prompt.len());
+        state.clear_shared_marker();
+        cache.insert(session.prompt.clone(), state, observations);
     }
 
     /// Executes one *mixed* tick: every decoding session advances by one
@@ -1188,16 +1361,22 @@ impl Engine {
         let mut decode_tokens = 0;
         let mut prefill_tokens = 0;
         let mut prefill_sessions = 0;
-        for (session, outcome) in sessions.into_iter().zip(outcomes) {
+        for (mut session, outcome) in sessions.into_iter().zip(outcomes) {
             let Some(event) = outcome else {
                 self.active.push(session);
                 continue;
             };
             match event {
                 TokenEvent::Generated { .. } => decode_tokens += 1,
-                TokenEvent::PrefillProgress { tokens, .. } => {
+                TokenEvent::PrefillProgress { tokens, remaining, .. } => {
                     prefill_tokens += tokens;
                     prefill_sessions += 1;
+                    if remaining == 0 {
+                        // The chunk completed the prompt: offer it to the
+                        // prefix cache (coordinator-side, so insertion
+                        // order is the deterministic session order).
+                        self.harvest_prefix(&mut session);
+                    }
                 }
             }
             let finished = event.finished();
@@ -1269,6 +1448,7 @@ impl Engine {
             },
             sequential_total_cycles: self.sequential_cycles,
             max_concurrency: self.max_concurrency,
+            prefix: self.prefix_cache_stats(),
             requests,
         };
         self.ticks = 0;
@@ -1316,6 +1496,7 @@ impl std::fmt::Debug for Engine {
             .field("variant", &self.variant)
             .field("decode_threads", &self.decode_threads)
             .field("prefill_chunk", &self.prefill_chunk)
+            .field("prefix_cache_entries", &self.prefix_cache.as_ref().map(PrefixCache::len))
             .field("active_sessions", &self.active.len())
             .field("paused_sessions", &self.paused.len())
             .field("finished", &self.finished.len())
@@ -1823,6 +2004,15 @@ mod tests {
     }
 
     #[test]
+    fn never_evicts_requires_cap_at_or_above_peak() {
+        assert!(Request::new(vec![1; 10], 6).budget(Budget::Unbounded).never_evicts());
+        assert!(Request::new(vec![1; 10], 6).budget(Budget::Fixed(16)).never_evicts());
+        assert!(!Request::new(vec![1; 10], 6).budget(Budget::Fixed(15)).never_evicts());
+        assert!(!Request::new(vec![1; 10], 6).budget(Budget::Ratio(0.5)).never_evicts());
+        assert!(Request::new(vec![1; 10], 0).budget(Budget::Ratio(1.0)).never_evicts());
+    }
+
+    #[test]
     fn session_phase_tracks_paused_and_unknown_sessions() {
         let mut engine = chunked_engine(4);
         let s = engine.submit(Request::new(prompt(), 2)).unwrap();
@@ -1836,6 +2026,182 @@ mod tests {
         assert_eq!(engine.session_phase(s), Some(SessionPhase::Finished));
         engine.take_report(s).unwrap();
         assert_eq!(engine.session_phase(s), None, "taken reports forget the session");
+    }
+
+    fn prefix_engine(chunk: usize) -> Engine {
+        let mut builder = EngineBuilder::new().model(ModelConfig::tiny()).prefix_cache(PrefixCacheConfig {
+            min_match_tokens: 4,
+            max_entries: 8,
+            ..PrefixCacheConfig::default()
+        });
+        if chunk > 0 {
+            builder = builder.prefill_chunk(chunk);
+        }
+        builder.build().expect("valid config")
+    }
+
+    /// A prompt of `suffix` appended to a fixed 10-token shared prefix.
+    fn shared_prompt(suffix: &[usize]) -> Vec<usize> {
+        let mut prompt: Vec<usize> = (1..=10).collect();
+        prompt.extend_from_slice(suffix);
+        prompt
+    }
+
+    #[test]
+    fn prefix_cache_disabled_engine_reports_zero_stats() {
+        let mut engine = engine();
+        assert!(!engine.prefix_cache_enabled());
+        assert_eq!(engine.prefix_match_len(&prompt()), 0);
+        engine.submit(Request::new(prompt(), 2)).unwrap();
+        let report = engine.run_to_completion();
+        assert_eq!(report.prefix, crate::prefix::PrefixCacheStats::default());
+        assert_eq!(engine.prefix_cache_bytes(), 0);
+    }
+
+    #[test]
+    fn prefix_hit_seeds_shared_rows_and_skips_prefill() {
+        let mut engine = prefix_engine(0);
+        let per_token = engine.kv_bytes_per_token();
+
+        // Cold submit: full prefill, prompt inserted as an entry.
+        let a = engine.submit(Request::new(shared_prompt(&[40, 41]), 3)).unwrap();
+        let stats = engine.prefix_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (0, 1, 1));
+        assert_eq!(engine.prefix_cache_bytes(), 12 * per_token);
+        assert_eq!(engine.session_kv_bytes(a), Some(12 * per_token), "cold session owns its rows");
+
+        // Warm submit: the 10-token shared prefix is served from the
+        // cache (the suffixes diverge at token 11); only the unshared
+        // rows are privately owned.
+        let b = engine.submit(Request::new(shared_prompt(&[50, 51]), 3)).unwrap();
+        let stats = engine.prefix_cache_stats();
+        assert_eq!((stats.hits, stats.shared_tokens), (1, 10));
+        assert_eq!(engine.session_kv_bytes(b), Some(2 * per_token), "shared span is not owned");
+        assert_eq!(
+            engine.kv_bytes_active(),
+            12 * per_token + 2 * per_token,
+            "active bytes count each session's owned rows only"
+        );
+
+        engine.run_to_completion();
+        assert_eq!(
+            engine.prefix_cache_bytes(),
+            12 * per_token,
+            "only the cold prompt is inserted — hit prompts add no entry"
+        );
+    }
+
+    #[test]
+    fn prefix_match_len_estimates_submit_sharing() {
+        let mut engine = prefix_engine(0);
+        assert_eq!(engine.prefix_match_len(&shared_prompt(&[40])), 0, "cold cache shares nothing");
+        engine.submit(Request::new(shared_prompt(&[40, 41]), 1)).unwrap();
+        assert_eq!(engine.prefix_match_len(&shared_prompt(&[50])), 10);
+        assert_eq!(engine.prefix_match_len(&shared_prompt(&[40, 41])), 11, "cap is one below the prompt");
+        assert_eq!(engine.prefix_match_len(&[1, 2, 9]), 0, "below minimum is a miss");
+    }
+
+    #[test]
+    fn prefix_hits_do_not_change_token_streams_or_reports() {
+        // The tentpole invariant at unit scope (the property test sweeps
+        // policies × chunks × threads): a hit run's per-request reports
+        // equal a cold engine's for the same requests.
+        let requests = || {
+            vec![
+                Request::new(shared_prompt(&[40, 41]), 6).policy(PolicyKind::Voting),
+                Request::new(shared_prompt(&[50, 51, 52]), 5).policy(PolicyKind::H2o),
+                Request::new(shared_prompt(&[60]), 4).policy(PolicyKind::SlidingWindow),
+            ]
+        };
+        let mut cold = engine();
+        let mut warm = prefix_engine(0);
+        let cold_sessions: Vec<Session> = requests().into_iter().map(|r| cold.submit(r).unwrap()).collect();
+        let warm_sessions: Vec<Session> = requests().into_iter().map(|r| warm.submit(r).unwrap()).collect();
+        assert!(warm.prefix_cache_stats().hits >= 2, "later submits must hit the shared prefix");
+        let cold_report = cold.run_to_completion();
+        let warm_report = warm.run_to_completion();
+        for (c, w) in cold_sessions.iter().zip(&warm_sessions) {
+            let find = |report: &EngineReport, s: Session| {
+                report.requests.iter().find(|r| r.session == s).unwrap().report.clone()
+            };
+            assert_eq!(find(&warm_report, *w), find(&cold_report, *c), "prefix sharing changed a report");
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_charges_only_the_unshared_suffix() {
+        // Chunk 4 over a 12-token prompt: cold needs ceil(12/4) = 3
+        // prefill ticks and 12 on-clock tokens; a 10-token hit leaves a
+        // 2-token suffix = 1 tick, and the tick's chunk starts at the
+        // shared length so attention still covers the full resident span.
+        let mut engine = prefix_engine(4);
+        let a = engine.submit(Request::new(shared_prompt(&[40, 41]), 2)).unwrap();
+        let mut prefill_ticks = 0;
+        while engine.session_phase(a) == Some(SessionPhase::Prefilling) {
+            let tick = engine.step();
+            prefill_ticks += tick.prefill_sessions;
+        }
+        assert_eq!(prefill_ticks, 3);
+        while engine.is_active(a) {
+            engine.step();
+        }
+
+        let b = engine.submit(Request::new(shared_prompt(&[50, 51]), 2)).unwrap();
+        assert_eq!(engine.prefix_cache_stats().hits, 1);
+        let tick = engine.step();
+        let TokenEvent::PrefillProgress { tokens, remaining, cache_len, .. } = tick.events[0] else {
+            panic!("hit session still prefills its suffix");
+        };
+        assert_eq!((tokens, remaining), (2, 0), "one chunk covers the whole unshared suffix");
+        assert_eq!(cache_len, 12, "the resident cache spans shared + suffix rows");
+        while engine.is_active(b) {
+            engine.step();
+        }
+        let report = engine.drain_report();
+        assert_eq!(report.prefill_tokens, 12 + 2, "only unshared tokens land on the clock");
+        assert_eq!(report.prefix.shared_tokens, 10);
+    }
+
+    #[test]
+    fn prefix_insertions_are_miss_only_deduped_and_capped() {
+        let mut engine = EngineBuilder::new()
+            .model(ModelConfig::tiny())
+            .prefix_cache(PrefixCacheConfig {
+                min_match_tokens: 4,
+                max_entries: 2,
+                ..PrefixCacheConfig::default()
+            })
+            .build()
+            .unwrap();
+        // Three distinct prefix groups; the second prompt of group 0 hits
+        // and therefore inserts nothing.
+        let group = |g: usize, suffix: usize| -> Vec<usize> {
+            let mut prompt: Vec<usize> = (1..=10).map(|t| t + g * 10).collect();
+            prompt.push(suffix);
+            prompt
+        };
+        for (g, suffix) in [(0, 40), (0, 50), (1, 40), (2, 40)] {
+            engine.submit(Request::new(group(g, suffix), 1)).unwrap();
+        }
+        let stats = engine.prefix_cache_stats();
+        assert_eq!(stats.hits, 1, "the repeated group-0 prompt hits");
+        assert_eq!(stats.entries, 2, "capacity bounds the entry count (group 2 arrived full)");
+        assert_eq!(stats.insertions, 2, "hit and overflow prompts are not inserted");
+        engine.run_to_completion();
+    }
+
+    #[test]
+    fn report_display_mentions_prefix_cache_only_when_used() {
+        let mut plain = engine();
+        plain.submit(Request::new(prompt(), 2)).unwrap();
+        assert!(!plain.run_to_completion().to_string().contains("prefix cache"));
+
+        let mut warm = prefix_engine(0);
+        warm.submit(Request::new(shared_prompt(&[40, 41]), 2)).unwrap();
+        warm.submit(Request::new(shared_prompt(&[50, 51]), 2)).unwrap();
+        let text = warm.run_to_completion().to_string();
+        assert!(text.contains("prefix cache"), "{text}");
+        assert!(text.contains("1 hits / 2 lookups"), "{text}");
     }
 
     #[test]

@@ -126,6 +126,41 @@
 //! # Ok::<(), veda::BuildError>(())
 //! ```
 //!
+//! ## Shared-prefix KV reuse
+//!
+//! Serving traffic is dominated by common system prompts and few-shot
+//! templates. With [`EngineBuilder::prefix_cache`] enabled, `submit`
+//! matches each prompt against cached prefix entries (token-exact longest
+//! match): a hit seeds the session's KV state from the cached rows —
+//! resident in HBM **once**, referenced copy-on-evict by every hit
+//! session — replays the cached attention observations into the fresh
+//! policy stack, and prefills only the unshared suffix. Sharing never
+//! changes which tokens a request generates (pinned by the
+//! `prefix_equivalence` property tests); it only removes redundant
+//! prefill work and duplicate resident bytes:
+//!
+//! ```
+//! use veda::{EngineBuilder, PrefixCacheConfig, Request};
+//!
+//! let mut engine = EngineBuilder::new()
+//!     .model(veda_model::ModelConfig::tiny())
+//!     .prefix_cache(PrefixCacheConfig { min_match_tokens: 4, max_entries: 8, ..PrefixCacheConfig::default() })
+//!     .build()?;
+//!
+//! let system_prompt: Vec<usize> = (1..=12).collect();
+//! let ask = |suffix: &[usize]| {
+//!     let mut prompt = system_prompt.clone();
+//!     prompt.extend_from_slice(suffix);
+//!     Request::new(prompt, 4)
+//! };
+//! engine.submit(ask(&[40, 41]))?; // cold: prefills everything, inserts the prompt
+//! engine.submit(ask(&[50, 51]))?; // hit: shares the 12-token system prompt
+//! let report = engine.run_to_completion();
+//! assert_eq!(report.prefix.hits, 1);
+//! assert_eq!(report.prefix.shared_tokens, 12);
+//! # Ok::<(), veda::BuildError>(())
+//! ```
+//!
 //! ## Legacy one-shot API
 //!
 //! The pre-engine entry point survives as a thin shim over a
@@ -150,6 +185,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod prefix;
 pub mod simulator;
 
 pub use engine::{
@@ -157,6 +193,7 @@ pub use engine::{
     TokenEvent,
 };
 pub use error::BuildError;
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
 pub use simulator::{Simulation, SimulationBuilder, SimulationReport};
 
 // Re-export the workspace crates under one roof for downstream users.

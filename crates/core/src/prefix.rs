@@ -1,0 +1,450 @@
+//! Shared-prefix KV reuse across sessions: the engine-level prefix cache.
+//!
+//! Serving workloads at scale are dominated by common system prompts and
+//! few-shot templates; recomputing (and re-storing) the identical prefix
+//! KV for every session wastes both HBM bytes and prefill cycles. A
+//! [`PrefixCache`] stores, per cached prefix, everything a new session
+//! needs to *skip* prefilling the shared span while remaining
+//! bit-identical to an uncached run:
+//!
+//! * the per-layer **KV rows** of the prefix (a [`SequenceState`] holding
+//!   exactly the prefix tokens — prefill never evicts, so these rows are a
+//!   pure function of the token sequence), and
+//! * the per-token **attention-score observation stream**
+//!   ([`ScoreBuffer`] per prefix token). Eviction policies accumulate
+//!   state from prefill observations (H2O's score sums, voting's vote
+//!   counts), so a session that skips the shared forward passes must
+//!   *replay* the recorded observations into its fresh policy stack —
+//!   otherwise its later eviction decisions, and therefore its generated
+//!   tokens, would drift from an uncached run.
+//!
+//! Because RoPE rotates keys by **absolute** position and every prompt
+//! places the shared prefix at positions `0..k`, the cached rows are
+//! valid for any request whose prompt starts with the same tokens. The
+//! observation stream is likewise a deterministic function of the prefix
+//! tokens alone.
+//!
+//! Matching is token-exact longest-prefix, bounded above by
+//! `prompt.len() - 1`: the final prompt token is always recomputed, since
+//! its forward pass produces the logits the first decode step samples
+//! from. Matches shorter than [`PrefixCacheConfig::min_match_tokens`]
+//! are ignored (tiny shared spans are not worth the bookkeeping).
+//!
+//! Entries are insert-only up to [`PrefixCacheConfig::max_entries`] and
+//! never evicted within a run: match lengths are therefore monotone
+//! non-decreasing over time, which is what lets an admission controller
+//! reserve only the *unshared* peak bytes of a known-prefix,
+//! eviction-free request (the share it observed can only grow by submit
+//! time, and a session that never evicts can never privatize its span —
+//! see `veda_serving::admission` for the full soundness argument). The
+//! engine inserts only prompts that **missed**: a hit prompt's shareable
+//! span is already cached, and its private suffix could never match a
+//! future prompt — so for group-structured traffic the cache holds about
+//! one entry per distinct prefix, not one per request.
+//!
+//! The cache itself keeps the prefix KV resident in HBM **once**; every
+//! hit session references that span (copy-on-evict, see
+//! [`SequenceState::seed_from`]) instead of owning a private copy, and
+//! serving layers charge [`PrefixCache::resident_bytes`] against device
+//! capacity so cached prefixes are never free memory.
+//!
+//! ```
+//! use veda::{PrefixCache, PrefixCacheConfig};
+//! use veda_model::{ModelConfig, TransformerModel};
+//!
+//! // Build a prefix entry the way the engine does during prefill: run the
+//! // shared tokens forward once, recording KV rows and observations.
+//! let model = TransformerModel::new(ModelConfig::tiny());
+//! let prefix = vec![1, 5, 9, 2];
+//! let mut state = model.new_state();
+//! let mut scratch = model.new_scratch(prefix.len());
+//! let mut observations = Vec::new();
+//! for (position, &token) in prefix.iter().enumerate() {
+//!     model.forward_with_scratch(&mut state, token, position, &mut scratch);
+//!     observations.push(scratch.scores().clone());
+//! }
+//!
+//! let mut cache = PrefixCache::new(PrefixCacheConfig { min_match_tokens: 2, max_entries: 8, ..PrefixCacheConfig::default() });
+//! assert!(cache.insert(prefix.clone(), state, observations));
+//!
+//! // A prompt sharing the prefix matches it token-exactly…
+//! assert_eq!(cache.match_len(&[1, 5, 9, 2, 7, 3]), 4);
+//! // …the final prompt token is never served from the cache…
+//! assert_eq!(cache.match_len(&[1, 5, 9, 2]), 3);
+//! // …and prompts diverging before the minimum match length miss.
+//! assert_eq!(cache.match_len(&[1, 9, 9, 9, 9]), 0);
+//! assert_eq!(cache.stats().entries, 1);
+//! ```
+
+use veda_model::{ScoreBuffer, SequenceState};
+
+/// Configuration of the engine's [`PrefixCache`] (see
+/// [`crate::EngineBuilder::prefix_cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// Minimum token-exact match length worth sharing; shorter matches
+    /// are treated as misses. Clamped to at least 1.
+    pub min_match_tokens: usize,
+    /// Maximum number of cached prefix entries. Once full, further
+    /// insertions are skipped (entries are never evicted within a run, so
+    /// observed match lengths are monotone — the property admission
+    /// controllers rely on to reserve only unshared bytes).
+    pub max_entries: usize,
+    /// Maximum FP16 bytes the cache's entries may keep resident in HBM;
+    /// an insertion that would exceed it is skipped. Entries are never
+    /// evicted, so this bound is what lets an operator size device
+    /// capacity: a serving deployment should keep `max_bytes` comfortably
+    /// below [`veda_mem::HbmConfig::capacity_bytes`] minus the largest
+    /// single-request peak, otherwise the (monotone) cache overhead can
+    /// permanently crowd out admissions. `u64::MAX` (the standalone
+    /// default) leaves only the entry-count bound.
+    pub max_bytes: u64,
+}
+
+impl Default for PrefixCacheConfig {
+    /// Minimum match of 4 tokens, at most 32 entries, no byte bound
+    /// (serving deployments should set [`PrefixCacheConfig::max_bytes`]).
+    fn default() -> Self {
+        Self { min_match_tokens: 4, max_entries: 32, max_bytes: u64::MAX }
+    }
+}
+
+/// Aggregate counters of one [`PrefixCache`] (reported on
+/// [`crate::EngineReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Cached prefix entries currently resident.
+    pub entries: usize,
+    /// FP16 bytes the cached prefix KV occupies in HBM — resident once,
+    /// referenced by every hit session.
+    pub resident_bytes: u64,
+    /// Submitted prompts that matched a cached prefix.
+    pub hits: u64,
+    /// Submitted prompts that matched nothing (or matched below the
+    /// minimum length).
+    pub misses: u64,
+    /// Prefix entries inserted.
+    pub insertions: u64,
+    /// Total prompt tokens served from the cache across all hits — the
+    /// prefill forward passes (and on-clock prefill chunks) the engine
+    /// skipped.
+    pub shared_tokens: u64,
+}
+
+impl PrefixCacheStats {
+    /// Hit rate over all lookups, in `[0, 1]` (0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One cached prefix: its tokens, KV rows and observation stream.
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    /// The prefix token sequence.
+    tokens: Vec<usize>,
+    /// Per-layer KV rows of the prefix (`cache_len == tokens.len()`).
+    state: SequenceState,
+    /// Per-token attention-score observations (one [`ScoreBuffer`] per
+    /// prefix token, in token order) — replayed into a hit session's
+    /// fresh policy stack.
+    observations: Vec<ScoreBuffer>,
+    /// Times this entry served a hit.
+    hits: u64,
+}
+
+/// The outcome of a successful [`PrefixCache::lookup`]: how many tokens
+/// are shared and borrows of the data needed to seed a session.
+pub(crate) struct PrefixHit<'a> {
+    /// Shared token count (`>= min_match_tokens`).
+    pub matched: usize,
+    /// The entry's KV rows (seed the session's [`SequenceState`] from the
+    /// first `matched` rows).
+    pub state: &'a SequenceState,
+    /// The entry's observation stream (replay the first `matched`
+    /// buffers).
+    pub observations: &'a [ScoreBuffer],
+}
+
+/// Token-exact longest-match prefix cache (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct PrefixCache {
+    config: PrefixCacheConfig,
+    entries: Vec<PrefixEntry>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    shared_tokens: u64,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache.
+    pub fn new(config: PrefixCacheConfig) -> Self {
+        let config = PrefixCacheConfig { min_match_tokens: config.min_match_tokens.max(1), ..config };
+        Self { config, entries: Vec::new(), hits: 0, misses: 0, insertions: 0, shared_tokens: 0 }
+    }
+
+    /// The configuration (minimum match length clamped to at least 1).
+    pub fn config(&self) -> &PrefixCacheConfig {
+        &self.config
+    }
+
+    /// Number of cached prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// FP16 bytes the cached prefix KV occupies in HBM. Each entry's rows
+    /// are resident **once**; hit sessions reference them (shared spans)
+    /// rather than owning copies.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.state.total_fp16_bytes() as u64).sum()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            entries: self.entries.len(),
+            resident_bytes: self.resident_bytes(),
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            shared_tokens: self.shared_tokens,
+        }
+    }
+
+    /// Longest token-exact match between `prompt` and any cached prefix,
+    /// bounded by `prompt.len() - 1` (the final prompt token is always
+    /// recomputed — its logits seed the first decode step). Returns 0 for
+    /// matches below the configured minimum. Read-only: does not touch
+    /// the hit/miss counters (use it to *estimate*, e.g. for admission
+    /// reservations).
+    pub fn match_len(&self, prompt: &[usize]) -> usize {
+        let cap = prompt.len().saturating_sub(1);
+        let best =
+            self.entries.iter().map(|e| common_prefix_len(&e.tokens, &prompt[..cap])).max().unwrap_or(0);
+        if best >= self.config.min_match_tokens {
+            best
+        } else {
+            0
+        }
+    }
+
+    /// Looks up the best entry for `prompt`, counting a hit or a miss.
+    /// On a hit, returns the shared length and borrows of the entry's KV
+    /// rows and observation stream.
+    pub(crate) fn lookup(&mut self, prompt: &[usize]) -> Option<PrefixHit<'_>> {
+        let cap = prompt.len().saturating_sub(1);
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (common_prefix_len(&e.tokens, &prompt[..cap]), i))
+            .max()
+            .filter(|&(len, _)| len >= self.config.min_match_tokens);
+        match best {
+            Some((matched, index)) => {
+                self.hits += 1;
+                self.shared_tokens += matched as u64;
+                let entry = &mut self.entries[index];
+                entry.hits += 1;
+                Some(PrefixHit { matched, state: &entry.state, observations: &entry.observations })
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether the cache would accept an insertion of `tokens` right now:
+    /// the prefix is at least the minimum match length, no existing entry
+    /// already covers it, and there is room in both the entry-count and
+    /// byte budgets (`projected_bytes` is the candidate entry's estimated
+    /// KV footprint). The engine probes this at submit to decide whether
+    /// a session should record its prefill observation stream at all.
+    pub(crate) fn wants(&self, tokens: &[usize], projected_bytes: u64) -> bool {
+        tokens.len() >= self.config.min_match_tokens
+            && self.entries.len() < self.config.max_entries
+            && self.resident_bytes().saturating_add(projected_bytes) <= self.config.max_bytes
+            && !self.covers(tokens)
+    }
+
+    /// Whether some entry's tokens start with the whole of `tokens`.
+    fn covers(&self, tokens: &[usize]) -> bool {
+        self.entries.iter().any(|e| e.tokens.len() >= tokens.len() && e.tokens.starts_with(tokens))
+    }
+
+    /// Inserts a prefix entry: its token sequence, the [`SequenceState`]
+    /// holding exactly those tokens' KV rows, and the per-token
+    /// observation stream. Returns `false` (dropping the data) when the
+    /// prefix is below the minimum length, already covered by an existing
+    /// entry, or the cache is full in entries ([`PrefixCacheConfig::max_entries`])
+    /// or bytes ([`PrefixCacheConfig::max_bytes`]) — entries are never
+    /// evicted within a run (see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`'s cache length or `observations`'s length
+    /// disagree with `tokens.len()`.
+    pub fn insert(
+        &mut self,
+        tokens: Vec<usize>,
+        state: SequenceState,
+        observations: Vec<ScoreBuffer>,
+    ) -> bool {
+        assert_eq!(state.cache_len(), tokens.len(), "prefix entry state/token length mismatch");
+        assert_eq!(observations.len(), tokens.len(), "prefix entry observations/token length mismatch");
+        if !self.wants(&tokens, state.total_fp16_bytes() as u64) {
+            return false;
+        }
+        self.insertions += 1;
+        self.entries.push(PrefixEntry { tokens, state, observations, hits: 0 });
+        true
+    }
+}
+
+/// Length of the longest common prefix of two token slices.
+fn common_prefix_len(a: &[usize], b: &[usize]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veda_model::{ModelConfig, TransformerModel};
+
+    /// Runs `tokens` through a fresh sequence, returning the state and
+    /// per-token observations — exactly what the engine records during
+    /// prefill.
+    fn materialize(model: &TransformerModel, tokens: &[usize]) -> (SequenceState, Vec<ScoreBuffer>) {
+        let mut state = model.new_state();
+        let mut scratch = model.new_scratch(tokens.len());
+        let mut observations = Vec::with_capacity(tokens.len());
+        for (position, &token) in tokens.iter().enumerate() {
+            model.forward_with_scratch(&mut state, token, position, &mut scratch);
+            observations.push(scratch.scores().clone());
+        }
+        (state, observations)
+    }
+
+    fn cache(min: usize, max: usize) -> PrefixCache {
+        PrefixCache::new(PrefixCacheConfig {
+            min_match_tokens: min,
+            max_entries: max,
+            ..PrefixCacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn match_is_longest_and_capped_below_full_prompt() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let mut c = cache(2, 8);
+        let short = vec![1, 2, 3];
+        let long = vec![1, 2, 3, 4, 5, 6];
+        let (state, obs) = materialize(&model, &short);
+        assert!(c.insert(short, state, obs));
+        let (state, obs) = materialize(&model, &long);
+        assert!(c.insert(long, state, obs));
+
+        assert_eq!(c.match_len(&[1, 2, 3, 4, 5, 6, 7]), 6, "longest entry wins");
+        assert_eq!(c.match_len(&[1, 2, 3, 4, 5, 6]), 5, "the last prompt token is recomputed");
+        assert_eq!(c.match_len(&[1, 2, 9, 9]), 2, "divergence truncates the match");
+        assert_eq!(c.match_len(&[9, 1, 2, 3]), 0, "prefixes anchor at position 0");
+        assert_eq!(c.match_len(&[1, 2]), 0, "cap below minimum is a miss");
+    }
+
+    #[test]
+    fn minimum_match_length_gates_hits() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let mut c = cache(4, 8);
+        let tokens = vec![1, 2, 3, 4, 5];
+        let (state, obs) = materialize(&model, &tokens);
+        assert!(c.insert(tokens, state, obs));
+        assert_eq!(c.match_len(&[1, 2, 3, 9, 9]), 0, "3 < min_match_tokens");
+        assert_eq!(c.match_len(&[1, 2, 3, 4, 9]), 4);
+        assert!(c.lookup(&[1, 2, 3, 9, 9]).is_none());
+        assert_eq!(c.lookup(&[1, 2, 3, 4, 9]).expect("hit").matched, 4);
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.shared_tokens), (1, 1, 4));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertions_dedup_and_respect_capacity() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let mut c = cache(2, 2);
+        let a = vec![1, 2, 3];
+        let (state, obs) = materialize(&model, &a);
+        assert!(c.insert(a.clone(), state, obs));
+        // Covered by an existing entry (equal tokens): skipped.
+        let (state, obs) = materialize(&model, &a);
+        assert!(!c.insert(a.clone(), state, obs));
+        // A shorter prefix of an existing entry is also covered.
+        let shorter = vec![1, 2];
+        let (state, obs) = materialize(&model, &shorter);
+        assert!(!c.insert(shorter, state, obs));
+        // A *longer* prefix is new information.
+        let longer = vec![1, 2, 3, 4];
+        let (state, obs) = materialize(&model, &longer);
+        assert!(c.insert(longer, state, obs));
+        // Full: further inserts are skipped, never evicted.
+        let other = vec![7, 8, 9];
+        let (state, obs) = materialize(&model, &other);
+        assert!(!c.insert(other, state, obs));
+        let stats = c.stats();
+        assert_eq!((stats.entries, stats.insertions), (2, 2));
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn byte_bound_caps_resident_entries() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let first = vec![1, 2, 3, 4];
+        let (state, obs) = materialize(&model, &first);
+        let entry_bytes = state.total_fp16_bytes() as u64;
+
+        // Room for exactly one entry of this size.
+        let mut c = PrefixCache::new(PrefixCacheConfig {
+            min_match_tokens: 2,
+            max_entries: 8,
+            max_bytes: entry_bytes,
+        });
+        assert!(c.insert(first, state, obs));
+        let second = vec![7, 8, 9, 10];
+        let (state, obs) = materialize(&model, &second);
+        assert!(!c.insert(second, state, obs), "byte bound must reject further entries");
+        let stats = c.stats();
+        assert_eq!((stats.entries, stats.insertions), (1, 1));
+        assert!(stats.resident_bytes <= entry_bytes);
+    }
+
+    #[test]
+    fn below_minimum_prefixes_are_rejected() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let mut c = cache(4, 8);
+        let tiny = vec![1, 2];
+        let (state, obs) = materialize(&model, &tiny);
+        assert!(!c.insert(tiny, state, obs));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn insert_rejects_inconsistent_entries() {
+        let model = TransformerModel::new(ModelConfig::tiny());
+        let (state, obs) = materialize(&model, &[1, 2, 3]);
+        cache(2, 8).insert(vec![1, 2, 3, 4], state, obs);
+    }
+}

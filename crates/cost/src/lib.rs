@@ -6,7 +6,7 @@
 //!   engine, SFU, scheduler, on-chip SRAM), with unit costs calibrated so
 //!   the paper's exact configuration reproduces Table I. The SRAM/FIFO
 //!   curves play the role CACTI plays in the paper.
-//! * [`table1`] — the Table I generator (per-module breakdown + totals),
+//! * [`table1`](mod@table1) — the Table I generator (per-module breakdown + totals),
 //!   including the paper's two hardware claims as checkable predicates
 //!   (SFU < 3 % of area, voting engine ≈ 6.5 % overhead).
 //! * [`scaling`] — DeepScaleTool-style technology scaling between nodes,
@@ -14,9 +14,25 @@
 //! * [`gpu`] — a roofline model of the NVIDIA RTX 4090 for the end-to-end
 //!   comparison (decode is bandwidth-bound; single-batch efficiency is an
 //!   explicit parameter).
-//! * [`table2`] — the Table II generator: Sanger / SpAtten / VEDA plus the
+//! * [`table2`](mod@table2) — the Table II generator: Sanger / SpAtten / VEDA plus the
 //!   GPU energy-efficiency and throughput comparison.
 //! * [`energy`] — per-token energy accounting (core + HBM traffic).
+//!
+//! ## What energy is charged for
+//!
+//! [`EnergyModel::token_energy_mj`](energy::EnergyModel::token_energy_mj)
+//! charges compute cycles plus the **bytes actually streamed** from HBM
+//! for the step: the weight stream and the full resident KV span the
+//! token attends over. Byte *residency* optimizations upstream (the
+//! engine's shared-prefix KV reuse, which keeps a common span in memory
+//! once) therefore do not change decode energy — every decode step
+//! still reads the whole span — they save prefill work and capacity,
+//! which this crate's models see as fewer prefill chunks costed and
+//! more concurrent sessions, respectively.
+
+// Every public item in the cost models is documented; rustdoc enforces
+// it so the API surface cannot silently rot.
+#![deny(missing_docs)]
 
 pub mod energy;
 pub mod gpu;

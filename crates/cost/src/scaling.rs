@@ -1,7 +1,7 @@
 //! DeepScaleTool-style technology scaling.
 //!
 //! The paper normalizes comparisons across nodes ("it remains true after
-//! technology scaling [13]"). This module provides per-node area and
+//! technology scaling \[13\]"). This module provides per-node area and
 //! energy factors relative to 28 nm, interpolating the published
 //! deep-submicron scaling data: area scales roughly with the square of the
 //! drawn dimension (with a derating below 28 nm, irrelevant here), and

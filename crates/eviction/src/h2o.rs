@@ -1,5 +1,5 @@
 //! H2O: heavy-hitter-oracle eviction by accumulated attention scores
-//! (Zhang et al. [21]), the method Fig. 2 (a) of the VEDA paper analyzes.
+//! (Zhang et al. \[21\]), the method Fig. 2 (a) of the VEDA paper analyzes.
 //!
 //! Each cache position accumulates the attention scores it receives across
 //! all steps (summed over heads); the position with the *minimum*

@@ -1,4 +1,4 @@
-//! Streaming-LLM style sliding-window eviction (Xiao et al. [18]).
+//! Streaming-LLM style sliding-window eviction (Xiao et al. \[18\]).
 //!
 //! Retains the earliest `sink_len` positions (the attention sink) and the
 //! most recent window; whenever the cache exceeds its budget the *oldest

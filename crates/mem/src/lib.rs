@@ -20,6 +20,21 @@
 //!   swap-out/swap-in when a serving layer preempts sessions under HBM
 //!   capacity pressure ([`HbmConfig::capacity_bytes`]).
 //!
+//! ## Capacity is the serving constraint
+//!
+//! At serving scale, decode is bandwidth-bound but *admission* is
+//! capacity-bound: [`HbmConfig::capacity_bytes`] decides how many
+//! sessions' KV states fit, and everything above it is preemption, swap
+//! traffic ([`HostLink`]) or rejection. The resident-byte accounting
+//! that serving layers check against this capacity counts a KV row
+//! **once, where it is resident**: a session's privately owned rows
+//! count against the session, while a shared prompt-prefix span (the
+//! engine's prefix cache) counts once, inside the cache entry,
+//! regardless of how many sessions reference it. Note the distinction
+//! from *traffic*: attention still streams every resident row it
+//! attends over — shared or not — so sharing relieves capacity and
+//! prefill work, never the per-step KV bandwidth.
+//!
 //! ## Example
 //!
 //! ```
@@ -31,6 +46,10 @@
 //! let strided = hbm.transfer(1 << 20, AccessPattern::Strided { stride_bytes: 256, elem_bytes: 2 });
 //! assert!(strided > seq);
 //! ```
+
+// Every public item in the memory substrates is documented; rustdoc
+// enforces it so the API surface cannot silently rot.
+#![deny(missing_docs)]
 
 pub mod fifo;
 pub mod hbm;

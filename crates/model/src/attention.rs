@@ -83,7 +83,7 @@ pub(crate) fn attend_into(
 }
 
 /// Runs one attention step for a single layer (allocating convenience
-/// wrapper over [`attend_into`]).
+/// wrapper over the crate-internal `attend_into` scratch kernel).
 ///
 /// `x` is the RMS-normed hidden state of the current token, `position` its
 /// absolute index. The token's K/V vectors are appended to `cache` before

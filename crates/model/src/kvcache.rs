@@ -4,6 +4,18 @@
 //! in HBM so that both `q × Kᵀ` (inner product over rows) and `s' × V`
 //! (outer product over rows) touch memory sequentially and no transpose is
 //! ever materialized.
+//!
+//! ## Shared prefix spans
+//!
+//! A cache seeded from a prefix-cache entry ([`LayerKvCache::seed_from`])
+//! marks its leading rows as a **shared span**: the bytes are resident in
+//! HBM once, inside the cache entry, and this sequence merely references
+//! them, so [`LayerKvCache::fp16_bytes`] (the *privately owned* footprint)
+//! excludes them. The span is copy-on-evict: the first eviction that
+//! targets a slot inside it privatizes the whole span (models deep-copying
+//! the referenced rows before mutating them), flipping its bytes into the
+//! owned account. Appends only ever land after the span, so the marker
+//! never moves otherwise.
 
 use veda_tensor::Matrix;
 
@@ -15,6 +27,9 @@ pub struct LayerKvCache {
     values: Matrix,
     /// Absolute token position of each resident row.
     positions: Vec<usize>,
+    /// Leading rows referenced from a shared prefix-cache entry rather
+    /// than privately owned (see the [module docs](self)).
+    shared_len: usize,
 }
 
 impl LayerKvCache {
@@ -44,13 +59,18 @@ impl LayerKvCache {
         self.positions.push(position);
     }
 
-    /// Removes the resident entry at cache slot `slot`.
+    /// Removes the resident entry at cache slot `slot`. Evicting inside a
+    /// shared prefix span first privatizes it (see the
+    /// [module docs](self)).
     ///
     /// # Panics
     ///
     /// Panics if `slot >= len()`.
     pub fn evict(&mut self, slot: usize) {
         assert!(slot < self.len(), "evict slot {slot} out of bounds ({})", self.len());
+        if slot < self.shared_len {
+            self.shared_len = 0;
+        }
         self.keys.remove_row(slot);
         self.values.remove_row(slot);
         self.positions.remove(slot);
@@ -69,6 +89,10 @@ impl LayerKvCache {
     pub fn evict_many(&mut self, sorted_slots: &[usize]) {
         if sorted_slots.is_empty() {
             return;
+        }
+        if sorted_slots[0] < self.shared_len {
+            // Copy-on-evict: mutating the shared span privatizes it.
+            self.shared_len = 0;
         }
         self.keys.remove_rows(sorted_slots);
         self.values.remove_rows(sorted_slots);
@@ -111,8 +135,62 @@ impl LayerKvCache {
         &self.positions
     }
 
-    /// Bytes this cache occupies in FP16 off-chip storage.
+    /// Seeds an empty cache with the first `rows` resident rows of
+    /// `source`, marking them as a shared span: the bytes stay resident in
+    /// `source` (a prefix-cache entry) and this cache references them, so
+    /// they are excluded from [`LayerKvCache::fp16_bytes`] until an
+    /// eviction privatizes the span. The row values are copied so the
+    /// attention kernels see one contiguous `(l, d)` matrix — the sharing
+    /// is an HBM-residency accounting model, not a pointer graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is non-empty or `rows > source.len()`.
+    pub fn seed_from(&mut self, source: &LayerKvCache, rows: usize) {
+        assert!(self.is_empty(), "seed_from requires an empty cache");
+        assert!(rows <= source.len(), "seed rows {rows} exceed source length {}", source.len());
+        // One up-front reservation so the row copies never reallocate
+        // (a no-op when the engine already reserved the session's peak).
+        self.reserve(rows, source.keys.cols());
+        for row in 0..rows {
+            self.append(source.positions[row], source.keys.row(row), source.values.row(row));
+        }
+        self.shared_len = rows;
+    }
+
+    /// Leading rows referenced from a shared prefix span (0 when the
+    /// cache owns every row).
+    pub fn shared_len(&self) -> usize {
+        self.shared_len
+    }
+
+    /// Converts any shared span into privately owned rows (accounting
+    /// only; the row data is already materialized). Used when a seeded
+    /// copy becomes a residency root of its own — e.g. a prefix-cache
+    /// entry built from a session that itself started from a shorter
+    /// cached prefix.
+    pub fn clear_shared_marker(&mut self) {
+        self.shared_len = 0;
+    }
+
+    /// Bytes this cache *privately owns* in FP16 off-chip storage —
+    /// excludes the shared prefix span, whose bytes are resident once in
+    /// the prefix-cache entry they came from.
     pub fn fp16_bytes(&self) -> usize {
+        let owned_rows = self.len() - self.shared_len;
+        veda_tensor::fp16::fp16_bytes(owned_rows * self.keys.cols() * 2)
+    }
+
+    /// FP16 bytes of the shared prefix span this cache references (0 when
+    /// nothing is shared).
+    pub fn shared_fp16_bytes(&self) -> usize {
+        veda_tensor::fp16::fp16_bytes(self.shared_len * self.keys.cols() * 2)
+    }
+
+    /// Total FP16 bytes of all resident rows, owned and shared — what the
+    /// attention kernels stream per decode step regardless of who owns the
+    /// bytes.
+    pub fn total_fp16_bytes(&self) -> usize {
         veda_tensor::fp16::fp16_bytes(self.keys.as_slice().len() + self.values.as_slice().len())
     }
 
@@ -121,6 +199,7 @@ impl LayerKvCache {
         self.keys = Matrix::default();
         self.values = Matrix::default();
         self.positions.clear();
+        self.shared_len = 0;
     }
 }
 
@@ -211,5 +290,83 @@ mod tests {
         let mut c = LayerKvCache::new();
         c.append(0, &[1.0], &[1.0]);
         c.evict(1);
+    }
+
+    fn source(rows: usize) -> LayerKvCache {
+        let mut c = LayerKvCache::new();
+        for i in 0..rows {
+            c.append(i, &[i as f32, 1.0], &[2.0, i as f32]);
+        }
+        c
+    }
+
+    #[test]
+    fn seed_from_copies_rows_and_marks_them_shared() {
+        let src = source(4);
+        let mut c = LayerKvCache::new();
+        c.seed_from(&src, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.shared_len(), 3);
+        assert_eq!(c.positions(), &[0, 1, 2]);
+        assert_eq!(c.keys().row(2), src.keys().row(2));
+        assert_eq!(c.values().row(1), src.values().row(1));
+        // Shared rows are excluded from the owned footprint but present in
+        // the total (what attention streams).
+        assert_eq!(c.fp16_bytes(), 0);
+        assert_eq!(c.shared_fp16_bytes(), 3 * 2 * 2 * 2);
+        assert_eq!(c.total_fp16_bytes(), c.shared_fp16_bytes());
+        // Appends after the span are privately owned.
+        c.append(3, &[9.0, 9.0], &[9.0, 9.0]);
+        assert_eq!(c.shared_len(), 3);
+        assert_eq!(c.fp16_bytes(), 2 * 2 * 2);
+        assert_eq!(c.total_fp16_bytes(), c.fp16_bytes() + c.shared_fp16_bytes());
+    }
+
+    #[test]
+    fn evicting_inside_the_shared_span_privatizes_it() {
+        let src = source(4);
+        let mut c = LayerKvCache::new();
+        c.seed_from(&src, 4);
+        c.append(4, &[5.0, 5.0], &[5.0, 5.0]);
+        // Evicting past the span leaves the marker alone…
+        c.evict(4);
+        assert_eq!(c.shared_len(), 4);
+        c.append(4, &[5.0, 5.0], &[5.0, 5.0]);
+        c.evict_many(&[4]);
+        assert_eq!(c.shared_len(), 4);
+        // …but the first eviction inside it deep-copies (privatizes) the
+        // whole span.
+        c.evict(1);
+        assert_eq!(c.shared_len(), 0);
+        assert_eq!(c.fp16_bytes(), c.total_fp16_bytes());
+    }
+
+    #[test]
+    fn evict_many_inside_the_shared_span_privatizes_it() {
+        let src = source(4);
+        let mut c = LayerKvCache::new();
+        c.seed_from(&src, 2);
+        c.append(2, &[5.0, 5.0], &[5.0, 5.0]);
+        c.evict_many(&[0, 2]);
+        assert_eq!(c.shared_len(), 0);
+        assert_eq!(c.positions(), &[1]);
+    }
+
+    #[test]
+    fn clear_resets_the_shared_marker() {
+        let src = source(2);
+        let mut c = LayerKvCache::new();
+        c.seed_from(&src, 2);
+        c.clear();
+        assert_eq!(c.shared_len(), 0);
+        assert_eq!(c.shared_fp16_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn seed_from_rejects_non_empty_caches() {
+        let src = source(2);
+        let mut c = source(1);
+        c.seed_from(&src, 2);
     }
 }

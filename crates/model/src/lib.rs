@@ -22,7 +22,13 @@
 //! * [`trace`] — attention-trace recording and a synthetic trace generator
 //!   with controllable sink/heavy-hitter/outlier/recency structure.
 //!
-//! See `DESIGN.md` at the workspace root for the substitution argument.
+//! The substitution argument: the paper's claims are about *mechanisms*
+//! (score distributions, eviction dynamics, dataflow timing), not about
+//! Llama-2's learned knowledge, so a synthetic substrate that reproduces
+//! the mechanism-relevant structure — sinks, heavy hitters, recency —
+//! supports the same comparisons while staying offline and fast. See
+//! `docs/ARCHITECTURE.md` at the workspace root for where this crate
+//! sits in the request lifecycle.
 
 pub mod attention;
 pub mod config;

@@ -90,9 +90,57 @@ impl SequenceState {
         }
     }
 
-    /// Total FP16 bytes the sequence's KV residents occupy off-chip.
+    /// Seeds every layer of an empty state with the first `rows` resident
+    /// rows of `source`, marked as a shared prefix span (see
+    /// [`LayerKvCache::seed_from`]): the engine's prefix cache uses this
+    /// to start a session from a cached shared-prefix KV without
+    /// re-running prefill. The shared rows are excluded from
+    /// [`SequenceState::fp16_bytes`] (they are resident once, in the cache
+    /// entry) until an eviction inside the span privatizes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states' layer counts disagree, any layer is
+    /// non-empty, or `rows` exceeds the source's cache length.
+    pub fn seed_from(&mut self, source: &SequenceState, rows: usize) {
+        assert_eq!(self.n_layers(), source.n_layers(), "seed_from layer count mismatch");
+        for (cache, src) in self.caches.iter_mut().zip(&source.caches) {
+            cache.seed_from(src, rows);
+        }
+    }
+
+    /// Leading rows (identical across layers until a per-layer eviction
+    /// privatizes a span) referenced from a shared prefix-cache entry in
+    /// layer 0 — diagnostic for accounting tests.
+    pub fn shared_len(&self) -> usize {
+        self.caches.first().map_or(0, LayerKvCache::shared_len)
+    }
+
+    /// Converts all shared spans into privately owned rows (see
+    /// [`LayerKvCache::clear_shared_marker`]).
+    pub fn clear_shared_marker(&mut self) {
+        for cache in &mut self.caches {
+            cache.clear_shared_marker();
+        }
+    }
+
+    /// FP16 bytes the sequence *privately owns* off-chip — excludes
+    /// shared prefix spans, which are resident once in their prefix-cache
+    /// entry and only referenced here.
     pub fn fp16_bytes(&self) -> usize {
         self.caches.iter().map(LayerKvCache::fp16_bytes).sum()
+    }
+
+    /// FP16 bytes of the shared prefix spans this sequence references
+    /// across all layers (0 when nothing is shared).
+    pub fn shared_fp16_bytes(&self) -> usize {
+        self.caches.iter().map(LayerKvCache::shared_fp16_bytes).sum()
+    }
+
+    /// Total FP16 bytes of all resident rows, owned and shared — the
+    /// attention-streaming footprint.
+    pub fn total_fp16_bytes(&self) -> usize {
+        self.caches.iter().map(LayerKvCache::total_fp16_bytes).sum()
     }
 
     /// Clears all caches (start over / free the sequence's KV memory).
@@ -476,6 +524,46 @@ mod tests {
             assert_eq!(a.keys(), b.keys());
             assert_eq!(a.values(), b.values());
         }
+    }
+
+    #[test]
+    fn seeded_state_is_bit_identical_to_prefilled_state() {
+        // Seeding a state from another state's prefix rows must yield
+        // exactly the forward results a full prefill would: the shared
+        // span is a byte-accounting overlay, never a numeric one.
+        let m = TransformerModel::new(ModelConfig::tiny());
+        let prompt = [1usize, 5, 9, 2, 40, 7];
+        let shared = 4;
+
+        let mut reference = m.new_state();
+        let mut ref_logits = Vec::new();
+        for (pos, &t) in prompt.iter().enumerate() {
+            ref_logits = m.forward_in(&mut reference, t, pos).logits;
+        }
+
+        let mut donor = m.new_state();
+        for (pos, &t) in prompt[..shared].iter().enumerate() {
+            m.forward_in(&mut donor, t, pos);
+        }
+        let mut seeded = m.new_state();
+        seeded.seed_from(&donor, shared);
+        assert_eq!(seeded.cache_len(), shared);
+        assert_eq!(seeded.shared_len(), shared);
+        assert_eq!(seeded.fp16_bytes(), 0, "shared rows are not privately owned");
+        assert_eq!(seeded.shared_fp16_bytes(), donor.fp16_bytes());
+
+        let mut logits = Vec::new();
+        for (pos, &t) in prompt.iter().enumerate().skip(shared) {
+            logits = m.forward_in(&mut seeded, t, pos).logits;
+        }
+        assert_eq!(logits, ref_logits, "seeded forward diverged from full prefill");
+        assert_eq!(seeded.cache_len(), reference.cache_len());
+        for (a, b) in seeded.caches().iter().zip(reference.caches()) {
+            assert_eq!(a.keys(), b.keys());
+            assert_eq!(a.values(), b.values());
+            assert_eq!(a.positions(), b.positions());
+        }
+        assert_eq!(seeded.total_fp16_bytes(), reference.total_fp16_bytes());
     }
 
     #[test]

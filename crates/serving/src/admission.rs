@@ -10,6 +10,38 @@
 //! makes the core serving invariant — admitted KV bytes never exceed
 //! capacity — hold unconditionally, at the cost of admitting slightly
 //! fewer sessions than a tighter estimate would.
+//!
+//! ## Shared-prefix discount
+//!
+//! When the engine's prefix cache is enabled, a request whose prompt
+//! matches a cached prefix references the shared span instead of owning
+//! it — those bytes are resident **once**, in the cache entry — so the
+//! server reserves only the *unshared* peak
+//! ([`AdmissionController::estimate_unshared_bytes`]). Two conditions
+//! make the discount sound:
+//!
+//! 1. **The match cannot shrink.** Cache entries are insert-only within
+//!    a run, so the match observed at arrival can only grow by submit
+//!    time.
+//! 2. **The span cannot be privatized.** An eviction *inside* a shared
+//!    span deep-copies it (the session then owns those bytes), which
+//!    would push the session past a discounted reservation — so the
+//!    discount is applied only to requests that provably never evict
+//!    ([`Request::never_evicts`]: budget cap ≥ peak), and only when
+//!    budget shrinking (`ServerConfig::shrink`, which can force any
+//!    session to evict) is off. Every other request reserves its full
+//!    peak, exactly as without the cache.
+//!
+//! The cache's own resident bytes are charged too: the server subtracts
+//! [`veda::Engine::prefix_cache_bytes`] from the headroom admissions
+//! and swap-ins fit into, so cached prefixes are never free capacity.
+//! Because entries are never evicted, deployments should bound the
+//! cache with [`veda::PrefixCacheConfig::max_bytes`] well below
+//! `capacity_bytes` minus the largest single-request peak — otherwise
+//! the monotone cache overhead can crowd out admissions for good. This
+//! is what lets a shared-prefix workload admit strictly more sessions
+//! under the same capacity — pinned by the serving-stack tests —
+//! without moving bytes off the books.
 
 use veda::Request;
 
@@ -105,6 +137,16 @@ impl AdmissionController {
         Self::peak_resident_tokens(request) as u64 * kv_bytes_per_token
     }
 
+    /// Peak KV bytes a request will *privately own*, given that
+    /// `shared_tokens` of its prompt are served from the engine's prefix
+    /// cache ([`veda::Engine::prefix_match_len`]) and therefore stay
+    /// resident in the cache entry, not the session (see the
+    /// [module docs](self)). With `shared_tokens = 0` this is exactly
+    /// [`AdmissionController::estimate_bytes`].
+    pub fn estimate_unshared_bytes(request: &Request, shared_tokens: usize, kv_bytes_per_token: u64) -> u64 {
+        Self::peak_resident_tokens(request).saturating_sub(shared_tokens) as u64 * kv_bytes_per_token
+    }
+
     /// Screens an arrival: `Err` rejects it outright, `Ok` means it may
     /// wait in the queue (whether it is admitted *now* is the scheduler's
     /// call via [`AdmissionController::would_fit`]).
@@ -149,6 +191,16 @@ mod tests {
     fn peak_covers_prompt_and_generation() {
         assert_eq!(AdmissionController::peak_resident_tokens(&request(16, 8)), 24);
         assert_eq!(AdmissionController::estimate_bytes(&request(16, 8), 256), 24 * 256);
+    }
+
+    #[test]
+    fn shared_prefix_discount_reduces_the_estimate() {
+        let r = request(16, 8);
+        assert_eq!(AdmissionController::estimate_unshared_bytes(&r, 0, 256), 24 * 256);
+        assert_eq!(AdmissionController::estimate_unshared_bytes(&r, 10, 256), 14 * 256);
+        // The discount never underflows, even for a (theoretical) full
+        // overlap.
+        assert_eq!(AdmissionController::estimate_unshared_bytes(&r, 99, 256), 0);
     }
 
     #[test]

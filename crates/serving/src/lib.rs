@@ -26,7 +26,15 @@
 //!   the engine's KV pre-allocation derives from) against the HBM
 //!   capacity ([`veda_mem::HbmConfig::capacity_bytes`]); requests that
 //!   cannot fit now wait in a bounded queue, requests that can never fit
-//!   are rejected.
+//!   are rejected. With the engine's shared-prefix cache enabled
+//!   ([`veda::EngineBuilder::prefix_cache`]), a known-prefix request that
+//!   can never evict ([`veda::Request::never_evicts`]) reserves only its
+//!   *unshared* peak — the shared span is resident once, in the cache
+//!   entry, whose bytes are themselves charged against capacity — so
+//!   shared-prefix traffic ([`RequestMix::shared_prefix_len`]) admits
+//!   more concurrent sessions under the same capacity, with per-request
+//!   token streams unchanged (see the [`admission`] module docs for the
+//!   soundness argument).
 //! * [`SchedulerPolicy`] ([`SchedKind`]) — FCFS, round-robin,
 //!   shortest-remaining-budget and priority tiers decide which queued
 //!   request is admitted next, and (for the preemptive policies) which

@@ -173,6 +173,21 @@ impl ServingReport {
         }
     }
 
+    /// Prefix-cache hit rate over all submitted prompts, in `[0, 1]`
+    /// (0 when the engine's prefix cache is disabled). A hit means the
+    /// prompt shared a cached prefix: its session skipped that span's
+    /// prefill and reserved only unshared KV bytes at admission.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        self.engine.prefix.hit_rate()
+    }
+
+    /// Prompt tokens served from the engine's prefix cache across the run
+    /// — prefill forward passes (and, under chunked prefill, on-clock
+    /// prefill tokens) the shared-prefix reuse saved.
+    pub fn prefix_saved_tokens(&self) -> u64 {
+        self.engine.prefix.shared_tokens
+    }
+
     /// Largest sampled queue depth.
     pub fn queue_depth_max(&self) -> usize {
         self.queue_depth.iter().copied().max().unwrap_or(0)
@@ -229,6 +244,18 @@ impl std::fmt::Display for ServingReport {
             100.0 * self.kv_resident_peak_bytes as f64 / self.capacity_bytes.max(1) as f64,
             self.kv_reserved_peak_bytes
         )?;
+        if self.engine.prefix.hits + self.engine.prefix.misses > 0 {
+            writeln!(
+                f,
+                "  prefix cache           : {} hits / {} lookups ({:.0}% hit rate), {} prompt tokens saved, {} entries ({} B resident once)",
+                self.engine.prefix.hits,
+                self.engine.prefix.hits + self.engine.prefix.misses,
+                100.0 * self.prefix_hit_rate(),
+                self.prefix_saved_tokens(),
+                self.engine.prefix.entries,
+                self.engine.prefix.resident_bytes,
+            )?;
+        }
         writeln!(f, "  latency (ticks)        : {:>8} {:>8} {:>8} {:>8}", "p50", "p95", "p99", "max")?;
         let mut row = |name: &str, summary: Option<LatencySummary>| match summary {
             Some(s) => writeln!(f, "    {:<21}: {:>8} {:>8} {:>8} {:>8}", name, s.p50, s.p95, s.p99, s.max),

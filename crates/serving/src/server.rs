@@ -7,6 +7,14 @@
 //! 1. **Arrivals** due at the current tick are screened — requests whose
 //!    peak KV footprint can never fit are rejected immediately, as are
 //!    arrivals beyond the queue-depth limit; the rest wait in the queue.
+//!    A prompt with a known shared prefix (the engine's prefix cache
+//!    already holds a matching entry) is screened and reserved at its
+//!    *unshared* peak only — the shared span is resident once, in the
+//!    cache entry — so shared-prefix traffic admits more concurrent
+//!    sessions under the same capacity. The discount applies only to
+//!    eviction-free requests with budget shrinking off, and the cache's
+//!    own bytes are charged against admission headroom (see the
+//!    [`crate::admission`] module docs for the soundness argument).
 //! 2. **Swap-in completion**: preempted sessions whose host-link swap-in
 //!    finished (its cycles, accumulated against the engine's per-tick
 //!    cycle counts, have elapsed) rejoin the batch. Swap latency is
@@ -245,7 +253,10 @@ impl Server {
             let tick = self.engine.step();
             self.decode_ticks += 1;
             stepped_cycles = tick.batch_cycles;
-            self.kv_resident_peak = self.kv_resident_peak.max(tick.kv_bytes_resident);
+            // Device-resident KV = session-owned bytes plus the prefix
+            // cache's entries (each counted once).
+            self.kv_resident_peak =
+                self.kv_resident_peak.max(tick.kv_bytes_resident + self.engine.prefix_cache_bytes());
             for event in &tick.events {
                 self.observe(event);
             }
@@ -296,11 +307,32 @@ impl Server {
         }
     }
 
-    /// Screens one arrival into the queue or a rejection record.
+    /// HBM bytes the engine's prefix cache itself keeps resident (each
+    /// entry counted once). Subtracted from admission headroom so cached
+    /// prefixes are never free capacity (see `veda_serving::admission`).
+    fn prefix_overhead(&self) -> u64 {
+        self.engine.prefix_cache_bytes()
+    }
+
+    /// Screens one arrival into the queue or a rejection record. A prompt
+    /// with a known shared prefix reserves only its *unshared* peak bytes
+    /// — the shared span stays resident in the engine's prefix cache —
+    /// provided the discount is sound for this request: the match can
+    /// only grow between this estimate and the actual submit (entries
+    /// are insert-only), only requests that can never evict
+    /// ([`veda::Request::never_evicts`]) qualify (an eviction inside the
+    /// shared span would privatize it and push the session past a
+    /// discounted reservation), and budget shrinking must be off —
+    /// [`veda::Engine::tighten_budget`] can force even an
+    /// unbounded-budget session to evict, retroactively breaking the
+    /// never-evicts promise.
     fn accept(&mut self, arrival: ServingRequest) {
         let ServingRequest { request, priority } = arrival;
         let index = self.records.len();
-        let est_bytes = AdmissionController::estimate_bytes(&request, self.kv_bytes_per_token);
+        let discount_sound = request.never_evicts() && self.shrink.is_none();
+        let shared_tokens = if discount_sound { self.engine.prefix_match_len(&request.prompt) } else { 0 };
+        let est_bytes =
+            AdmissionController::estimate_unshared_bytes(&request, shared_tokens, self.kv_bytes_per_token);
         let mut record = RequestRecord {
             arrival: index,
             session: None,
@@ -362,7 +394,7 @@ impl Server {
     fn start_swap_ins(&mut self) {
         let mut i = 0;
         while i < self.paused.len() {
-            if self.admission.would_fit(self.paused[i].est_bytes) {
+            if self.admission.would_fit(self.paused[i].est_bytes.saturating_add(self.prefix_overhead())) {
                 let entry = self.paused.remove(i);
                 let bytes =
                     self.engine.session_kv_bytes(entry.session).expect("paused entry tracks the engine");
@@ -409,12 +441,15 @@ impl Server {
             let views: Vec<QueuedView> = self.queue.iter().map(|e| self.queued_view(e)).collect();
             let Some(pick) = self.policy.next_candidate(&views) else { break };
             let incoming = views[pick];
-            while !self.admission.would_fit(incoming.est_bytes) {
+            // Admission must fit the reservation *and* the prefix cache's
+            // own resident bytes inside capacity.
+            let needed = incoming.est_bytes.saturating_add(self.prefix_overhead());
+            while !self.admission.would_fit(needed) {
                 let victims = self.running_views();
                 let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
                 self.preempt(victim);
             }
-            if !self.admission.would_fit(incoming.est_bytes) {
+            if !self.admission.would_fit(needed) {
                 break;
             }
             let entry = self.queue.remove(pick).expect("pick indexes the queue");

@@ -99,7 +99,8 @@ pub struct RequestMix {
     pub policies: Vec<PolicyKind>,
     /// Cache budgets, assigned round-robin by arrival index.
     pub budgets: Vec<Budget>,
-    /// Inclusive prompt-length bounds.
+    /// Inclusive prompt-length bounds. With shared prefixes enabled these
+    /// bound the private *suffix* — the shared prefix is prepended on top.
     pub prompt_len: (usize, usize),
     /// Inclusive generated-token bounds (min must be ≥ 1 so every request
     /// produces a first token).
@@ -108,6 +109,17 @@ pub struct RequestMix {
     pub priority_tiers: u8,
     /// Vocabulary size prompts are drawn from (tokens in `1..vocab`).
     pub vocab_size: usize,
+    /// Shared-prefix length in tokens; `0` (the default) disables shared
+    /// prefixes entirely. When positive, each request's prompt is its
+    /// group's deterministic prefix of this length followed by a random
+    /// private suffix drawn from the `prompt_len` bounds — the workload
+    /// shape that exercises the engine's prefix cache (common system
+    /// prompts / few-shot templates shared across sessions).
+    pub shared_prefix_len: usize,
+    /// Number of distinct prefix groups; requests rotate through them by
+    /// arrival index. Ignored (treated as 1) unless `shared_prefix_len`
+    /// is positive.
+    pub prefix_groups: usize,
 }
 
 impl Default for RequestMix {
@@ -122,12 +134,27 @@ impl Default for RequestMix {
             max_new_tokens: (6, 16),
             priority_tiers: 3,
             vocab_size: veda_model::ModelConfig::tiny().vocab_size,
+            shared_prefix_len: 0,
+            prefix_groups: 0,
         }
     }
 }
 
 impl RequestMix {
-    /// Samples the `index`-th request of a workload.
+    /// The deterministic shared prefix of `group` (independent of the
+    /// workload RNG, so every arrival process generates the identical
+    /// prefix for a group — the property that makes prompts actually
+    /// shareable).
+    pub fn group_prefix(&self, group: usize) -> Vec<usize> {
+        (0..self.shared_prefix_len).map(|j| (group * 31 + j * 7 + 1) % (self.vocab_size - 1) + 1).collect()
+    }
+
+    /// Samples the `index`-th request of a workload. With
+    /// [`RequestMix::shared_prefix_len`] set, the prompt is the arrival's
+    /// group prefix ([`RequestMix::group_prefix`], groups rotating by
+    /// index) followed by a random private suffix; otherwise the whole
+    /// prompt is random. The disabled path draws exactly the RNG stream
+    /// it always did, so existing seeded workloads are unchanged.
     ///
     /// # Panics
     ///
@@ -141,8 +168,13 @@ impl RequestMix {
         assert!(0 < p_lo && p_lo <= p_hi, "invalid prompt length bounds");
         assert!(0 < g_lo && g_lo <= g_hi, "invalid generation bounds");
 
-        let prompt_len = rng.gen_range(p_lo..=p_hi);
-        let prompt: Vec<usize> = (0..prompt_len).map(|_| rng.gen_range(1..self.vocab_size)).collect();
+        let suffix_len = rng.gen_range(p_lo..=p_hi);
+        let mut prompt = if self.shared_prefix_len > 0 {
+            self.group_prefix(index % self.prefix_groups.max(1))
+        } else {
+            Vec::new()
+        };
+        prompt.extend((0..suffix_len).map(|_| rng.gen_range(1..self.vocab_size)));
         let max_new = rng.gen_range(g_lo..=g_hi);
         let priority = if self.priority_tiers <= 1 { 0 } else { rng.gen_range(0..self.priority_tiers) };
         let request = Request::new(prompt, max_new)
@@ -413,6 +445,36 @@ mod tests {
         assert_eq!(w.take_arrivals(9), vec![r1]);
         assert!(w.exhausted());
         assert_eq!(w.emitted(), 2);
+    }
+
+    #[test]
+    fn shared_prefix_mix_prepends_group_prefixes() {
+        let mix = RequestMix { shared_prefix_len: 10, prefix_groups: 2, ..RequestMix::default() };
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..16 {
+            let r = mix.sample(&mut rng, i);
+            let prefix = mix.group_prefix(i % 2);
+            assert_eq!(prefix.len(), 10);
+            assert!(r.request.prompt.starts_with(&prefix), "request {i} must start with its group prefix");
+            let suffix_len = r.request.prompt.len() - 10;
+            assert!((mix.prompt_len.0..=mix.prompt_len.1).contains(&suffix_len));
+            assert!(r.request.prompt.iter().all(|&t| t >= 1 && t < mix.vocab_size));
+        }
+        assert_ne!(mix.group_prefix(0), mix.group_prefix(1), "groups have distinct prefixes");
+    }
+
+    #[test]
+    fn disabled_shared_prefix_preserves_the_rng_stream() {
+        // Adding the shared-prefix feature must not perturb existing
+        // seeded workloads: with the feature off, the sampled requests
+        // are exactly what the pre-feature sampler drew.
+        let mix = RequestMix::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = mix.sample(&mut rng, 0);
+        let mut reference_rng = StdRng::seed_from_u64(4);
+        let len = reference_rng.gen_range(mix.prompt_len.0..=mix.prompt_len.1);
+        let prompt: Vec<usize> = (0..len).map(|_| reference_rng.gen_range(1..mix.vocab_size)).collect();
+        assert_eq!(r.request.prompt, prompt);
     }
 
     #[test]

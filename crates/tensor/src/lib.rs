@@ -13,6 +13,18 @@
 //!
 //! Everything is deterministic and seedable; no threads, no global state.
 //!
+//! ## The summation-order discipline
+//!
+//! The workspace's central invariant — token streams are **byte-identical**
+//! across decode thread counts, prefill chunk sizes and prefix-cache
+//! configurations — bottoms out in this crate: f32 addition is not
+//! associative, so every kernel here fixes one summation order and every
+//! in-place variant (`*_into`, [`softmax::softmax_in_place`]) preserves
+//! the exact order of its allocating twin. When adding a kernel, never
+//! reorder an accumulation loop for speed without a pinning test; the
+//! engine-level equivalence suites will catch it, but the contract lives
+//! here.
+//!
 //! ## Example
 //!
 //! ```
@@ -26,6 +38,10 @@
 //! let probs = softmax::softmax(&s);
 //! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
 //! ```
+
+// Every public item in the numeric substrate is documented; rustdoc
+// enforces it so the API surface cannot silently rot.
+#![deny(missing_docs)]
 
 pub mod activation;
 pub mod error;

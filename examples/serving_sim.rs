@@ -15,7 +15,7 @@
 //! cargo run --release --example serving_sim -- --arrival closed --sched srb --requests 24 --rate 0.8
 //! ```
 
-use veda::EngineBuilder;
+use veda::{EngineBuilder, PrefixCacheConfig};
 use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
@@ -34,6 +34,11 @@ struct Args {
     /// Prompt tokens one tick may consume per prefilling session;
     /// 0 selects instant (off-clock) prefill.
     prefill_chunk: usize,
+    /// Shared-prefix length prepended to every prompt (0 = no shared
+    /// prefixes, prefix cache disabled).
+    shared_prefix: usize,
+    /// Distinct shared-prefix groups requests rotate through.
+    prefix_groups: usize,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -48,6 +53,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         variant: DataflowVariant::FlexibleElementSerial,
         threads: 1,
         prefill_chunk: 0,
+        shared_prefix: 0,
+        prefix_groups: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,12 +70,17 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--variant" => parsed.variant = value()?.parse()?,
             "--threads" => parsed.threads = value()?.parse()?,
             "--prefill-chunk" => parsed.prefill_chunk = value()?.parse()?,
+            "--shared-prefix" => parsed.shared_prefix = value()?.parse()?,
+            "--prefix-groups" => parsed.prefix_groups = value()?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
                      \x20                  [--sched fcfs|round_robin|srb|priority] [--requests N]\n\
                      \x20                  [--capacity-kb KB] [--policy P] [--variant V] [--threads N]\n\
-                     \x20                  [--prefill-chunk N]   (0 = instant prefill at admission)"
+                     \x20                  [--prefill-chunk N]   (0 = instant prefill at admission)\n\
+                     \x20                  [--shared-prefix LEN] [--prefix-groups N]\n\
+                     \x20                  (LEN > 0 prepends per-group shared prompt prefixes and\n\
+                     \x20                   enables the engine's prefix cache)"
                 );
                 std::process::exit(0);
             }
@@ -78,6 +90,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     if parsed.rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
+    if parsed.prefix_groups == 0 {
+        return Err("--prefix-groups must be at least 1".into());
+    }
     Ok(parsed)
 }
 
@@ -86,6 +101,12 @@ fn build_workload(args: &Args) -> Workload {
     let mut mix = RequestMix::default();
     if let Some(policy) = args.policy {
         mix.policies = vec![policy];
+    }
+    if args.shared_prefix > 0 {
+        mix.shared_prefix_len = args.shared_prefix;
+        mix.prefix_groups = args.prefix_groups;
+        // Prompt-length bounds now size the private suffix.
+        mix.prompt_len = (4, 12);
     }
     match args.arrival {
         ArrivalKind::Poisson => Workload::poisson(args.seed, args.rate, args.requests, mix),
@@ -115,6 +136,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if args.prefill_chunk > 0 {
         builder = builder.prefill_chunk(args.prefill_chunk);
     }
+    if args.shared_prefix > 0 {
+        // Bound the insert-only cache to half the admission capacity, the
+        // sizing rule the admission docs prescribe (its bytes are charged
+        // against headroom, so an unbounded cache could crowd out
+        // admissions).
+        builder = builder.prefix_cache(PrefixCacheConfig {
+            min_match_tokens: (args.shared_prefix / 2).max(4),
+            max_entries: 32,
+            max_bytes: (args.capacity_kb << 10) / 2,
+        });
+    }
     let engine = builder.build()?;
     let kv_per_token = engine.kv_bytes_per_token();
     let workload = build_workload(&args);
@@ -129,8 +161,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         "instant prefill".to_string()
     };
+    let prefix_mode = if args.shared_prefix > 0 {
+        format!(
+            ", {}-token shared prefixes × {} group(s) + prefix cache",
+            args.shared_prefix, args.prefix_groups
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow, {} decode thread(s), {} ==",
+        "== serving_sim: {} requests, {} arrivals (rate {}), {} scheduler, {} dataflow, {} decode thread(s), {}{} ==",
         args.requests,
         args.arrival,
         args.rate,
@@ -138,6 +178,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         args.variant,
         engine.decode_threads(),
         prefill_mode,
+        prefix_mode,
     );
     println!(
         "   seed {}, KV capacity {} KiB ({} B/token => ~{} resident tokens)\n",

@@ -353,6 +353,99 @@ fn swap_latency_delays_resumed_sessions_without_changing_tokens() {
 }
 
 #[test]
+fn shared_prefix_cache_admits_more_sessions_under_capacity_pressure() {
+    // The serving-level payoff of shared-prefix KV reuse: under the same
+    // tight capacity and bounded queue, a workload of prompts sharing a
+    // long prefix admits strictly more sessions (equivalently, rejects
+    // fewer) when the engine's prefix cache is enabled — because known-
+    // prefix arrivals reserve only their unshared peak bytes — while
+    // every request that completes in both runs generates the identical
+    // token stream. Unbounded budgets make every request eviction-free,
+    // the soundness condition for the admission discount
+    // (`Request::never_evicts`): budgeted sessions could privatize their
+    // shared span by evicting inside it, so they reserve full peaks.
+    use veda::{Budget, PrefixCacheConfig};
+
+    let mix = || RequestMix {
+        shared_prefix_len: 24,
+        prefix_groups: 1,
+        prompt_len: (3, 6), // private suffix bounds on top of the prefix
+        max_new_tokens: (4, 8),
+        budgets: vec![Budget::Unbounded],
+        ..RequestMix::default()
+    };
+    let per_token = engine().kv_bytes_per_token();
+    // Room for roughly two unshared peaks (≈ 38 resident tokens each):
+    // without sharing the queue backs up and overflows; with sharing the
+    // ≈ 14-token unshared footprints pack several sessions deep.
+    let capacity = 80 * per_token;
+    let run = |prefix_cache: bool| {
+        let mut builder = EngineBuilder::new().model(ModelConfig::tiny());
+        if prefix_cache {
+            // Bound the (insert-only) cache to half the capacity so its
+            // overhead can never crowd admissions out — the sizing rule
+            // the admission docs prescribe.
+            builder = builder.prefix_cache(PrefixCacheConfig {
+                min_match_tokens: 8,
+                max_entries: 8,
+                max_bytes: capacity / 2,
+            });
+        }
+        let engine = builder.build().expect("valid config");
+        let config = ServerConfig {
+            admission: AdmissionConfig { capacity_bytes: capacity, max_queue_depth: 3 },
+            sched: SchedKind::Fcfs,
+            ..ServerConfig::default()
+        };
+        // Rate 0.8: fast enough that tight capacity backs the queue up
+        // (rejections without the cache), slow enough that arrivals after
+        // the first admission see its cached prefix.
+        Server::new(engine, Workload::poisson(19, 0.8, 24, mix()), config).run()
+    };
+
+    let disabled = run(false);
+    let enabled = run(true);
+    assert_eq!(disabled.engine.prefix.hits, 0);
+    assert!(enabled.engine.prefix.hits > 0, "shared prompts must hit the cache");
+    assert!(enabled.prefix_saved_tokens() > 0);
+    assert!(
+        disabled.rejected() > 0,
+        "the pressure point must actually reject without the cache (tune capacity/queue if not)"
+    );
+    assert!(
+        enabled.admitted > disabled.admitted,
+        "prefix sharing must admit strictly more sessions: {} vs {}",
+        enabled.admitted,
+        disabled.admitted
+    );
+    assert!(enabled.rejected() < disabled.rejected());
+
+    // Unchanged per-session token streams: every arrival that completed
+    // in both runs generated exactly the same tokens.
+    let with = tokens_by_arrival(&enabled);
+    let without = tokens_by_arrival(&disabled);
+    let mut compared = 0;
+    for (arrival, tokens) in &without {
+        if let Some(shared_run) = with.get(arrival) {
+            assert_eq!(shared_run, tokens, "arrival {arrival}: prefix sharing changed a token stream");
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "some requests must complete in both runs");
+
+    // The sharing is honest accounting, not off-the-books capacity: the
+    // reported resident peak includes the cache's own entries (counted
+    // once) and still fits the configured capacity.
+    assert!(enabled.engine.prefix.resident_bytes > 0);
+    assert!(
+        enabled.kv_resident_peak_bytes <= enabled.capacity_bytes,
+        "resident KV (sessions + prefix cache) must fit capacity: {} vs {}",
+        enabled.kv_resident_peak_bytes,
+        enabled.capacity_bytes
+    );
+}
+
+#[test]
 fn report_display_shows_latency_table() {
     let text = run(ArrivalKind::Poisson, SchedKind::Srb, 3, 20 << 10).to_string();
     for needle in ["ttft", "p50", "p95", "p99", "queue depth", "preemptions", "rejected", "swap traffic"] {
