@@ -1,9 +1,12 @@
 //! Wall-clock decode throughput baseline: serial vs session-parallel
 //! engine ticks across a batch sweep, plus the allocating vs scratch
-//! forward path, written to `BENCH_decode.json` — and a chunked-prefill
+//! forward path, written to `BENCH_decode.json` — a chunked-prefill
 //! interference sweep (chunk size × prompt length → TTFT p50/p99 and
 //! decode tokens/s in *virtual* time), written to `BENCH_prefill.json` —
-//! so future PRs have pinned perf references.
+//! and a cluster-plane sweep (shard count × routing policy over a
+//! shared-prefix workload → throughput, latency, rejection rate, prefix
+//! hit rate and migration traffic), written to `BENCH_cluster.json` — so
+//! future PRs have pinned perf references.
 //!
 //! ```sh
 //! cargo run --release -p veda-bench --bin throughput            # full sweep
@@ -15,11 +18,16 @@ use std::time::Instant;
 use veda::{Budget, EngineBuilder, PrefixCacheConfig, PrefixCacheStats, Request, SessionPhase, TokenEvent};
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
+use veda_serving::{
+    Cluster, ClusterConfig, ClusterReport, MigrationConfig, RequestMix, RouterKind, SchedKind,
+    ServingRequest, Workload,
+};
 
 struct Args {
     quick: bool,
     json: String,
     prefill_json: String,
+    cluster_json: String,
     gen_tokens: usize,
 }
 
@@ -28,6 +36,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         quick: false,
         json: "BENCH_decode.json".to_string(),
         prefill_json: "BENCH_prefill.json".to_string(),
+        cluster_json: "BENCH_cluster.json".to_string(),
         gen_tokens: 32,
     };
     let mut args = std::env::args().skip(1);
@@ -38,9 +47,15 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--prefill-json" => {
                 parsed.prefill_json = args.next().ok_or("missing value after --prefill-json")?;
             }
+            "--cluster-json" => {
+                parsed.cluster_json = args.next().ok_or("missing value after --cluster-json")?;
+            }
             "--gen" => parsed.gen_tokens = args.next().ok_or("missing value after --gen")?.parse()?,
             "--help" | "-h" => {
-                println!("usage: throughput [--quick] [--json PATH] [--prefill-json PATH] [--gen N]");
+                println!(
+                    "usage: throughput [--quick] [--json PATH] [--prefill-json PATH] \
+                     [--cluster-json PATH] [--gen N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?} (try --help)").into()),
@@ -233,6 +248,131 @@ fn measure_prefix_cache(model: &ModelConfig, prefix_len: usize, waves: usize) ->
     let (prefill_tokens_disabled, _) = run(false);
     let (prefill_tokens_enabled, stats) = run(true);
     PrefixCachePoint { prefix_len, prefill_tokens_disabled, prefill_tokens_enabled, stats }
+}
+
+struct ClusterPoint {
+    shards: usize,
+    router: RouterKind,
+    completed: usize,
+    rejected: usize,
+    ttft_p50_ticks: u64,
+    ttft_p99_ticks: u64,
+    tokens_per_tick: f64,
+    prefix_hit_rate: f64,
+    migrations: u64,
+    migration_bytes: u64,
+}
+
+impl ClusterPoint {
+    fn of(shards: usize, report: &ClusterReport) -> Self {
+        let ttft = report.ttft();
+        Self {
+            shards,
+            router: report.router,
+            completed: report.completed(),
+            rejected: report.rejected(),
+            ttft_p50_ticks: ttft.map_or(0, |t| t.p50),
+            ttft_p99_ticks: ttft.map_or(0, |t| t.p99),
+            tokens_per_tick: report.generated_tokens() as f64 / (report.ticks.max(1)) as f64,
+            prefix_hit_rate: report.prefix_hit_rate(),
+            migrations: report.migrations,
+            migration_bytes: report.migration_bytes,
+        }
+    }
+
+    fn json_row(&self, scenario: &str) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"shards\": {}, \"router\": \"{}\", \"completed\": {}, \
+             \"rejected\": {}, \"ttft_p50_ticks\": {}, \"ttft_p99_ticks\": {}, \
+             \"tokens_per_tick\": {:.3}, \"prefix_hit_rate\": {:.4}, \"migrations\": {}, \
+             \"migration_bytes\": {}}}",
+            scenario,
+            self.shards,
+            self.router,
+            self.completed,
+            self.rejected,
+            self.ttft_p50_ticks,
+            self.ttft_p99_ticks,
+            self.tokens_per_tick,
+            self.prefix_hit_rate,
+            self.migrations,
+            self.migration_bytes,
+        )
+    }
+}
+
+/// Shard × router sweep over shared-prefix Poisson traffic (the
+/// `cluster_stack` acceptance workload): 5 prompt groups each with a
+/// 24-token shared prefix, prefix-cache engines on every shard, ample
+/// per-shard capacity so routing quality — not admission pressure — is
+/// the signal. Five groups is deliberately coprime to every swept shard
+/// count: groups rotate by arrival index exactly like the round-robin
+/// cursor, so a group count that divided the shard count would hand
+/// round-robin accidental perfect affinity. Virtual time; deterministic.
+fn measure_cluster(shards: usize, router: RouterKind, requests: usize) -> ClusterPoint {
+    let mix = RequestMix {
+        shared_prefix_len: 24,
+        prefix_groups: 5,
+        prompt_len: (3, 6),
+        max_new_tokens: (4, 8),
+        budgets: vec![Budget::Unbounded],
+        ..RequestMix::default()
+    };
+    let engines: Vec<_> = (0..shards)
+        .map(|_| {
+            EngineBuilder::new()
+                .model(ModelConfig::tiny())
+                .prefix_cache(PrefixCacheConfig {
+                    min_match_tokens: 8,
+                    max_entries: 16,
+                    ..PrefixCacheConfig::default()
+                })
+                .build()
+                .expect("valid config")
+        })
+        .collect();
+    let workload = Workload::poisson(19, 0.6, requests, mix);
+    let config = ClusterConfig {
+        shards,
+        per_shard_capacity_bytes: 1 << 20,
+        max_queue_depth: 64,
+        router,
+        sched: SchedKind::Fcfs,
+        migration: Some(MigrationConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let report = Cluster::new(engines, workload, config).run();
+    ClusterPoint::of(shards, &report)
+}
+
+/// Migration under deliberate imbalance: size-alternating requests all
+/// arriving at tick 0, round-robin across 2 tight shards with aggressive
+/// thresholds — round-robin piles the large requests onto shard 0, and
+/// migration visibly rebalances (nonzero migrations / bytes in the JSON).
+fn measure_migration_demo() -> ClusterPoint {
+    let per_token =
+        EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config").kv_bytes_per_token();
+    let arrivals = (0..6)
+        .map(|i| {
+            let (prompt_len, max_new) = if i % 2 == 0 { (30, 10) } else { (4, 4) };
+            let prompt: Vec<usize> = (0..prompt_len).map(|j| (i + 3 * j) % 50 + 1).collect();
+            (0u64, ServingRequest { request: Request::new(prompt, max_new), priority: 0 })
+        })
+        .collect();
+    let engines: Vec<_> = (0..2)
+        .map(|_| EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config"))
+        .collect();
+    let config = ClusterConfig {
+        shards: 2,
+        per_shard_capacity_bytes: 200 * per_token,
+        max_queue_depth: 64,
+        router: RouterKind::RoundRobin,
+        sched: SchedKind::Fcfs,
+        migration: Some(MigrationConfig { hot_fraction: 0.5, cold_fraction: 0.5, max_per_tick: 1 }),
+        ..ClusterConfig::default()
+    };
+    let report = Cluster::new(engines, Workload::trace(arrivals), config).run();
+    ClusterPoint::of(2, &report)
 }
 
 struct ForwardPoint {
@@ -433,6 +573,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     prefill_json.push_str("  ]\n}\n");
     std::fs::write(&args.prefill_json, &prefill_json)?;
     println!("\nwrote {}", args.prefill_json);
+
+    // Cluster-plane sweep: shard count × routing policy over shared-prefix
+    // traffic, plus a forced-imbalance migration demo. Virtual time —
+    // deterministic, so it runs the same workload in both modes and only
+    // scales the request count.
+    let cluster_requests = if args.quick { 24 } else { 48 };
+    let shard_counts: &[usize] = &[1, 2, 4];
+    println!("\n== cluster plane ({cluster_requests} shared-prefix requests, virtual time) ==");
+    println!(
+        "   {:>6} {:>16} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "shards",
+        "router",
+        "completed",
+        "rejected",
+        "ttft_p50",
+        "ttft_p99",
+        "tok/tick",
+        "hit rate",
+        "migrations"
+    );
+    let mut cluster_points: Vec<ClusterPoint> = Vec::new();
+    for &shards in shard_counts {
+        for router in RouterKind::ALL {
+            let p = measure_cluster(shards, router, cluster_requests);
+            println!(
+                "   {:>6} {:>16} {:>9} {:>8} {:>9} {:>9} {:>9.2} {:>8.0}% {:>10}",
+                p.shards,
+                p.router.to_string(),
+                p.completed,
+                p.rejected,
+                p.ttft_p50_ticks,
+                p.ttft_p99_ticks,
+                p.tokens_per_tick,
+                100.0 * p.prefix_hit_rate,
+                p.migrations
+            );
+            cluster_points.push(p);
+        }
+    }
+    let demo = measure_migration_demo();
+    println!(
+        "   migration demo: 2 tight shards, round-robin, imbalanced trace → {} migrations, {} bytes",
+        demo.migrations, demo.migration_bytes
+    );
+    let affinity_beats_rr = |shards: usize| {
+        let rate = |router: RouterKind| {
+            cluster_points
+                .iter()
+                .find(|p| p.shards == shards && p.router == router)
+                .map_or(0.0, |p| p.prefix_hit_rate)
+        };
+        rate(RouterKind::PrefixAffinity) > rate(RouterKind::RoundRobin)
+    };
+    assert!(
+        affinity_beats_rr(2) && affinity_beats_rr(4),
+        "prefix affinity must beat round-robin on shared-prefix traffic (pinned by cluster_stack)"
+    );
+    assert!(demo.migrations > 0, "the imbalanced demo must trigger migration");
+
+    let mut cluster_json = String::new();
+    cluster_json.push_str("{\n");
+    cluster_json.push_str(&format!("  \"requests\": {cluster_requests},\n"));
+    cluster_json.push_str(
+        "  \"note\": \"virtual-time sweep: shard count x router over Poisson shared-prefix traffic \
+         (5 prompt groups, 24-token shared prefix, prefix-cache engines, ample capacity); the \
+         migration_demo scenario forces imbalance (size-alternating trace, 2 tight shards, \
+         hot/cold 0.5) so migration counters are demonstrably nonzero; latencies in virtual \
+         ticks\",\n",
+    );
+    cluster_json.push_str("  \"sweep\": [\n");
+    for (i, p) in cluster_points.iter().enumerate() {
+        cluster_json.push_str(&p.json_row("shared_prefix"));
+        cluster_json.push_str(if i + 1 == cluster_points.len() { "\n" } else { ",\n" });
+    }
+    cluster_json.push_str("  ],\n");
+    cluster_json.push_str("  \"migration_demo\": [\n");
+    cluster_json.push_str(&demo.json_row("imbalanced_trace"));
+    cluster_json.push_str("\n  ]\n}\n");
+    std::fs::write(&args.cluster_json, &cluster_json)?;
+    println!("wrote {}", args.cluster_json);
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();

@@ -894,6 +894,50 @@ impl StepContext<'_> {
     }
 }
 
+/// A paused session lifted out of one [`Engine`] for adoption by another
+/// ([`Engine::extract`] / [`Engine::adopt`]) — the unit of cross-shard
+/// session migration. The wrapper is opaque: it carries the session's
+/// complete decode state (KV cache, logits scratch, per-layer eviction
+/// policies, prompt/generation progress and per-request accounting), so
+/// the adopting engine continues the token stream bit-identically to an
+/// unmigrated run. The KV payload a migration must move over the
+/// interconnect is [`MigratedSession::kv_bytes`].
+pub struct MigratedSession {
+    inner: ActiveSession,
+    /// Geometry of the source engine's model — adoption requires an
+    /// identical configuration (same synthetic weights).
+    config: ModelConfig,
+}
+
+impl MigratedSession {
+    /// KV bytes (FP16) the session owns — the payload a migration moves
+    /// over the interconnect, in each direction. Extraction privatizes
+    /// any shared prefix span first, so this covers every resident row.
+    pub fn kv_bytes(&self) -> u64 {
+        self.inner.state.fp16_bytes() as u64
+    }
+
+    /// Tokens the session has generated so far.
+    pub fn generated_tokens(&self) -> usize {
+        self.inner.generated.len()
+    }
+
+    /// The source engine's model geometry (what [`Engine::adopt`] checks).
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for MigratedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigratedSession")
+            .field("source_session", &self.inner.id)
+            .field("kv_bytes", &self.kv_bytes())
+            .field("generated_tokens", &self.inner.generated.len())
+            .finish()
+    }
+}
+
 /// The long-lived serving engine (see the [module docs](self)).
 pub struct Engine {
     model: TransformerModel,
@@ -1093,6 +1137,64 @@ impl Engine {
         let bytes = s.state.fp16_bytes() as u64;
         self.active.push(s);
         Some(bytes)
+    }
+
+    /// Lifts a *paused* session out of this engine for adoption by
+    /// another ([`Engine::adopt`]) — the engine half of cross-shard
+    /// session migration. Returns `None` if the session is not paused
+    /// (callers [`Engine::pause`] first; extraction of a mid-batch
+    /// session would tear a tick in half).
+    ///
+    /// Any shared prefix span is privatized on the way out
+    /// (`clear_shared_marker`): the rows were copied out of the cache
+    /// entry when the session was seeded, so after extraction the
+    /// session owns every resident byte and references nothing in this
+    /// engine's prefix cache — [`MigratedSession::kv_bytes`] is then the
+    /// complete interconnect payload. Like [`Engine::pause`], extraction
+    /// never changes the session's remaining token stream.
+    ///
+    /// The extracted session's per-request cycle/energy accounting
+    /// travels with it: when it finishes on the adopting engine, its
+    /// `total_cycles` accrue to *that* engine's sequential-cycles
+    /// aggregate.
+    pub fn extract(&mut self, session: Session) -> Option<MigratedSession> {
+        let idx = self.paused.iter().position(|s| s.id == session)?;
+        let mut s = self.paused.remove(idx);
+        s.state.clear_shared_marker();
+        Some(MigratedSession { inner: s, config: self.model.config().clone() })
+    }
+
+    /// Adopts a session extracted from another engine
+    /// ([`Engine::extract`]). The session lands in this engine's *paused*
+    /// set under a freshly allocated [`Session`] id (per-engine ids are
+    /// not unique across a cluster) — [`Engine::resume`] releases it into
+    /// the batch, which lets a serving layer serialize the interconnect
+    /// transfer latency into its clock first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::InvalidRequest`] if this engine's model
+    /// geometry differs from the source's — migrating a session between
+    /// different models would decode against different weights.
+    pub fn adopt(&mut self, migrated: MigratedSession) -> Result<Session, BuildError> {
+        if *self.model.config() != migrated.config {
+            return Err(BuildError::InvalidRequest(
+                "adopt requires the source engine's model geometry".into(),
+            ));
+        }
+        let mut s = migrated.inner;
+        s.id = Session(self.next_id);
+        self.next_id += 1;
+        if self.prefix_cache.is_none() {
+            // The source engine promised a prefix-cache insertion this
+            // engine cannot honor; dropping the recorded observations
+            // changes nothing downstream (insertion only serves *future*
+            // prompts).
+            s.prefix_obs = None;
+        }
+        let id = s.id;
+        self.paused.push(s);
+        Ok(id)
     }
 
     /// Shrinks the resident-token cap of an in-flight session (active or
@@ -2212,5 +2314,94 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("sliding_window"), "{text}");
         assert!(text.contains("batching speedup"), "{text}");
+    }
+
+    #[test]
+    fn migrated_session_continues_its_token_stream() {
+        let request = || Request::new(prompt(), 8).policy(PolicyKind::Voting).budget(Budget::Ratio(0.5));
+
+        let mut reference = engine();
+        let r = reference.submit(request()).unwrap();
+        let report = reference.run_to_completion();
+        let expected = report.requests.iter().find(|o| o.session == r).unwrap().report.generated.clone();
+
+        let mut source = engine();
+        let s = source.submit(request()).unwrap();
+        for _ in 0..3 {
+            source.step();
+        }
+        source.pause(s).unwrap();
+        let migrated = source.extract(s).expect("paused sessions are extractable");
+        assert!(migrated.kv_bytes() > 0);
+        assert_eq!(migrated.generated_tokens(), 3);
+        assert_eq!(source.active_sessions() + source.paused_sessions(), 0, "extraction empties the source");
+
+        let mut target = engine();
+        // Occupy an id on the target first, so adoption visibly re-ids.
+        let occupant = target.submit(Request::new(prompt(), 1)).unwrap();
+        let adopted = target.adopt(migrated).expect("identical geometry");
+        assert_ne!(adopted, occupant, "adopted sessions get a fresh target-engine id");
+        assert!(target.is_paused(adopted), "adoption lands in the paused set");
+        target.resume(adopted).unwrap();
+        let report = target.run_to_completion();
+        let migrated_tokens =
+            &report.requests.iter().find(|o| o.session == adopted).unwrap().report.generated;
+        assert_eq!(*migrated_tokens, expected, "migration never changes the token stream");
+    }
+
+    #[test]
+    fn extract_requires_a_paused_session_and_adopt_checks_geometry() {
+        let mut source = engine();
+        let s = source.submit(Request::new(prompt(), 4)).unwrap();
+        assert!(source.extract(s).is_none(), "active sessions cannot be extracted mid-batch");
+        source.pause(s).unwrap();
+        let migrated = source.extract(s).unwrap();
+
+        let mut other_model = ModelConfig::tiny();
+        other_model.d_model *= 2;
+        other_model.ffn_hidden *= 2;
+        let mut mismatched = EngineBuilder::new().model(other_model).build().unwrap();
+        assert!(matches!(mismatched.adopt(migrated), Err(BuildError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn extract_privatizes_shared_prefix_spans() {
+        let mut source = prefix_engine(0);
+        // First prompt inserts the shared prefix; the second hits it and
+        // holds the span as shared (accounting-only) bytes.
+        let warm = source.submit(Request::new(shared_prompt(&[21, 22, 23, 24]), 2)).unwrap();
+        while source.is_active(warm) {
+            source.step();
+        }
+        let s = source.submit(Request::new(shared_prompt(&[31, 32, 33, 34]), 6)).unwrap();
+        source.step();
+        source.pause(s).unwrap();
+        let owned = source.session_kv_bytes(s).unwrap();
+        let migrated = source.extract(s).unwrap();
+        assert!(
+            migrated.kv_bytes() > owned,
+            "extraction privatizes the shared span: payload {} must exceed owned {}",
+            migrated.kv_bytes(),
+            owned
+        );
+
+        // The privatized payload decodes to the same stream a fresh target
+        // produces for the uninterrupted request.
+        let mut target = prefix_engine(0);
+        let adopted = target.adopt(migrated).unwrap();
+        target.resume(adopted).unwrap();
+        let report = target.run_to_completion();
+        let migrated_tokens =
+            report.requests.iter().find(|o| o.session == adopted).unwrap().report.generated.clone();
+
+        let mut reference = prefix_engine(0);
+        let w = reference.submit(Request::new(shared_prompt(&[21, 22, 23, 24]), 2)).unwrap();
+        while reference.is_active(w) {
+            reference.step();
+        }
+        let r = reference.submit(Request::new(shared_prompt(&[31, 32, 33, 34]), 6)).unwrap();
+        let report = reference.run_to_completion();
+        let expected = report.requests.iter().find(|o| o.session == r).unwrap().report.generated.clone();
+        assert_eq!(migrated_tokens, expected);
     }
 }

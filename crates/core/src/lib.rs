@@ -189,8 +189,8 @@ pub mod prefix;
 pub mod simulator;
 
 pub use engine::{
-    Budget, Engine, EngineBuilder, EngineReport, EngineTick, Request, RequestOutcome, Session, SessionPhase,
-    TokenEvent,
+    Budget, Engine, EngineBuilder, EngineReport, EngineTick, MigratedSession, Request, RequestOutcome,
+    Session, SessionPhase, TokenEvent,
 };
 pub use error::BuildError;
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};

@@ -34,6 +34,37 @@ impl std::fmt::Display for SwapDirection {
     }
 }
 
+/// What a host-link transfer moves KV bytes *for* — preemption swap
+/// traffic or cross-shard session migration. The physical link is the
+/// same either way (same cost model, same per-direction accumulators);
+/// the kind only tags the accounting, so a cluster-level report can
+/// attribute interconnect bytes to scheduling churn vs. load balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Preemption swap: KV state parked on the host and brought back to
+    /// the *same* device.
+    Swap,
+    /// Cross-shard migration: KV state leaves one device and lands on
+    /// another (charged on both shards' links, one direction each).
+    Migration,
+}
+
+impl TransferKind {
+    /// Stable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransferKind::Swap => "swap",
+            TransferKind::Migration => "migration",
+        }
+    }
+}
+
+impl std::fmt::Display for TransferKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Host-link configuration.
 ///
 /// Defaults model a PCIe 4.0 x16 link against a 1 GHz accelerator clock:
@@ -69,19 +100,21 @@ impl HostLinkConfig {
     }
 }
 
-/// Stateful host-link model: accumulates swap traffic per direction.
+/// Stateful host-link model: accumulates traffic per transfer kind and
+/// direction.
 #[derive(Debug, Clone)]
 pub struct HostLink {
     config: HostLinkConfig,
-    bytes: [u64; 2],
-    cycles: [u64; 2],
-    transfers: [u64; 2],
+    /// Indexed `[kind][direction]`.
+    bytes: [[u64; 2]; 2],
+    cycles: [[u64; 2]; 2],
+    transfers: [[u64; 2]; 2],
 }
 
 impl HostLink {
     /// Creates a model with the given configuration.
     pub fn new(config: HostLinkConfig) -> Self {
-        Self { config, bytes: [0; 2], cycles: [0; 2], transfers: [0; 2] }
+        Self { config, bytes: [[0; 2]; 2], cycles: [[0; 2]; 2], transfers: [[0; 2]; 2] }
     }
 
     /// The configuration.
@@ -96,6 +129,13 @@ impl HostLink {
         }
     }
 
+    fn kidx(kind: TransferKind) -> usize {
+        match kind {
+            TransferKind::Swap => 0,
+            TransferKind::Migration => 1,
+        }
+    }
+
     /// Pure cost query (no state change): cycles to move `bytes` one way.
     pub fn cost(&self, bytes: u64) -> u64 {
         if bytes == 0 {
@@ -105,49 +145,84 @@ impl HostLink {
         self.config.setup_cycles + data
     }
 
-    /// Charges one transfer of `bytes` in `direction`, returning its
-    /// cycles. State is accumulated.
+    /// Charges one *swap* transfer of `bytes` in `direction`, returning
+    /// its cycles. State is accumulated. Shorthand for
+    /// [`HostLink::transfer_tagged`] with [`TransferKind::Swap`] — the
+    /// only kind that existed before cross-shard migration, so existing
+    /// callers keep their accounting unchanged.
     pub fn transfer(&mut self, bytes: u64, direction: SwapDirection) -> u64 {
+        self.transfer_tagged(bytes, direction, TransferKind::Swap)
+    }
+
+    /// Charges one transfer of `bytes` in `direction`, attributed to
+    /// `kind`, returning its cycles. State is accumulated.
+    pub fn transfer_tagged(&mut self, bytes: u64, direction: SwapDirection, kind: TransferKind) -> u64 {
         let cycles = self.cost(bytes);
+        let k = Self::kidx(kind);
         let i = Self::idx(direction);
-        self.bytes[i] += bytes;
-        self.cycles[i] += cycles;
+        self.bytes[k][i] += bytes;
+        self.cycles[k][i] += cycles;
         if bytes > 0 {
-            self.transfers[i] += 1;
+            self.transfers[k][i] += 1;
         }
         cycles
     }
 
-    /// Bytes moved in `direction` so far.
+    /// Bytes moved in `direction` so far (all kinds).
     pub fn bytes(&self, direction: SwapDirection) -> u64 {
-        self.bytes[Self::idx(direction)]
+        self.bytes.iter().map(|row| row[Self::idx(direction)]).sum()
     }
 
-    /// Cycles charged in `direction` so far.
+    /// Cycles charged in `direction` so far (all kinds).
     pub fn cycles(&self, direction: SwapDirection) -> u64 {
-        self.cycles[Self::idx(direction)]
+        self.cycles.iter().map(|row| row[Self::idx(direction)]).sum()
     }
 
-    /// Transfers charged in `direction` so far.
+    /// Transfers charged in `direction` so far (all kinds).
     pub fn transfers(&self, direction: SwapDirection) -> u64 {
-        self.transfers[Self::idx(direction)]
+        self.transfers.iter().map(|row| row[Self::idx(direction)]).sum()
     }
 
-    /// Total bytes moved in both directions.
+    /// Bytes moved so far for `kind` in `direction`.
+    pub fn tagged_bytes(&self, kind: TransferKind, direction: SwapDirection) -> u64 {
+        self.bytes[Self::kidx(kind)][Self::idx(direction)]
+    }
+
+    /// Cycles charged so far for `kind` in `direction`.
+    pub fn tagged_cycles(&self, kind: TransferKind, direction: SwapDirection) -> u64 {
+        self.cycles[Self::kidx(kind)][Self::idx(direction)]
+    }
+
+    /// Transfers charged so far for `kind` in `direction`.
+    pub fn tagged_transfers(&self, kind: TransferKind, direction: SwapDirection) -> u64 {
+        self.transfers[Self::kidx(kind)][Self::idx(direction)]
+    }
+
+    /// Total bytes moved so far for `kind`, both directions.
+    pub fn kind_total_bytes(&self, kind: TransferKind) -> u64 {
+        self.bytes[Self::kidx(kind)].iter().sum()
+    }
+
+    /// Total cycles charged so far for `kind`, both directions.
+    pub fn kind_total_cycles(&self, kind: TransferKind) -> u64 {
+        self.cycles[Self::kidx(kind)].iter().sum()
+    }
+
+    /// Total bytes moved in both directions (all kinds).
     pub fn total_bytes(&self) -> u64 {
-        self.bytes.iter().sum()
+        self.bytes.iter().flatten().sum()
     }
 
-    /// Total cycles charged in both directions.
+    /// Total cycles charged in both directions (all kinds).
     pub fn total_cycles(&self) -> u64 {
-        self.cycles.iter().sum()
+        self.cycles.iter().flatten().sum()
     }
 
     /// Resets the accumulated counters, keeping the configuration.
     pub fn reset(&mut self) {
-        self.bytes = [0; 2];
-        self.cycles = [0; 2];
-        self.transfers = [0; 2];
+        self.bytes = [[0; 2]; 2];
+        self.cycles = [[0; 2]; 2];
+        self.transfers = [[0; 2]; 2];
     }
 }
 
@@ -209,5 +284,32 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(SwapDirection::Out.to_string(), "swap_out");
         assert_eq!(SwapDirection::In.to_string(), "swap_in");
+        assert_eq!(TransferKind::Swap.to_string(), "swap");
+        assert_eq!(TransferKind::Migration.to_string(), "migration");
+    }
+
+    #[test]
+    fn kinds_accumulate_separately_and_sum_per_direction() {
+        let mut link = HostLink::new(HostLinkConfig::default());
+        let swap = link.transfer(1000, SwapDirection::Out);
+        let mig = link.transfer_tagged(3000, SwapDirection::Out, TransferKind::Migration);
+        assert_eq!(link.tagged_bytes(TransferKind::Swap, SwapDirection::Out), 1000);
+        assert_eq!(link.tagged_bytes(TransferKind::Migration, SwapDirection::Out), 3000);
+        assert_eq!(link.tagged_bytes(TransferKind::Migration, SwapDirection::In), 0);
+        assert_eq!(link.bytes(SwapDirection::Out), 4000, "per-direction view sums the kinds");
+        assert_eq!(link.kind_total_bytes(TransferKind::Migration), 3000);
+        assert_eq!(link.kind_total_cycles(TransferKind::Swap), swap);
+        assert_eq!(link.tagged_transfers(TransferKind::Migration, SwapDirection::Out), 1);
+        assert_eq!(link.total_cycles(), swap + mig);
+        link.reset();
+        assert_eq!(link.kind_total_bytes(TransferKind::Migration), 0);
+    }
+
+    #[test]
+    fn untagged_transfer_is_swap_traffic() {
+        let mut link = HostLink::new(HostLinkConfig::default());
+        link.transfer(4096, SwapDirection::In);
+        assert_eq!(link.tagged_bytes(TransferKind::Swap, SwapDirection::In), 4096);
+        assert_eq!(link.kind_total_bytes(TransferKind::Migration), 0);
     }
 }

@@ -59,6 +59,6 @@ pub mod traffic;
 
 pub use fifo::Fifo;
 pub use hbm::{AccessPattern, HbmConfig, HbmModel};
-pub use hostlink::{HostLink, HostLinkConfig, SwapDirection};
+pub use hostlink::{HostLink, HostLinkConfig, SwapDirection, TransferKind};
 pub use sram::Sram;
 pub use traffic::{TrafficClass, TrafficCounter};

@@ -1,0 +1,577 @@
+//! The cluster plane: N serving shards behind one admission/routing
+//! front door, stepped on one virtual clock.
+//!
+//! A [`Cluster`] is the multi-engine deployment of the serving stack:
+//! each [`Shard`] is a full engine + admission controller + queue (the
+//! exact machinery a standalone [`crate::Server`] runs), and the cluster
+//! adds the two things that only exist *between* engines — routing and
+//! migration. One [`Cluster::tick`] is one virtual-clock step:
+//!
+//! 1. **Route + screen**: each arrival due this tick is routed by the
+//!    [`RouterPolicy`] (which sees per-shard load and prefix-affinity
+//!    snapshots, never the RNG) and screened by the chosen shard's
+//!    admission control. The [`crate::Workload`] samples requests
+//!    centrally, in global arrival order, so the routing decision can
+//!    never perturb what a request *is* — only where it runs. That is
+//!    the cluster's RNG-stream discipline, pinned by the
+//!    `cluster_stack` tests.
+//! 2. **Pre-step**, per shard in index order: swap-in completions,
+//!    swap-in starts, scheduler-driven admission.
+//! 3. **Migration** (opt-in, [`MigrationConfig`]): if a shard is running
+//!    hot, its largest running session is paused, its KV state extracted
+//!    (privatizing any shared-prefix span) and costed through *both*
+//!    host links ([`veda_mem::TransferKind::Migration`] traffic —
+//!    device→host on the source, host→device on the target), and the
+//!    session lands in the target's swap-in set: it re-enters the batch
+//!    only after the transfer's cycles elapse, exactly like a preempted
+//!    session swapping back in. Migration never changes a session's
+//!    token stream (pinned), and the request's record stays on the shard
+//!    that accepted it.
+//! 4. **Step**, per shard in index order: one batched engine tick each,
+//!    all against the same virtual tick.
+//! 5. **Outbox drain**: record updates for migrated-in sessions are
+//!    applied to their home shards, in shard order — cross-shard state
+//!    flows through one deterministic channel, never mid-step.
+//!
+//! Determinism: same seed, same shard count, same policies ⇒
+//! bit-identical [`ClusterReport`]. A 1-shard cluster under round-robin
+//! routing is bit-identical to [`crate::Server`] on the same seed — the
+//! cluster plane is a strict generalization, not a fork.
+
+use veda::Engine;
+use veda_eviction::BudgetController;
+use veda_mem::{HostLinkConfig, SwapDirection, TransferKind};
+
+use crate::admission::AdmissionConfig;
+use crate::report::{LatencySummary, ServingReport};
+use crate::router::{RouterKind, RouterPolicy};
+use crate::scheduler::SchedKind;
+use crate::shard::{RecordRef, SessionEntry, Shard, SwapInEntry};
+use crate::workload::Workload;
+
+/// Opt-in cross-shard migration thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// A shard is migration-eligible (as a source) when its reserved
+    /// bytes exceed this fraction of capacity.
+    pub hot_fraction: f64,
+    /// A shard may receive a migrated session only if the landing
+    /// reservation keeps it at or below this fraction of capacity —
+    /// the hysteresis gap to `hot_fraction` prevents sessions
+    /// ping-ponging between two warm shards.
+    pub cold_fraction: f64,
+    /// At most this many migrations per virtual tick, cluster-wide.
+    pub max_per_tick: usize,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self { hot_fraction: 0.85, cold_fraction: 0.6, max_per_tick: 1 }
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of shards (must match the engines handed to
+    /// [`Cluster::new`]).
+    pub shards: usize,
+    /// Device KV capacity of each shard's admission control.
+    pub per_shard_capacity_bytes: u64,
+    /// Per-shard admission queue depth limit.
+    pub max_queue_depth: usize,
+    /// Routing policy.
+    pub router: RouterKind,
+    /// Scheduling policy (every shard runs the same one).
+    pub sched: SchedKind,
+    /// Host-link model (each shard gets its own link).
+    pub host_link: HostLinkConfig,
+    /// Optional budget-shrink pressure response, per shard (see
+    /// [`crate::ServerConfig::shrink`]).
+    pub shrink: Option<BudgetController>,
+    /// Cross-shard migration; `None` (the default) disables it, leaving
+    /// routing as the only load-balancing mechanism.
+    pub migration: Option<MigrationConfig>,
+    /// Safety valve: the run stops after this many virtual ticks even if
+    /// work remains.
+    pub max_ticks: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let admission = AdmissionConfig::default();
+        Self {
+            shards: 2,
+            per_shard_capacity_bytes: admission.capacity_bytes,
+            max_queue_depth: admission.max_queue_depth,
+            router: RouterKind::RoundRobin,
+            sched: SchedKind::Fcfs,
+            host_link: HostLinkConfig::default(),
+            shrink: None,
+            migration: None,
+            max_ticks: 1_000_000,
+        }
+    }
+}
+
+/// N shards behind one router on one virtual clock (see the
+/// [module docs](self)).
+pub struct Cluster {
+    shards: Vec<Shard>,
+    workload: Workload,
+    router: Box<dyn RouterPolicy>,
+    migration: Option<MigrationConfig>,
+    max_ticks: u64,
+    now: u64,
+    /// Global arrival counter (record indices stay in arrival order
+    /// across shards).
+    arrivals: usize,
+    /// Requests routed to each shard.
+    routed: Vec<usize>,
+    migrations: u64,
+    migration_bytes: u64,
+    migration_cycles: u64,
+    /// Per-shard reserved-KV-bytes series, sampled after each executed
+    /// tick.
+    reserved_series: Vec<Vec<u64>>,
+}
+
+impl Cluster {
+    /// Creates a cluster from one idle engine per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines.len() != config.shards`, if no engines are
+    /// given, if any engine has in-flight sessions, or if the engines do
+    /// not share one model geometry (migration moves KV state between
+    /// them, so their shapes must agree).
+    pub fn new(engines: Vec<Engine>, workload: Workload, config: ClusterConfig) -> Self {
+        assert_eq!(engines.len(), config.shards, "one engine per configured shard");
+        assert!(!engines.is_empty(), "a cluster needs at least one shard");
+        assert!(
+            engines.windows(2).all(|w| w[0].model_config() == w[1].model_config()),
+            "cluster shards must share one model geometry"
+        );
+        if let Some(m) = &config.migration {
+            // cold ≤ hot is the hysteresis that prevents a session from
+            // ping-ponging: a landing that pushes the target past the
+            // cold threshold is refused, so the target cannot have been
+            // made hot by the migration itself.
+            assert!(
+                m.cold_fraction <= m.hot_fraction && m.hot_fraction <= 1.0 && m.cold_fraction > 0.0,
+                "migration thresholds must satisfy 0 < cold_fraction <= hot_fraction <= 1"
+            );
+        }
+        let n = engines.len();
+        let admission = AdmissionConfig {
+            capacity_bytes: config.per_shard_capacity_bytes,
+            max_queue_depth: config.max_queue_depth,
+        };
+        let shards = engines
+            .into_iter()
+            .enumerate()
+            .map(|(id, engine)| {
+                Shard::new(id, engine, admission, config.host_link, config.sched, config.shrink)
+            })
+            .collect();
+        Self {
+            shards,
+            workload,
+            router: config.router.build(),
+            migration: config.migration,
+            max_ticks: config.max_ticks,
+            now: 0,
+            arrivals: 0,
+            routed: vec![0; n],
+            migrations: 0,
+            migration_bytes: 0,
+            migration_cycles: 0,
+            reserved_series: vec![Vec::new(); n],
+        }
+    }
+
+    /// The current virtual-clock tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Requests that have arrived cluster-wide so far.
+    pub fn submitted(&self) -> usize {
+        self.arrivals
+    }
+
+    /// Requests finished cluster-wide so far.
+    pub fn completed(&self) -> usize {
+        self.shards.iter().map(Shard::completed).sum()
+    }
+
+    /// Requests rejected cluster-wide so far.
+    pub fn rejected(&self) -> usize {
+        self.shards.iter().map(Shard::rejected).sum()
+    }
+
+    /// Requests currently queued, running, preempted, or swapping in on
+    /// any shard.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(Shard::in_flight).sum()
+    }
+
+    /// Cross-shard migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Whether all work (arrived and future) is finished.
+    pub fn is_done(&self) -> bool {
+        self.workload.exhausted() && self.in_flight() == 0
+    }
+
+    /// Executes one virtual-clock tick (see the [module docs](self)).
+    pub fn tick(&mut self) {
+        for arrival in self.workload.take_arrivals(self.now) {
+            let views: Vec<_> = self.shards.iter().map(|s| s.view(&arrival.request.prompt)).collect();
+            let pick = self.router.route(&views);
+            assert!(pick < self.shards.len(), "router returned an out-of-range shard");
+            self.routed[pick] += 1;
+            let global = self.arrivals;
+            self.arrivals += 1;
+            self.shards[pick].accept(arrival, global, self.now, &mut self.workload);
+        }
+        for shard in &mut self.shards {
+            shard.begin_tick(self.now);
+        }
+        if self.migration.is_some() {
+            self.migrate();
+        }
+        for shard in &mut self.shards {
+            shard.step_engine(self.now, &mut self.workload);
+        }
+        // Drain foreign-record updates in shard order: deterministic, and
+        // record state is settled before anyone observes end-of-tick
+        // counters (the conservation invariant the proptests check).
+        for i in 0..self.shards.len() {
+            for update in self.shards[i].take_outbox() {
+                debug_assert_ne!(update.shard, i, "a shard never posts to its own outbox");
+                self.shards[update.shard].apply_record_delta(update.index, update.delta);
+            }
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            self.reserved_series[i].push(shard.reserved_bytes());
+        }
+
+        self.now += 1;
+        // Fast-forward idle spans to the next arrival.
+        if self.in_flight() == 0 {
+            if let Some(next) = self.workload.next_arrival_tick() {
+                self.now = self.now.max(next);
+            }
+        }
+    }
+
+    /// Moves up to [`MigrationConfig::max_per_tick`] sessions from hot
+    /// shards to cold ones. A migration pauses the victim on its source,
+    /// extracts its KV state (privatizing any shared-prefix span — the
+    /// payload is the session's complete state), pays the transfer on
+    /// both host links, and parks the session in the target's swap-in
+    /// set until the transfer's cycles elapse.
+    fn migrate(&mut self) {
+        let cfg = self.migration.expect("caller checked");
+        for _ in 0..cfg.max_per_tick {
+            let Some((src, tgt)) = self.pick_migration(&cfg) else { break };
+            self.execute_migration(src, tgt);
+        }
+    }
+
+    /// Picks (source, target) for one migration, or `None` when no shard
+    /// is hot or no candidate can land anywhere.
+    fn pick_migration(&self, cfg: &MigrationConfig) -> Option<(usize, usize)> {
+        let hot = |s: &Shard| {
+            let threshold = (cfg.hot_fraction * s.capacity_bytes() as f64) as u64;
+            s.reserved_bytes() > threshold
+        };
+        // Hottest eligible source; ties go to the lowest shard index
+        // (max_by_key keeps the last max, so reverse the index in the key).
+        let src = self
+            .shards
+            .iter()
+            .filter(|s| !s.running.is_empty() && hot(s))
+            .max_by_key(|s| (s.reserved_bytes(), std::cmp::Reverse(s.id)))?
+            .id;
+        // Victim: the largest running session (frees the most source
+        // bytes per transfer); ties go to the oldest arrival.
+        let victim = self.shards[src]
+            .running
+            .iter()
+            .max_by_key(|e| (e.full_bytes, std::cmp::Reverse(e.arrival)))
+            .expect("source has running sessions");
+        let need = victim.full_bytes;
+        // Coldest shard that can land the full (undiscounted) payload and
+        // stay under the cold-side threshold.
+        let tgt = self
+            .shards
+            .iter()
+            .filter(|s| s.id != src)
+            .filter(|s| {
+                let cold_cap = (cfg.cold_fraction * s.capacity_bytes() as f64) as u64;
+                s.admission.would_fit(need.saturating_add(s.prefix_overhead()))
+                    && s.reserved_bytes().saturating_add(need) <= cold_cap
+            })
+            .min_by_key(|s| (s.reserved_bytes(), s.queue_len(), s.id))?
+            .id;
+        Some((src, tgt))
+    }
+
+    /// Executes one migration of the source's chosen victim to `tgt`.
+    fn execute_migration(&mut self, src: usize, tgt: usize) {
+        let (source, target) = two_shards(&mut self.shards, src, tgt);
+        let victim_index = source
+            .running
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| (e.full_bytes, std::cmp::Reverse(e.arrival)))
+            .map(|(i, _)| i)
+            .expect("pick_migration found a victim");
+        let entry = source.running.remove(victim_index);
+        source.engine.pause(entry.session).expect("running entry tracks the engine");
+        let migrated = source.engine.extract(entry.session).expect("just paused");
+        // Extraction privatized any shared-prefix span, so the payload —
+        // and the target-side reservation — is the full session state.
+        let payload = migrated.kv_bytes();
+        source.admission.release(entry.est_bytes);
+        let out_cycles = source.link.transfer_tagged(payload, SwapDirection::Out, TransferKind::Migration);
+        let in_cycles = target.link.transfer_tagged(payload, SwapDirection::In, TransferKind::Migration);
+        let session = target.engine.adopt(migrated).expect("cluster shards share one model geometry");
+        target.admission.reserve(entry.full_bytes);
+        // The record stays on its home shard: local entries become
+        // foreign references, already-foreign entries keep pointing home.
+        let record = match entry.record {
+            RecordRef::Local(index) => RecordRef::Foreign { shard: src, index },
+            foreign @ RecordRef::Foreign { .. } => foreign,
+        };
+        debug_assert!(
+            !matches!(record, RecordRef::Foreign { shard, .. } if shard == tgt),
+            "a session never migrates to its own home shard as foreign"
+        );
+        target.swapping.push(SwapInEntry {
+            entry: SessionEntry {
+                record,
+                arrival: entry.arrival,
+                session,
+                priority: entry.priority,
+                est_bytes: entry.full_bytes,
+                full_bytes: entry.full_bytes,
+                preemptions: entry.preemptions,
+                cap: entry.cap,
+            },
+            ready_at: target.elapsed_cycles + in_cycles,
+        });
+        self.migrations += 1;
+        self.migration_bytes += payload;
+        self.migration_cycles += out_cycles + in_cycles;
+    }
+
+    /// Runs the workload to completion (or the `max_ticks` safety valve)
+    /// and produces the [`ClusterReport`].
+    pub fn run(mut self) -> ClusterReport {
+        while !self.is_done() && self.now < self.max_ticks {
+            self.tick();
+        }
+        let arrival = self.workload.kind();
+        let router = self.router.kind();
+        let shards: Vec<ServingReport> =
+            self.shards.into_iter().map(|s| s.into_report(arrival, self.now)).collect();
+        ClusterReport {
+            router,
+            shard_count: shards.len(),
+            ticks: self.now,
+            routed: self.routed,
+            migrations: self.migrations,
+            migration_bytes: self.migration_bytes,
+            migration_cycles: self.migration_cycles,
+            kv_reserved_series: self.reserved_series,
+            shards,
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("shards", &self.shards)
+            .field("arrivals", &self.arrivals)
+            .field("migrations", &self.migrations)
+            .finish()
+    }
+}
+
+/// Mutably borrows two distinct shards at once.
+fn two_shards(shards: &mut [Shard], a: usize, b: usize) -> (&mut Shard, &mut Shard) {
+    assert_ne!(a, b, "migration source and target must differ");
+    if a < b {
+        let (left, right) = shards.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = shards.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+/// Aggregate result of one [`Cluster`] run: per-shard [`ServingReport`]s
+/// plus the cluster-plane series (routing decisions, migration traffic,
+/// per-shard KV-residency over time) and global latency aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// The routing policy that drove the run.
+    pub router: RouterKind,
+    /// Number of shards.
+    pub shard_count: usize,
+    /// Virtual-clock ticks the run spanned.
+    pub ticks: u64,
+    /// Requests routed to each shard, indexed by shard.
+    pub routed: Vec<usize>,
+    /// Cross-shard migrations performed.
+    pub migrations: u64,
+    /// KV bytes moved by migrations (counted once per migration; each
+    /// migration pays the transfer on both host links).
+    pub migration_bytes: u64,
+    /// Host-link cycles spent on migration traffic (both directions).
+    pub migration_cycles: u64,
+    /// Per-shard reserved-KV-bytes series, sampled after each executed
+    /// tick, indexed by shard.
+    pub kv_reserved_series: Vec<Vec<u64>>,
+    /// Per-shard serving reports, indexed by shard. Each request's
+    /// record lives in the report of the shard that *accepted* it, even
+    /// if the session later migrated.
+    pub shards: Vec<ServingReport>,
+}
+
+impl ClusterReport {
+    /// Requests that arrived cluster-wide.
+    pub fn submitted(&self) -> usize {
+        self.shards.iter().map(|s| s.submitted).sum()
+    }
+
+    /// Requests admitted cluster-wide.
+    pub fn admitted(&self) -> usize {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Requests completed cluster-wide.
+    pub fn completed(&self) -> usize {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Requests rejected cluster-wide.
+    pub fn rejected(&self) -> usize {
+        self.shards.iter().map(ServingReport::rejected).sum()
+    }
+
+    /// Tokens generated cluster-wide.
+    pub fn generated_tokens(&self) -> u64 {
+        self.shards.iter().flat_map(|s| s.records.iter()).map(|r| r.generated_tokens as u64).sum()
+    }
+
+    /// Global TTFT summary over every completed request on every shard.
+    pub fn ttft(&self) -> Option<LatencySummary> {
+        LatencySummary::of(
+            self.shards.iter().flat_map(|s| s.records.iter()).filter_map(|r| r.ttft()).collect(),
+        )
+    }
+
+    /// Global end-to-end latency summary over every completed request.
+    pub fn e2e(&self) -> Option<LatencySummary> {
+        LatencySummary::of(
+            self.shards.iter().flat_map(|s| s.records.iter()).filter_map(|r| r.e2e()).collect(),
+        )
+    }
+
+    /// Cluster-wide prefix-cache hits.
+    pub fn prefix_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.prefix.hits).sum()
+    }
+
+    /// Cluster-wide prefix-cache lookups.
+    pub fn prefix_lookups(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.prefix.hits + s.engine.prefix.misses).sum()
+    }
+
+    /// Cluster-wide prefix-cache hit rate in `[0, 1]` (0 with the cache
+    /// disabled). This is the number [`RouterKind::PrefixAffinity`]
+    /// exists to raise: routing prefix-sharing prompts to one shard
+    /// turns round-robin's cold misses into hits.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let lookups = self.prefix_lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.prefix_hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Largest per-shard reserved-KV peak, in bytes.
+    pub fn kv_reserved_peak_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.kv_reserved_peak_bytes).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster report: {} shards, {} router, {} ticks",
+            self.shard_count, self.router, self.ticks
+        )?;
+        writeln!(
+            f,
+            "  submitted / completed  : {} / {} ({} admitted, {} rejected)",
+            self.submitted(),
+            self.completed(),
+            self.admitted(),
+            self.rejected()
+        )?;
+        let routed: Vec<String> =
+            self.routed.iter().enumerate().map(|(i, n)| format!("shard {i}: {n}")).collect();
+        writeln!(f, "  routed                 : {}", routed.join(", "))?;
+        writeln!(
+            f,
+            "  migrations             : {} ({} B, {} link cycles)",
+            self.migrations, self.migration_bytes, self.migration_cycles
+        )?;
+        if self.prefix_lookups() > 0 {
+            writeln!(
+                f,
+                "  prefix cache           : {} hits / {} lookups ({:.0}% hit rate)",
+                self.prefix_hits(),
+                self.prefix_lookups(),
+                100.0 * self.prefix_hit_rate()
+            )?;
+        }
+        writeln!(f, "  latency (ticks)        : {:>8} {:>8} {:>8} {:>8}", "p50", "p95", "p99", "max")?;
+        let mut row = |name: &str, summary: Option<LatencySummary>| match summary {
+            Some(s) => writeln!(f, "    {:<21}: {:>8} {:>8} {:>8} {:>8}", name, s.p50, s.p95, s.p99, s.max),
+            None => writeln!(f, "    {name:<21}: (no completed requests)"),
+        };
+        row("ttft", self.ttft())?;
+        row("e2e", self.e2e())?;
+        for shard in &self.shards {
+            writeln!(
+                f,
+                "  shard {:<2}               : {} submitted, {} completed, {} rejected, {} preemptions, peak {} B of {} B",
+                shard.shard_id,
+                shard.submitted,
+                shard.completed,
+                shard.rejected(),
+                shard.preemptions,
+                shard.kv_reserved_peak_bytes,
+                shard.capacity_bytes
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -50,6 +50,17 @@
 //!   percentiles, time-per-output-token, queue depth over time, and
 //!   preemption/rejection/swap accounting (including ticks spent waiting
 //!   on swap-ins).
+//! * [`Cluster`] — the multi-engine deployment: N [`Shard`]s (each the
+//!   full single-server stack above) behind one [`RouterPolicy`]
+//!   ([`RouterKind`]: round-robin, least-loaded, prefix-affinity) on one
+//!   virtual clock, with opt-in cross-shard session migration
+//!   ([`MigrationConfig`]) costed through both shards' host links. One
+//!   shared [`Workload`] samples requests centrally in arrival order, so
+//!   routing can never perturb the RNG stream; a 1-shard round-robin
+//!   cluster is bit-identical to [`Server`]. The run yields a
+//!   [`ClusterReport`]: per-shard [`ServingReport`]s plus routing
+//!   counts, migration traffic, per-shard KV-residency series, and
+//!   global latency aggregates.
 //!
 //! ## Example
 //!
@@ -73,15 +84,21 @@
 //! ```
 
 pub mod admission;
+pub mod cluster;
 pub mod report;
+pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, MigrationConfig};
 pub use report::{LatencySummary, RequestRecord, ServingReport};
+pub use router::{ParseRouterKindError, RouterKind, RouterPolicy, ShardView};
 pub use scheduler::{
     ParseSchedKindError, QueuedView, RunningView, SchedKind, SchedulerPolicy, MAX_PREEMPTIONS,
 };
 pub use server::{Server, ServerConfig};
+pub use shard::Shard;
 pub use workload::{ArrivalKind, ParseArrivalKindError, RequestMix, ServingRequest, Workload};

@@ -92,6 +92,11 @@ impl LatencySummary {
 /// Aggregate result of one [`crate::Server`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
+    /// Which shard produced this report: `0` for a standalone
+    /// [`crate::Server`], the shard's index within a [`crate::Cluster`]
+    /// otherwise — so multi-shard output (queue-depth series, per-shard
+    /// latency lines) stays attributable after reports are collected.
+    pub shard_id: usize,
     /// The arrival process that drove the run.
     pub arrival: ArrivalKind,
     /// The scheduling policy.
@@ -207,8 +212,8 @@ impl std::fmt::Display for ServingReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "serving report: {} submitted over {} ticks ({} decode), {} arrivals, {} scheduler",
-            self.submitted, self.ticks, self.decode_ticks, self.arrival, self.sched
+            "serving report [shard {}]: {} submitted over {} ticks ({} decode), {} arrivals, {} scheduler",
+            self.shard_id, self.submitted, self.ticks, self.decode_ticks, self.arrival, self.sched
         )?;
         writeln!(
             f,

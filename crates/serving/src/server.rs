@@ -44,17 +44,23 @@
 //! Idle spans with no queued work fast-forward the clock to the next
 //! arrival (and the cycle counter to the next swap-in completion), so
 //! sparse workloads cost nothing to simulate.
+//!
+//! All the machinery above lives in one [`Shard`] — the server is the
+//! degenerate 1-shard deployment: it owns the [`Workload`] and the
+//! virtual clock and drives its single shard through the exact sequence a
+//! [`crate::Cluster`] drives each of its shards through. A 1-shard
+//! cluster with round-robin routing therefore produces a bit-identical
+//! [`ServingReport`] (pinned by the `cluster_stack` integration tests).
 
-use std::collections::VecDeque;
-
-use veda::{Engine, Request, Session, TokenEvent};
+use veda::Engine;
 use veda_eviction::BudgetController;
-use veda_mem::{HostLink, HostLinkConfig, SwapDirection};
+use veda_mem::HostLinkConfig;
 
-use crate::admission::{AdmissionConfig, AdmissionController};
-use crate::report::{RequestRecord, ServingReport};
-use crate::scheduler::{QueuedView, RunningView, SchedKind, SchedulerPolicy};
-use crate::workload::{ServingRequest, Workload};
+use crate::admission::AdmissionConfig;
+use crate::report::ServingReport;
+use crate::scheduler::SchedKind;
+use crate::shard::Shard;
+use crate::workload::Workload;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -86,68 +92,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// A request waiting for admission.
-#[derive(Debug)]
-struct QueuedEntry {
-    record: usize,
-    request: Request,
-    priority: u8,
-    est_bytes: u64,
-}
-
-/// An admitted session — in the `running` set it is prefilling/decoding,
-/// in the `paused` set its KV state lives on the host until resumed, in
-/// the `swapping` set its KV state is in flight back over the host link.
-#[derive(Debug)]
-struct SessionEntry {
-    record: usize,
-    session: Session,
-    priority: u8,
-    est_bytes: u64,
-    /// Current resident-token cap (tracked for budget shrinking).
-    cap: usize,
-}
-
-/// A preempted session whose KV state is moving back over the host link;
-/// it rejoins the batch once the engine's cycle clock reaches `ready_at`.
-#[derive(Debug)]
-struct SwapInEntry {
-    entry: SessionEntry,
-    /// Engine-cycle timestamp at which the swap-in transfer completes.
-    ready_at: u64,
-}
-
-/// The serving loop (see the [module docs](self)).
+/// The serving loop (see the [module docs](self)): one [`Shard`] driven
+/// by the workload's arrival stream on a virtual clock.
 pub struct Server {
-    engine: Engine,
+    shard: Shard,
     workload: Workload,
-    admission: AdmissionController,
-    policy: Box<dyn SchedulerPolicy>,
-    link: HostLink,
-    shrink: Option<BudgetController>,
     max_ticks: u64,
-    kv_bytes_per_token: u64,
     now: u64,
-    /// Engine cycles elapsed so far (sum of executed tick batch cycles) —
-    /// the clock swap-in completions are timed against.
-    elapsed_cycles: u64,
-    queue: VecDeque<QueuedEntry>,
-    running: Vec<SessionEntry>,
-    paused: Vec<SessionEntry>,
-    swapping: Vec<SwapInEntry>,
-    records: Vec<RequestRecord>,
-    queue_depth: Vec<usize>,
-    admitted: usize,
-    rejected_never_fits: usize,
-    rejected_queue_full: usize,
-    rejected_invalid: usize,
-    preemptions: u64,
-    resumes: u64,
-    swap_wait_ticks: u64,
-    budget_shrinks: u64,
-    decode_ticks: u64,
-    kv_resident_peak: u64,
-    kv_reserved_peak: u64,
 }
 
 impl Server {
@@ -157,39 +108,11 @@ impl Server {
     ///
     /// Panics if the engine already has in-flight sessions.
     pub fn new(engine: Engine, workload: Workload, config: ServerConfig) -> Self {
-        assert!(
-            engine.active_sessions() == 0 && engine.paused_sessions() == 0,
-            "server requires an idle engine"
-        );
-        let kv_bytes_per_token = engine.kv_bytes_per_token();
         Self {
-            engine,
+            shard: Shard::new(0, engine, config.admission, config.host_link, config.sched, config.shrink),
             workload,
-            admission: AdmissionController::new(config.admission),
-            policy: config.sched.build(),
-            link: HostLink::new(config.host_link),
-            shrink: config.shrink,
             max_ticks: config.max_ticks,
-            kv_bytes_per_token,
             now: 0,
-            elapsed_cycles: 0,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            paused: Vec::new(),
-            swapping: Vec::new(),
-            records: Vec::new(),
-            queue_depth: Vec::new(),
-            admitted: 0,
-            rejected_never_fits: 0,
-            rejected_queue_full: 0,
-            rejected_invalid: 0,
-            preemptions: 0,
-            resumes: 0,
-            swap_wait_ticks: 0,
-            budget_shrinks: 0,
-            decode_ticks: 0,
-            kv_resident_peak: 0,
-            kv_reserved_peak: 0,
         }
     }
 
@@ -200,38 +123,38 @@ impl Server {
 
     /// The wrapped engine.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.shard.engine()
     }
 
     /// Requests that have arrived so far.
     pub fn submitted(&self) -> usize {
-        self.records.len()
+        self.shard.submitted()
     }
 
     /// Requests finished so far.
     pub fn completed(&self) -> usize {
-        self.records.iter().filter(|r| r.finished.is_some()).count()
+        self.shard.completed()
     }
 
     /// Requests rejected so far.
     pub fn rejected(&self) -> usize {
-        self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
+        self.shard.rejected()
     }
 
     /// Requests currently queued, prefilling/decoding, preempted, or
     /// swapping back in.
     pub fn in_flight(&self) -> usize {
-        self.queue.len() + self.running.len() + self.paused.len() + self.swapping.len()
+        self.shard.in_flight()
     }
 
     /// KV bytes currently reserved by admission control.
     pub fn reserved_bytes(&self) -> u64 {
-        self.admission.reserved_bytes()
+        self.shard.reserved_bytes()
     }
 
     /// The configured device KV capacity.
     pub fn capacity_bytes(&self) -> u64 {
-        self.admission.config().capacity_bytes
+        self.shard.capacity_bytes()
     }
 
     /// Whether all work (arrived and future) is finished.
@@ -242,37 +165,12 @@ impl Server {
     /// Executes one virtual-clock tick (see the [module docs](self)).
     pub fn tick(&mut self) {
         for arrival in self.workload.take_arrivals(self.now) {
-            self.accept(arrival);
+            let global = self.shard.submitted();
+            self.shard.accept(arrival, global, self.now, &mut self.workload);
         }
-        self.complete_swap_ins();
-        self.start_swap_ins();
-        self.admit_from_queue();
-
-        let mut stepped_cycles = 0;
-        if self.engine.active_sessions() > 0 {
-            let tick = self.engine.step();
-            self.decode_ticks += 1;
-            stepped_cycles = tick.batch_cycles;
-            // Device-resident KV = session-owned bytes plus the prefix
-            // cache's entries (each counted once).
-            self.kv_resident_peak =
-                self.kv_resident_peak.max(tick.kv_bytes_resident + self.engine.prefix_cache_bytes());
-            for event in &tick.events {
-                self.observe(event);
-            }
-            self.apply_pressure();
-        }
-        self.elapsed_cycles += stepped_cycles;
-        self.swap_wait_ticks += self.swapping.len() as u64;
-        if stepped_cycles == 0 && !self.swapping.is_empty() {
-            // Nothing decoded this tick but swap-ins are in flight:
-            // fast-forward the cycle clock to the earliest completion so
-            // the run cannot stall on an otherwise idle engine.
-            let earliest = self.swapping.iter().map(|s| s.ready_at).min().expect("non-empty");
-            self.elapsed_cycles = self.elapsed_cycles.max(earliest);
-        }
-        self.kv_reserved_peak = self.kv_reserved_peak.max(self.admission.reserved_bytes());
-        self.queue_depth.push(self.queue.len());
+        self.shard.begin_tick(self.now);
+        self.shard.step_engine(self.now, &mut self.workload);
+        debug_assert!(self.shard.outbox.is_empty(), "a standalone server has no foreign records");
 
         self.now += 1;
         // Fast-forward idle spans to the next arrival.
@@ -289,295 +187,8 @@ impl Server {
         while !self.is_done() && self.now < self.max_ticks {
             self.tick();
         }
-        self.into_report()
-    }
-
-    /// Checks a request is one the engine will accept (trace workloads
-    /// may carry arbitrary requests; generated mixes always pass).
-    fn validate(&self, request: &Request) -> Result<(), crate::admission::RejectReason> {
-        let vocab = self.engine.model_config().vocab_size;
-        let ok = !request.prompt.is_empty()
-            && request.max_new_tokens > 0
-            && request.prompt.iter().all(|&t| t < vocab)
-            && request.budget.validate().is_ok();
-        if ok {
-            Ok(())
-        } else {
-            Err(crate::admission::RejectReason::Invalid)
-        }
-    }
-
-    /// HBM bytes the engine's prefix cache itself keeps resident (each
-    /// entry counted once). Subtracted from admission headroom so cached
-    /// prefixes are never free capacity (see `veda_serving::admission`).
-    fn prefix_overhead(&self) -> u64 {
-        self.engine.prefix_cache_bytes()
-    }
-
-    /// Screens one arrival into the queue or a rejection record. A prompt
-    /// with a known shared prefix reserves only its *unshared* peak bytes
-    /// — the shared span stays resident in the engine's prefix cache —
-    /// provided the discount is sound for this request: the match can
-    /// only grow between this estimate and the actual submit (entries
-    /// are insert-only), only requests that can never evict
-    /// ([`veda::Request::never_evicts`]) qualify (an eviction inside the
-    /// shared span would privatize it and push the session past a
-    /// discounted reservation), and budget shrinking must be off —
-    /// [`veda::Engine::tighten_budget`] can force even an
-    /// unbounded-budget session to evict, retroactively breaking the
-    /// never-evicts promise.
-    fn accept(&mut self, arrival: ServingRequest) {
-        let ServingRequest { request, priority } = arrival;
-        let index = self.records.len();
-        let discount_sound = request.never_evicts() && self.shrink.is_none();
-        let shared_tokens = if discount_sound { self.engine.prefix_match_len(&request.prompt) } else { 0 };
-        let est_bytes =
-            AdmissionController::estimate_unshared_bytes(&request, shared_tokens, self.kv_bytes_per_token);
-        let mut record = RequestRecord {
-            arrival: index,
-            session: None,
-            priority,
-            submitted: self.now,
-            admitted: None,
-            first_token: None,
-            finished: None,
-            generated_tokens: 0,
-            preemptions: 0,
-            rejected: None,
-        };
-        let screened =
-            self.validate(&request).and_then(|()| self.admission.screen(est_bytes, self.queue.len()));
-        match screened {
-            Ok(()) => {
-                self.queue.push_back(QueuedEntry { record: index, request, priority, est_bytes });
-            }
-            Err(reason) => {
-                record.rejected = Some(reason);
-                match reason {
-                    crate::admission::RejectReason::NeverFits => self.rejected_never_fits += 1,
-                    crate::admission::RejectReason::QueueFull => self.rejected_queue_full += 1,
-                    crate::admission::RejectReason::Invalid => self.rejected_invalid += 1,
-                }
-                // A rejection disposes of the request: without this, a
-                // closed-loop user whose request was rejected would never
-                // submit again and the run could not drain.
-                self.workload.notify_completion(self.now);
-            }
-        }
-        self.records.push(record);
-    }
-
-    /// Re-admits swapped-in sessions whose host-link transfer has
-    /// completed (its cycles have elapsed on the engine clock), oldest
-    /// swap first. The session's bytes were re-reserved and the transfer
-    /// charged when the swap *started* ([`Server::start_swap_ins`]); this
-    /// is where the latency finally releases the session into the batch.
-    fn complete_swap_ins(&mut self) {
-        let mut i = 0;
-        while i < self.swapping.len() {
-            if self.swapping[i].ready_at <= self.elapsed_cycles {
-                let SwapInEntry { entry, .. } = self.swapping.remove(i);
-                self.engine.resume(entry.session).expect("swapping entry tracks the engine");
-                self.running.push(entry);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Starts swapping preempted sessions back in while their
-    /// reservations fit, oldest preemption first. The reservation is
-    /// taken and the host-link transfer charged immediately (the space
-    /// must be held for the DMA), but the session only rejoins the batch
-    /// once the transfer's cycles have elapsed — swap latency is
-    /// serialized into the clock, not instantaneous.
-    fn start_swap_ins(&mut self) {
-        let mut i = 0;
-        while i < self.paused.len() {
-            if self.admission.would_fit(self.paused[i].est_bytes.saturating_add(self.prefix_overhead())) {
-                let entry = self.paused.remove(i);
-                let bytes =
-                    self.engine.session_kv_bytes(entry.session).expect("paused entry tracks the engine");
-                let cycles = self.link.transfer(bytes, SwapDirection::In);
-                self.admission.reserve(entry.est_bytes);
-                self.resumes += 1;
-                self.swapping.push(SwapInEntry { entry, ready_at: self.elapsed_cycles + cycles });
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    fn queued_view(&self, entry: &QueuedEntry) -> QueuedView {
-        QueuedView {
-            arrival: entry.record,
-            submitted: self.records[entry.record].submitted,
-            priority: entry.priority,
-            total_tokens: entry.request.max_new_tokens,
-            est_bytes: entry.est_bytes,
-        }
-    }
-
-    fn running_views(&self) -> Vec<RunningView> {
-        self.running
-            .iter()
-            .map(|entry| RunningView {
-                arrival: entry.record,
-                priority: entry.priority,
-                remaining_tokens: self
-                    .engine
-                    .session_remaining_tokens(entry.session)
-                    .expect("running entry tracks the engine"),
-                est_bytes: entry.est_bytes,
-                preemptions: self.records[entry.record].preemptions,
-            })
-            .collect()
-    }
-
-    /// Admits scheduler-ordered candidates until one does not fit (even
-    /// after any preemption the policy offers).
-    fn admit_from_queue(&mut self) {
-        while !self.queue.is_empty() {
-            let views: Vec<QueuedView> = self.queue.iter().map(|e| self.queued_view(e)).collect();
-            let Some(pick) = self.policy.next_candidate(&views) else { break };
-            let incoming = views[pick];
-            // Admission must fit the reservation *and* the prefix cache's
-            // own resident bytes inside capacity.
-            let needed = incoming.est_bytes.saturating_add(self.prefix_overhead());
-            while !self.admission.would_fit(needed) {
-                let victims = self.running_views();
-                let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
-                self.preempt(victim);
-            }
-            if !self.admission.would_fit(needed) {
-                break;
-            }
-            let entry = self.queue.remove(pick).expect("pick indexes the queue");
-            self.policy.on_admitted(&incoming);
-            self.admit(entry);
-        }
-    }
-
-    /// Pauses the running session at `index` and swaps its KV state out.
-    fn preempt(&mut self, index: usize) {
-        let entry = self.running.remove(index);
-        let bytes = self.engine.pause(entry.session).expect("running entry tracks the engine");
-        self.link.transfer(bytes, SwapDirection::Out);
-        self.admission.release(entry.est_bytes);
-        self.records[entry.record].preemptions += 1;
-        self.preemptions += 1;
-        self.paused.push(entry);
-    }
-
-    /// Submits a queued request into the engine. The engine only
-    /// validates, reserves KV and enqueues the session in its
-    /// `Prefilling` phase; with a finite
-    /// [`veda::EngineBuilder::prefill_chunk`] the prompt is consumed by
-    /// subsequent on-clock ticks (instant prefill consumes it here,
-    /// synchronously, as the pre-chunking stack did).
-    fn admit(&mut self, entry: QueuedEntry) {
-        let prompt_len = entry.request.prompt.len();
-        let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
-        let cap = entry.request.budget.resolve(prompt_len).min(peak_tokens);
-        let session = self.engine.submit(entry.request).expect("accept() validated the request");
-        self.admission.reserve(entry.est_bytes);
-        self.admitted += 1;
-        let record = &mut self.records[entry.record];
-        record.session = Some(session);
-        record.admitted = Some(self.now);
-        debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
-        self.running.push(SessionEntry {
-            record: entry.record,
-            session,
-            priority: entry.priority,
-            est_bytes: entry.est_bytes,
-            cap,
-        });
-    }
-
-    /// Applies one session's tick event to its record. Prefill progress
-    /// only moves the clock (the record's first-token tick stays unset —
-    /// that is exactly what makes TTFT real under chunked prefill);
-    /// generated tokens update the record, and completions release their
-    /// reservation and notify closed-loop workloads.
-    fn observe(&mut self, event: &TokenEvent) {
-        let TokenEvent::Generated { session, finished, .. } = *event else {
-            return;
-        };
-        let index = self
-            .running
-            .iter()
-            .position(|r| r.session == session)
-            .expect("every stepped session has a running entry");
-        let record = &mut self.records[self.running[index].record];
-        record.generated_tokens += 1;
-        if record.first_token.is_none() {
-            record.first_token = Some(self.now);
-        }
-        if finished {
-            record.finished = Some(self.now);
-            let entry = self.running.remove(index);
-            self.admission.release(entry.est_bytes);
-            self.workload.notify_completion(self.now);
-        }
-    }
-
-    /// Budget-shrink pressure response (opt-in, see [`ServerConfig`]).
-    fn apply_pressure(&mut self) {
-        let Some(controller) = self.shrink else { return };
-        let resident = self.engine.kv_bytes_active();
-        let factor = controller.shrink_factor(resident, self.capacity_bytes());
-        if factor >= 1.0 {
-            return;
-        }
-        for entry in &mut self.running {
-            let new_cap = controller.shrunk_cap(entry.cap, factor);
-            if new_cap < entry.cap {
-                self.engine.tighten_budget(entry.session, new_cap);
-                entry.cap = new_cap;
-                self.budget_shrinks += 1;
-            }
-        }
-    }
-
-    /// Drains the engine and assembles the report.
-    fn into_report(mut self) -> ServingReport {
-        // Safety valve: a truncated run still drains the engine so the
-        // batched accounting is complete and well-formed.
-        let swapping: Vec<SwapInEntry> = std::mem::take(&mut self.swapping);
-        for swap in swapping {
-            self.engine.resume(swap.entry.session).expect("swapping entry tracks the engine");
-        }
-        let paused: Vec<SessionEntry> = std::mem::take(&mut self.paused);
-        for entry in paused {
-            self.engine.resume(entry.session).expect("paused entry tracks the engine");
-        }
-        let engine = self.engine.run_to_completion();
-        ServingReport {
-            arrival: self.workload.kind(),
-            sched: self.policy.kind(),
-            ticks: self.now,
-            decode_ticks: self.decode_ticks,
-            submitted: self.records.len(),
-            admitted: self.admitted,
-            completed: self.records.iter().filter(|r| r.finished.is_some()).count(),
-            rejected_never_fits: self.rejected_never_fits,
-            rejected_queue_full: self.rejected_queue_full,
-            rejected_invalid: self.rejected_invalid,
-            preemptions: self.preemptions,
-            resumes: self.resumes,
-            swap_out_bytes: self.link.bytes(SwapDirection::Out),
-            swap_in_bytes: self.link.bytes(SwapDirection::In),
-            swap_cycles: self.link.total_cycles(),
-            swap_wait_ticks: self.swap_wait_ticks,
-            budget_shrinks: self.budget_shrinks,
-            queue_depth: self.queue_depth,
-            kv_resident_peak_bytes: self.kv_resident_peak,
-            kv_reserved_peak_bytes: self.kv_reserved_peak,
-            capacity_bytes: self.admission.config().capacity_bytes,
-            records: self.records,
-            engine,
-        }
+        let arrival = self.workload.kind();
+        self.shard.into_report(arrival, self.now)
     }
 }
 
@@ -585,11 +196,11 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("now", &self.now)
-            .field("queued", &self.queue.len())
-            .field("running", &self.running.len())
-            .field("paused", &self.paused.len())
-            .field("swapping", &self.swapping.len())
-            .field("records", &self.records.len())
+            .field("queued", &self.shard.queue.len())
+            .field("running", &self.shard.running.len())
+            .field("paused", &self.shard.paused.len())
+            .field("swapping", &self.shard.swapping.len())
+            .field("records", &self.shard.records.len())
             .finish()
     }
 }

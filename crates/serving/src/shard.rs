@@ -1,0 +1,665 @@
+//! One serving shard: a full [`Engine`] + [`AdmissionController`] +
+//! queue/swap machinery, factored out of [`crate::Server`] so the same
+//! code path drives both a standalone server and every member of a
+//! [`crate::Cluster`].
+//!
+//! A shard owns everything below the arrival stream: screening, the wait
+//! queue, scheduler-driven admission, preemption and swap-in
+//! serialization over its private [`HostLink`], pressure response, and
+//! per-request record keeping. What it does *not* own is the virtual
+//! clock and the [`Workload`] — those belong to the layer above (a
+//! [`crate::Server`] with one shard, or a [`crate::Cluster`] stepping N
+//! shards on one clock), which drives the shard through the
+//! crate-internal `accept` → `begin_tick` → `step_engine` sequence
+//! each tick. Because the standalone server *is* a 1-shard cluster
+//! running this exact code, the two are bit-identical by construction —
+//! the determinism pin the cluster tests assert.
+//!
+//! ## Migrated-in sessions and foreign records
+//!
+//! Cross-shard migration hands a live session to another shard while its
+//! [`RequestRecord`] stays on the shard that accepted the arrival (the
+//! *home* shard — reports stay in arrival order, attributable to the
+//! routing decision). The hosting shard tracks such sessions with a
+//! crate-internal `RecordRef::Foreign` reference and queues record updates (tokens,
+//! completion, preemptions) into an outbox instead of writing them
+//! directly; the cluster drains every outbox after stepping all shards,
+//! in shard order, so record state is deterministic and never torn
+//! mid-tick. A standalone server never produces foreign entries.
+
+use std::collections::VecDeque;
+
+use veda::{Engine, Request, Session, TokenEvent};
+use veda_eviction::BudgetController;
+use veda_mem::{HostLink, HostLinkConfig, SwapDirection, TransferKind};
+
+use crate::admission::{AdmissionConfig, AdmissionController, RejectReason};
+use crate::report::{RequestRecord, ServingReport};
+use crate::scheduler::{QueuedView, RunningView, SchedKind, SchedulerPolicy};
+use crate::workload::{ArrivalKind, ServingRequest, Workload};
+
+/// Which [`RequestRecord`] an in-flight session reports into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordRef {
+    /// Index into this shard's own records (the common case).
+    Local(usize),
+    /// A migrated-in session: the record lives on its home shard.
+    Foreign {
+        /// The home shard's index within the cluster.
+        shard: usize,
+        /// Index into the home shard's records.
+        index: usize,
+    },
+}
+
+/// A deferred update to a foreign (home-shard) record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordDelta {
+    /// One generated token at tick `now`; `finished` marks the last.
+    Token { now: u64, finished: bool },
+    /// The session was preempted on its hosting shard.
+    Preempted,
+}
+
+/// An outbox item: apply `delta` to record `index` on shard `shard`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ForeignUpdate {
+    pub(crate) shard: usize,
+    pub(crate) index: usize,
+    pub(crate) delta: RecordDelta,
+}
+
+/// A request waiting for admission. Queue entries are always local —
+/// migration moves only admitted sessions.
+#[derive(Debug)]
+pub(crate) struct QueuedEntry {
+    pub(crate) record: usize,
+    pub(crate) request: Request,
+    pub(crate) priority: u8,
+    /// Reserved peak KV bytes (shared-prefix discounted when sound).
+    pub(crate) est_bytes: u64,
+    /// Undiscounted peak KV bytes — what a migration target must
+    /// reserve, since extraction privatizes any shared span.
+    pub(crate) full_bytes: u64,
+}
+
+/// An admitted session — in the `running` set it is prefilling/decoding,
+/// in the `paused` set its KV state lives on the host until resumed, in
+/// the `swapping` set its KV state is in flight back over the host link.
+#[derive(Debug)]
+pub(crate) struct SessionEntry {
+    pub(crate) record: RecordRef,
+    /// Global arrival index (mirrored from the record so foreign entries
+    /// need no cross-shard lookup in scheduler views).
+    pub(crate) arrival: usize,
+    pub(crate) session: Session,
+    pub(crate) priority: u8,
+    pub(crate) est_bytes: u64,
+    pub(crate) full_bytes: u64,
+    /// Preemption count (mirrors the record for the same reason).
+    pub(crate) preemptions: u32,
+    /// Current resident-token cap (tracked for budget shrinking).
+    pub(crate) cap: usize,
+}
+
+/// A session whose KV state is moving in over the host link (swap-in or
+/// migration); it rejoins the batch once the shard's cycle clock reaches
+/// `ready_at`.
+#[derive(Debug)]
+pub(crate) struct SwapInEntry {
+    pub(crate) entry: SessionEntry,
+    /// Engine-cycle timestamp at which the transfer completes.
+    pub(crate) ready_at: u64,
+}
+
+/// One serving shard (see the [module docs](self)). The driving layer
+/// ([`crate::Server`] or [`crate::Cluster`]) calls, per virtual tick:
+/// the crate-internal `accept` for each arrival routed here, then
+/// `begin_tick` (swap-in completion/start + admission), then
+/// `step_engine` (one batched engine tick + accounting).
+pub struct Shard {
+    pub(crate) id: usize,
+    pub(crate) engine: Engine,
+    pub(crate) admission: AdmissionController,
+    pub(crate) policy: Box<dyn SchedulerPolicy>,
+    pub(crate) link: HostLink,
+    pub(crate) shrink: Option<BudgetController>,
+    pub(crate) kv_bytes_per_token: u64,
+    /// Engine cycles elapsed so far (sum of executed tick batch cycles)
+    /// — the clock swap-in completions are timed against.
+    pub(crate) elapsed_cycles: u64,
+    pub(crate) queue: VecDeque<QueuedEntry>,
+    pub(crate) running: Vec<SessionEntry>,
+    pub(crate) paused: Vec<SessionEntry>,
+    pub(crate) swapping: Vec<SwapInEntry>,
+    pub(crate) records: Vec<RequestRecord>,
+    pub(crate) queue_depth: Vec<usize>,
+    /// Deferred updates to foreign (home-shard) records; drained by the
+    /// cluster after every shard has stepped.
+    pub(crate) outbox: Vec<ForeignUpdate>,
+    pub(crate) admitted: usize,
+    pub(crate) rejected_never_fits: usize,
+    pub(crate) rejected_queue_full: usize,
+    pub(crate) rejected_invalid: usize,
+    pub(crate) preemptions: u64,
+    pub(crate) resumes: u64,
+    pub(crate) swap_wait_ticks: u64,
+    pub(crate) budget_shrinks: u64,
+    pub(crate) decode_ticks: u64,
+    pub(crate) kv_resident_peak: u64,
+    pub(crate) kv_reserved_peak: u64,
+}
+
+impl Shard {
+    /// Creates a shard `id` over an idle engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine already has in-flight sessions.
+    pub fn new(
+        id: usize,
+        engine: Engine,
+        admission: AdmissionConfig,
+        host_link: HostLinkConfig,
+        sched: SchedKind,
+        shrink: Option<BudgetController>,
+    ) -> Self {
+        assert!(
+            engine.active_sessions() == 0 && engine.paused_sessions() == 0,
+            "shard requires an idle engine"
+        );
+        let kv_bytes_per_token = engine.kv_bytes_per_token();
+        Self {
+            id,
+            engine,
+            admission: AdmissionController::new(admission),
+            policy: sched.build(),
+            link: HostLink::new(host_link),
+            shrink,
+            kv_bytes_per_token,
+            elapsed_cycles: 0,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            paused: Vec::new(),
+            swapping: Vec::new(),
+            records: Vec::new(),
+            queue_depth: Vec::new(),
+            outbox: Vec::new(),
+            admitted: 0,
+            rejected_never_fits: 0,
+            rejected_queue_full: 0,
+            rejected_invalid: 0,
+            preemptions: 0,
+            resumes: 0,
+            swap_wait_ticks: 0,
+            budget_shrinks: 0,
+            decode_ticks: 0,
+            kv_resident_peak: 0,
+            kv_reserved_peak: 0,
+        }
+    }
+
+    /// This shard's index within its cluster (`0` for a standalone
+    /// server).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Requests routed to this shard so far (records kept here).
+    pub fn submitted(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Requests of this shard's records that finished (including ones
+    /// that finished on another shard after migrating away).
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.finished.is_some()).count()
+    }
+
+    /// Requests rejected by this shard so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
+    }
+
+    /// Sessions currently queued, prefilling/decoding, preempted, or
+    /// swapping in on this shard — including migrated-in sessions whose
+    /// records live elsewhere.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + self.running.len() + self.paused.len() + self.swapping.len()
+    }
+
+    /// Requests currently waiting in this shard's admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// KV bytes currently reserved by this shard's admission control.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.admission.reserved_bytes()
+    }
+
+    /// This shard's configured device KV capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.admission.config().capacity_bytes
+    }
+
+    /// Snapshot for routing: load plus how much of `prompt` this shard's
+    /// prefix cache already holds.
+    pub(crate) fn view(&self, prompt: &[usize]) -> crate::router::ShardView {
+        crate::router::ShardView {
+            shard: self.id,
+            reserved_bytes: self.admission.reserved_bytes(),
+            capacity_bytes: self.admission.config().capacity_bytes,
+            queue_depth: self.queue.len(),
+            running: self.running.len(),
+            prefix_match_tokens: self.engine.prefix_match_len(prompt),
+        }
+    }
+
+    /// Checks a request is one the engine will accept (trace workloads
+    /// may carry arbitrary requests; generated mixes always pass).
+    fn validate(&self, request: &Request) -> Result<(), RejectReason> {
+        let vocab = self.engine.model_config().vocab_size;
+        let ok = !request.prompt.is_empty()
+            && request.max_new_tokens > 0
+            && request.prompt.iter().all(|&t| t < vocab)
+            && request.budget.validate().is_ok();
+        if ok {
+            Ok(())
+        } else {
+            Err(RejectReason::Invalid)
+        }
+    }
+
+    /// HBM bytes the engine's prefix cache itself keeps resident (each
+    /// entry counted once). Subtracted from admission headroom so cached
+    /// prefixes are never free capacity (see `veda_serving::admission`).
+    pub(crate) fn prefix_overhead(&self) -> u64 {
+        self.engine.prefix_cache_bytes()
+    }
+
+    /// Screens one arrival into the queue or a rejection record.
+    /// `global_arrival` is the cluster-wide arrival index (equal to the
+    /// local record index for a standalone server); `workload` is
+    /// notified when a rejection disposes of a closed-loop user's
+    /// request. A prompt with a known shared prefix reserves only its
+    /// *unshared* peak bytes — the shared span stays resident in the
+    /// engine's prefix cache — provided the discount is sound for this
+    /// request: the match can only grow between this estimate and the
+    /// actual submit (entries are insert-only), only requests that can
+    /// never evict ([`veda::Request::never_evicts`]) qualify (an
+    /// eviction inside the shared span would privatize it and push the
+    /// session past a discounted reservation), and budget shrinking must
+    /// be off — [`veda::Engine::tighten_budget`] can force even an
+    /// unbounded-budget session to evict, retroactively breaking the
+    /// never-evicts promise.
+    pub(crate) fn accept(
+        &mut self,
+        arrival: ServingRequest,
+        global_arrival: usize,
+        now: u64,
+        workload: &mut Workload,
+    ) {
+        let ServingRequest { request, priority } = arrival;
+        let index = self.records.len();
+        let discount_sound = request.never_evicts() && self.shrink.is_none();
+        let shared_tokens = if discount_sound { self.engine.prefix_match_len(&request.prompt) } else { 0 };
+        let est_bytes =
+            AdmissionController::estimate_unshared_bytes(&request, shared_tokens, self.kv_bytes_per_token);
+        let full_bytes = AdmissionController::estimate_bytes(&request, self.kv_bytes_per_token);
+        let mut record = RequestRecord {
+            arrival: global_arrival,
+            session: None,
+            priority,
+            submitted: now,
+            admitted: None,
+            first_token: None,
+            finished: None,
+            generated_tokens: 0,
+            preemptions: 0,
+            rejected: None,
+        };
+        let screened =
+            self.validate(&request).and_then(|()| self.admission.screen(est_bytes, self.queue.len()));
+        match screened {
+            Ok(()) => {
+                self.queue.push_back(QueuedEntry { record: index, request, priority, est_bytes, full_bytes });
+            }
+            Err(reason) => {
+                record.rejected = Some(reason);
+                match reason {
+                    RejectReason::NeverFits => self.rejected_never_fits += 1,
+                    RejectReason::QueueFull => self.rejected_queue_full += 1,
+                    RejectReason::Invalid => self.rejected_invalid += 1,
+                }
+                // A rejection disposes of the request: without this, a
+                // closed-loop user whose request was rejected would never
+                // submit again and the run could not drain.
+                workload.notify_completion(now);
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// The pre-step half of one tick: swap-in completions, swap-in
+    /// starts, then scheduler-driven admission (see [`crate::Server`]'s
+    /// module docs for the ordering rationale).
+    pub(crate) fn begin_tick(&mut self, now: u64) {
+        self.complete_swap_ins();
+        self.start_swap_ins();
+        self.admit_from_queue(now);
+    }
+
+    /// The step half of one tick: one batched engine tick (if any
+    /// session is active), event observation, pressure response, and
+    /// cycle/peak/queue-depth accounting.
+    pub(crate) fn step_engine(&mut self, now: u64, workload: &mut Workload) {
+        let mut stepped_cycles = 0;
+        if self.engine.active_sessions() > 0 {
+            let tick = self.engine.step();
+            self.decode_ticks += 1;
+            stepped_cycles = tick.batch_cycles;
+            // Device-resident KV = session-owned bytes plus the prefix
+            // cache's entries (each counted once).
+            self.kv_resident_peak =
+                self.kv_resident_peak.max(tick.kv_bytes_resident + self.engine.prefix_cache_bytes());
+            for event in &tick.events {
+                self.observe(event, now, workload);
+            }
+            self.apply_pressure();
+        }
+        self.elapsed_cycles += stepped_cycles;
+        self.swap_wait_ticks += self.swapping.len() as u64;
+        if stepped_cycles == 0 && !self.swapping.is_empty() {
+            // Nothing decoded this tick but swap-ins are in flight:
+            // fast-forward the cycle clock to the earliest completion so
+            // the run cannot stall on an otherwise idle engine.
+            let earliest = self.swapping.iter().map(|s| s.ready_at).min().expect("non-empty");
+            self.elapsed_cycles = self.elapsed_cycles.max(earliest);
+        }
+        self.kv_reserved_peak = self.kv_reserved_peak.max(self.admission.reserved_bytes());
+        self.queue_depth.push(self.queue.len());
+    }
+
+    /// Takes the queued foreign-record updates (cluster use).
+    pub(crate) fn take_outbox(&mut self) -> Vec<ForeignUpdate> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Applies one deferred update from another shard's outbox to a
+    /// record homed here.
+    pub(crate) fn apply_record_delta(&mut self, index: usize, delta: RecordDelta) {
+        let record = &mut self.records[index];
+        match delta {
+            RecordDelta::Token { now, finished } => {
+                record.generated_tokens += 1;
+                if record.first_token.is_none() {
+                    record.first_token = Some(now);
+                }
+                if finished {
+                    record.finished = Some(now);
+                }
+            }
+            RecordDelta::Preempted => record.preemptions += 1,
+        }
+    }
+
+    /// Re-admits swapped-in sessions whose host-link transfer has
+    /// completed (its cycles have elapsed on the shard's cycle clock),
+    /// oldest swap first. The session's bytes were re-reserved and the
+    /// transfer charged when the swap *started*
+    /// ([`Shard::start_swap_ins`]) or when the migration landed; this is
+    /// where the latency finally releases the session into the batch.
+    fn complete_swap_ins(&mut self) {
+        let mut i = 0;
+        while i < self.swapping.len() {
+            if self.swapping[i].ready_at <= self.elapsed_cycles {
+                let SwapInEntry { entry, .. } = self.swapping.remove(i);
+                self.engine.resume(entry.session).expect("swapping entry tracks the engine");
+                self.running.push(entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Starts swapping preempted sessions back in while their
+    /// reservations fit, oldest preemption first. The reservation is
+    /// taken and the host-link transfer charged immediately (the space
+    /// must be held for the DMA), but the session only rejoins the batch
+    /// once the transfer's cycles have elapsed — swap latency is
+    /// serialized into the clock, not instantaneous.
+    fn start_swap_ins(&mut self) {
+        let mut i = 0;
+        while i < self.paused.len() {
+            if self.admission.would_fit(self.paused[i].est_bytes.saturating_add(self.prefix_overhead())) {
+                let entry = self.paused.remove(i);
+                let bytes =
+                    self.engine.session_kv_bytes(entry.session).expect("paused entry tracks the engine");
+                let cycles = self.link.transfer_tagged(bytes, SwapDirection::In, TransferKind::Swap);
+                self.admission.reserve(entry.est_bytes);
+                self.resumes += 1;
+                self.swapping.push(SwapInEntry { entry, ready_at: self.elapsed_cycles + cycles });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn queued_view(&self, entry: &QueuedEntry) -> QueuedView {
+        let record = &self.records[entry.record];
+        QueuedView {
+            arrival: record.arrival,
+            submitted: record.submitted,
+            priority: entry.priority,
+            total_tokens: entry.request.max_new_tokens,
+            est_bytes: entry.est_bytes,
+        }
+    }
+
+    fn running_views(&self) -> Vec<RunningView> {
+        self.running
+            .iter()
+            .map(|entry| RunningView {
+                arrival: entry.arrival,
+                priority: entry.priority,
+                remaining_tokens: self
+                    .engine
+                    .session_remaining_tokens(entry.session)
+                    .expect("running entry tracks the engine"),
+                est_bytes: entry.est_bytes,
+                preemptions: entry.preemptions,
+            })
+            .collect()
+    }
+
+    /// Admits scheduler-ordered candidates until one does not fit (even
+    /// after any preemption the policy offers).
+    fn admit_from_queue(&mut self, now: u64) {
+        while !self.queue.is_empty() {
+            let views: Vec<QueuedView> = self.queue.iter().map(|e| self.queued_view(e)).collect();
+            let Some(pick) = self.policy.next_candidate(&views) else { break };
+            let incoming = views[pick];
+            // Admission must fit the reservation *and* the prefix cache's
+            // own resident bytes inside capacity.
+            let needed = incoming.est_bytes.saturating_add(self.prefix_overhead());
+            while !self.admission.would_fit(needed) {
+                let victims = self.running_views();
+                let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
+                self.preempt(victim);
+            }
+            if !self.admission.would_fit(needed) {
+                break;
+            }
+            let entry = self.queue.remove(pick).expect("pick indexes the queue");
+            self.policy.on_admitted(&incoming);
+            self.admit(entry, now);
+        }
+    }
+
+    /// Pauses the running session at `index` and swaps its KV state out.
+    fn preempt(&mut self, index: usize) {
+        let mut entry = self.running.remove(index);
+        let bytes = self.engine.pause(entry.session).expect("running entry tracks the engine");
+        self.link.transfer_tagged(bytes, SwapDirection::Out, TransferKind::Swap);
+        self.admission.release(entry.est_bytes);
+        entry.preemptions += 1;
+        match entry.record {
+            RecordRef::Local(r) => self.records[r].preemptions += 1,
+            RecordRef::Foreign { shard, index } => {
+                self.outbox.push(ForeignUpdate { shard, index, delta: RecordDelta::Preempted });
+            }
+        }
+        self.preemptions += 1;
+        self.paused.push(entry);
+    }
+
+    /// Submits a queued request into the engine. The engine only
+    /// validates, reserves KV and enqueues the session in its
+    /// `Prefilling` phase; with a finite
+    /// [`veda::EngineBuilder::prefill_chunk`] the prompt is consumed by
+    /// subsequent on-clock ticks (instant prefill consumes it here,
+    /// synchronously, as the pre-chunking stack did).
+    fn admit(&mut self, entry: QueuedEntry, now: u64) {
+        let prompt_len = entry.request.prompt.len();
+        let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
+        let cap = entry.request.budget.resolve(prompt_len).min(peak_tokens);
+        let session = self.engine.submit(entry.request).expect("accept() validated the request");
+        self.admission.reserve(entry.est_bytes);
+        self.admitted += 1;
+        let record = &mut self.records[entry.record];
+        record.session = Some(session);
+        record.admitted = Some(now);
+        let arrival = record.arrival;
+        debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
+        self.running.push(SessionEntry {
+            record: RecordRef::Local(entry.record),
+            arrival,
+            session,
+            priority: entry.priority,
+            est_bytes: entry.est_bytes,
+            full_bytes: entry.full_bytes,
+            preemptions: 0,
+            cap,
+        });
+    }
+
+    /// Applies one session's tick event to its record (or, for a
+    /// migrated-in session, to the outbox). Prefill progress only moves
+    /// the clock (the record's first-token tick stays unset — that is
+    /// exactly what makes TTFT real under chunked prefill); generated
+    /// tokens update the record, and completions release their
+    /// reservation and notify closed-loop workloads.
+    fn observe(&mut self, event: &TokenEvent, now: u64, workload: &mut Workload) {
+        let TokenEvent::Generated { session, finished, .. } = *event else {
+            return;
+        };
+        let index = self
+            .running
+            .iter()
+            .position(|r| r.session == session)
+            .expect("every stepped session has a running entry");
+        match self.running[index].record {
+            RecordRef::Local(r) => {
+                let record = &mut self.records[r];
+                record.generated_tokens += 1;
+                if record.first_token.is_none() {
+                    record.first_token = Some(now);
+                }
+                if finished {
+                    record.finished = Some(now);
+                }
+            }
+            RecordRef::Foreign { shard, index: r } => {
+                self.outbox.push(ForeignUpdate {
+                    shard,
+                    index: r,
+                    delta: RecordDelta::Token { now, finished },
+                });
+            }
+        }
+        if finished {
+            let entry = self.running.remove(index);
+            self.admission.release(entry.est_bytes);
+            workload.notify_completion(now);
+        }
+    }
+
+    /// Budget-shrink pressure response (opt-in, see
+    /// [`crate::ServerConfig`]).
+    fn apply_pressure(&mut self) {
+        let Some(controller) = self.shrink else { return };
+        let resident = self.engine.kv_bytes_active();
+        let factor = controller.shrink_factor(resident, self.capacity_bytes());
+        if factor >= 1.0 {
+            return;
+        }
+        for entry in &mut self.running {
+            let new_cap = controller.shrunk_cap(entry.cap, factor);
+            if new_cap < entry.cap {
+                self.engine.tighten_budget(entry.session, new_cap);
+                entry.cap = new_cap;
+                self.budget_shrinks += 1;
+            }
+        }
+    }
+
+    /// Drains the engine and assembles this shard's [`ServingReport`].
+    pub(crate) fn into_report(mut self, arrival: ArrivalKind, ticks: u64) -> ServingReport {
+        // Safety valve: a truncated run still drains the engine so the
+        // batched accounting is complete and well-formed.
+        let swapping: Vec<SwapInEntry> = std::mem::take(&mut self.swapping);
+        for swap in swapping {
+            self.engine.resume(swap.entry.session).expect("swapping entry tracks the engine");
+        }
+        let paused: Vec<SessionEntry> = std::mem::take(&mut self.paused);
+        for entry in paused {
+            self.engine.resume(entry.session).expect("paused entry tracks the engine");
+        }
+        let engine = self.engine.run_to_completion();
+        ServingReport {
+            shard_id: self.id,
+            arrival,
+            sched: self.policy.kind(),
+            ticks,
+            decode_ticks: self.decode_ticks,
+            submitted: self.records.len(),
+            admitted: self.admitted,
+            completed: self.records.iter().filter(|r| r.finished.is_some()).count(),
+            rejected_never_fits: self.rejected_never_fits,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_invalid: self.rejected_invalid,
+            preemptions: self.preemptions,
+            resumes: self.resumes,
+            swap_out_bytes: self.link.tagged_bytes(TransferKind::Swap, SwapDirection::Out),
+            swap_in_bytes: self.link.tagged_bytes(TransferKind::Swap, SwapDirection::In),
+            swap_cycles: self.link.kind_total_cycles(TransferKind::Swap),
+            swap_wait_ticks: self.swap_wait_ticks,
+            budget_shrinks: self.budget_shrinks,
+            queue_depth: self.queue_depth,
+            kv_resident_peak_bytes: self.kv_resident_peak,
+            kv_reserved_peak_bytes: self.kv_reserved_peak,
+            capacity_bytes: self.admission.config().capacity_bytes,
+            records: self.records,
+            engine,
+        }
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("queued", &self.queue.len())
+            .field("running", &self.running.len())
+            .field("paused", &self.paused.len())
+            .field("swapping", &self.swapping.len())
+            .field("records", &self.records.len())
+            .finish()
+    }
+}

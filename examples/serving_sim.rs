@@ -9,17 +9,29 @@
 //! queue depth, preemption/rejection counts and swap traffic, next to the
 //! engine's batched throughput report.
 //!
+//! With `--shards N` (N > 1) the same workload instead drives a
+//! [`veda_serving::Cluster`]: N full engines behind one routing plane
+//! (`--router round_robin|least_loaded|prefix_affinity`), stepped on one
+//! virtual clock, with opt-in cross-shard KV migration (`--migrate`).
+//! The run then ends with a `ClusterReport` (routing counts, migration
+//! traffic, global latency aggregates) plus each shard's `ServingReport`.
+//!
 //! ```sh
 //! cargo run --release --example serving_sim -- --arrival poisson --sched fcfs --seed 7
 //! cargo run --release --example serving_sim -- --arrival burst --sched priority --capacity-kb 16
 //! cargo run --release --example serving_sim -- --arrival closed --sched srb --requests 24 --rate 0.8
+//! cargo run --release --example serving_sim -- --shards 4 --router prefix --shared-prefix 24 --prefix-groups 3
+//! cargo run --release --example serving_sim -- --shards 2 --router load --migrate --capacity-kb 16
 //! ```
 
 use veda::{EngineBuilder, PrefixCacheConfig};
 use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
-use veda_serving::{AdmissionConfig, ArrivalKind, RequestMix, SchedKind, Server, ServerConfig, Workload};
+use veda_serving::{
+    AdmissionConfig, ArrivalKind, Cluster, ClusterConfig, MigrationConfig, RequestMix, RouterKind, SchedKind,
+    Server, ServerConfig, Workload,
+};
 
 struct Args {
     seed: u64,
@@ -39,6 +51,12 @@ struct Args {
     shared_prefix: usize,
     /// Distinct shared-prefix groups requests rotate through.
     prefix_groups: usize,
+    /// Engines behind the routing plane; 1 runs the standalone server.
+    shards: usize,
+    /// Routing policy for the multi-shard path.
+    router: RouterKind,
+    /// Enables cross-shard KV migration (multi-shard path only).
+    migrate: bool,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -55,6 +73,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         prefill_chunk: 0,
         shared_prefix: 0,
         prefix_groups: 1,
+        shards: 1,
+        router: RouterKind::RoundRobin,
+        migrate: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +93,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--prefill-chunk" => parsed.prefill_chunk = value()?.parse()?,
             "--shared-prefix" => parsed.shared_prefix = value()?.parse()?,
             "--prefix-groups" => parsed.prefix_groups = value()?.parse()?,
+            "--shards" => parsed.shards = value()?.parse()?,
+            "--router" => parsed.router = value()?.parse()?,
+            "--migrate" => parsed.migrate = true,
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
@@ -80,7 +104,12 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                      \x20                  [--prefill-chunk N]   (0 = instant prefill at admission)\n\
                      \x20                  [--shared-prefix LEN] [--prefix-groups N]\n\
                      \x20                  (LEN > 0 prepends per-group shared prompt prefixes and\n\
-                     \x20                   enables the engine's prefix cache)"
+                     \x20                   enables the engine's prefix cache)\n\
+                     \x20                  [--shards N] [--router round_robin|least_loaded|prefix_affinity]\n\
+                     \x20                  [--migrate]\n\
+                     \x20                  (--shards > 1 runs N engines behind the routing plane;\n\
+                     \x20                   --capacity-kb is then per shard, --migrate enables\n\
+                     \x20                   cross-shard KV migration when a shard runs hot)"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +121,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     }
     if parsed.prefix_groups == 0 {
         return Err("--prefix-groups must be at least 1".into());
+    }
+    if parsed.shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     Ok(parsed)
 }
@@ -129,8 +161,7 @@ fn build_workload(args: &Args) -> Workload {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args()?;
+fn build_engine(args: &Args) -> Result<veda::Engine, veda::BuildError> {
     let mut builder =
         EngineBuilder::new().model(ModelConfig::tiny()).variant(args.variant).decode_threads(args.threads);
     if args.prefill_chunk > 0 {
@@ -147,7 +178,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_bytes: (args.capacity_kb << 10) / 2,
         });
     }
-    let engine = builder.build()?;
+    builder.build()
+}
+
+/// The multi-shard path: N engines behind the routing plane on one clock.
+fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let engines: Vec<veda::Engine> =
+        (0..args.shards).map(|_| build_engine(args)).collect::<Result<_, _>>()?;
+    let kv_per_token = engines[0].kv_bytes_per_token();
+    let workload = build_workload(args);
+    let config = ClusterConfig {
+        shards: args.shards,
+        per_shard_capacity_bytes: args.capacity_kb << 10,
+        router: args.router,
+        sched: args.sched,
+        migration: args.migrate.then(MigrationConfig::default),
+        ..ClusterConfig::default()
+    };
+    println!(
+        "== serving_sim: {} requests over {} shards, {} router{}, {} arrivals (rate {}), {} scheduler ==",
+        args.requests,
+        args.shards,
+        args.router,
+        if args.migrate { " + migration" } else { "" },
+        args.arrival,
+        args.rate,
+        args.sched,
+    );
+    println!(
+        "   seed {}, per-shard KV capacity {} KiB ({} B/token => ~{} resident tokens/shard)\n",
+        args.seed,
+        args.capacity_kb,
+        kv_per_token,
+        (args.capacity_kb << 10) / kv_per_token.max(1)
+    );
+
+    // Stream the first stretch of the virtual clock, then run silently.
+    const SHOWN_TICKS: usize = 24;
+    let mut cluster = Cluster::new(engines, workload, config);
+    println!(
+        "{:<8} {:>9} {:>10} {:>12}  per-shard reserved B",
+        "tick", "in-flight", "completed", "migrations"
+    );
+    let mut shown = 0;
+    while !cluster.is_done() && shown < SHOWN_TICKS {
+        cluster.tick();
+        shown += 1;
+        let reserved: Vec<String> = cluster.shards().iter().map(|s| s.reserved_bytes().to_string()).collect();
+        println!(
+            "{:<8} {:>9} {:>10} {:>12}  [{}]",
+            cluster.now(),
+            cluster.in_flight(),
+            cluster.completed(),
+            cluster.migrations(),
+            reserved.join(", "),
+        );
+    }
+    if !cluster.is_done() {
+        println!("…");
+    }
+    let report = cluster.run();
+
+    println!("\n{}", report);
+    for shard in &report.shards {
+        println!("{}", shard);
+    }
+    println!("(per-shard reports above; each request's record lives on the shard that accepted it)");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()?;
+    if args.shards > 1 {
+        return run_cluster(&args);
+    }
+    let engine = build_engine(&args)?;
     let kv_per_token = engine.kv_bytes_per_token();
     let workload = build_workload(&args);
     let config = ServerConfig {

@@ -5,7 +5,7 @@
 use veda::Budget;
 use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
-use veda_serving::{ArrivalKind, SchedKind};
+use veda_serving::{ArrivalKind, RouterKind, SchedKind};
 
 #[test]
 fn policy_kind_display_roundtrips() {
@@ -38,6 +38,14 @@ fn sched_kind_display_roundtrips() {
     for kind in SchedKind::ALL {
         let text = kind.to_string();
         assert_eq!(text.parse::<SchedKind>().unwrap(), kind, "{text} must parse back");
+    }
+}
+
+#[test]
+fn router_kind_display_roundtrips() {
+    for kind in RouterKind::ALL {
+        let text = kind.to_string();
+        assert_eq!(text.parse::<RouterKind>().unwrap(), kind, "{text} must parse back");
     }
 }
 
