@@ -19,9 +19,10 @@ use veda::{Budget, EngineBuilder, PrefixCacheConfig, PrefixCacheStats, Request, 
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 use veda_serving::{
-    Cluster, ClusterConfig, ClusterReport, MigrationConfig, RequestMix, RouterKind, SchedKind,
-    ServingRequest, Workload,
+    AdmissionConfig, Cluster, ClusterConfig, ClusterReport, MigrationConfig, RequestMix, RouterKind,
+    SchedKind, Server, ServerConfig, ServingRequest, StageSummaries, Workload,
 };
+use veda_telemetry::nearest_rank;
 
 struct Args {
     quick: bool,
@@ -123,11 +124,11 @@ struct PrefillPoint {
     decode_tokens_per_s: f64,
 }
 
-/// Nearest-rank percentile of an unsorted sample set.
+/// Nearest-rank percentile of an unsorted sample set (the same exact
+/// percentile the serving reports use, via `veda_telemetry`).
 fn percentile_us(samples: &mut [u64], q: f64) -> f64 {
     samples.sort_unstable();
-    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
-    samples[rank - 1] as f64
+    nearest_rank(samples, q).expect("probe sets are non-empty") as f64
 }
 
 /// Chunked-prefill interference, measured in virtual time on the tiny
@@ -345,11 +346,46 @@ fn measure_cluster(shards: usize, router: RouterKind, requests: usize) -> Cluste
     ClusterPoint::of(shards, &report)
 }
 
+/// A pressured single-server run for the stage-waterfall reference:
+/// chunked prefill on a tight KV budget with a preemptive scheduler, so
+/// the waterfall's stages (queueing, on-clock prefill, decode, swap
+/// wait) all carry real ticks. Virtual time; deterministic.
+fn measure_server_waterfall(requests: usize) -> Option<StageSummaries> {
+    let engine =
+        EngineBuilder::new().model(ModelConfig::tiny()).prefill_chunk(4).build().expect("valid config");
+    let per_token = engine.kv_bytes_per_token();
+    let workload = Workload::poisson(11, 0.8, requests, RequestMix::default());
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: 96 * per_token, max_queue_depth: 64 },
+        sched: SchedKind::Priority,
+        ..ServerConfig::default()
+    };
+    Server::new(engine, workload, config).run().stages()
+}
+
+/// Renders per-stage p50/p99 rows for a `"stage_waterfall"` JSON array.
+fn stage_waterfall_json(stages: Option<&StageSummaries>) -> String {
+    let mut out = String::new();
+    if let Some(stages) = stages {
+        let rows = stages.rows();
+        for (i, (name, summary)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"p50_ticks\": {}, \"p99_ticks\": {}}}{}\n",
+                name,
+                summary.p50,
+                summary.p99,
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+    }
+    out
+}
+
 /// Migration under deliberate imbalance: size-alternating requests all
 /// arriving at tick 0, round-robin across 2 tight shards with aggressive
 /// thresholds — round-robin piles the large requests onto shard 0, and
 /// migration visibly rebalances (nonzero migrations / bytes in the JSON).
-fn measure_migration_demo() -> ClusterPoint {
+fn measure_migration_demo() -> (ClusterPoint, Option<StageSummaries>) {
     let per_token =
         EngineBuilder::new().model(ModelConfig::tiny()).build().expect("valid config").kv_bytes_per_token();
     let arrivals = (0..6)
@@ -372,7 +408,7 @@ fn measure_migration_demo() -> ClusterPoint {
         ..ClusterConfig::default()
     };
     let report = Cluster::new(engines, Workload::trace(arrivals), config).run();
-    ClusterPoint::of(2, &report)
+    (ClusterPoint::of(2, &report), report.stages())
 }
 
 struct ForwardPoint {
@@ -570,6 +606,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if i + 1 == prefix_lens.len() { "" } else { "," },
         ));
     }
+    prefill_json.push_str("  ],\n");
+
+    // Stage waterfall under pressure: where a pressured request's
+    // end-to-end latency actually goes, stage by stage (virtual time;
+    // deterministic).
+    let waterfall_requests = if args.quick { 24 } else { 48 };
+    let server_stages = measure_server_waterfall(waterfall_requests);
+    println!("\n== stage waterfall ({waterfall_requests} requests, tight KV, priority scheduler) ==");
+    println!("   {:>14} {:>9} {:>9}", "stage", "p50", "p99");
+    if let Some(stages) = &server_stages {
+        for (name, summary) in stages.rows() {
+            println!("   {:>14} {:>9} {:>9}", name, summary.p50, summary.p99);
+        }
+    }
+    prefill_json.push_str(
+        "  \"stage_waterfall_note\": \"per-stage latency split (virtual ticks) of a pressured \
+         single-server run: chunked prefill (chunk 4), 96-token KV budget, priority scheduler; \
+         the five stages sum to each request's end-to-end latency\",\n",
+    );
+    prefill_json.push_str("  \"stage_waterfall\": [\n");
+    prefill_json.push_str(&stage_waterfall_json(server_stages.as_ref()));
     prefill_json.push_str("  ]\n}\n");
     std::fs::write(&args.prefill_json, &prefill_json)?;
     println!("\nwrote {}", args.prefill_json);
@@ -612,7 +669,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cluster_points.push(p);
         }
     }
-    let demo = measure_migration_demo();
+    let (demo, demo_stages) = measure_migration_demo();
     println!(
         "   migration demo: 2 tight shards, round-robin, imbalanced trace → {} migrations, {} bytes",
         demo.migrations, demo.migration_bytes
@@ -650,7 +707,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster_json.push_str("  ],\n");
     cluster_json.push_str("  \"migration_demo\": [\n");
     cluster_json.push_str(&demo.json_row("imbalanced_trace"));
-    cluster_json.push_str("\n  ]\n}\n");
+    cluster_json.push_str("\n  ],\n");
+    cluster_json.push_str(
+        "  \"stage_waterfall_note\": \"per-stage latency split (virtual ticks) of the \
+         migration_demo run — migration_wait is the stage cross-shard transfers add\",\n",
+    );
+    cluster_json.push_str("  \"stage_waterfall\": [\n");
+    cluster_json.push_str(&stage_waterfall_json(demo_stages.as_ref()));
+    cluster_json.push_str("  ]\n}\n");
     std::fs::write(&args.cluster_json, &cluster_json)?;
     println!("wrote {}", args.cluster_json);
 

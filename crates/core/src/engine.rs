@@ -75,6 +75,7 @@ use veda_cost::EnergyModel;
 use veda_eviction::{EvictionPolicy, PolicyKind};
 use veda_mem::HbmConfig;
 use veda_model::{ForwardScratch, ModelConfig, SequenceState, TransformerModel};
+use veda_telemetry::{TraceEventKind, Tracer};
 
 use crate::error::BuildError;
 use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
@@ -677,6 +678,8 @@ impl EngineBuilder {
             batched_energy_mj: 0.0,
             sequential_cycles: 0,
             max_concurrency: 0,
+            tracer: None,
+            next_trace_id: None,
         })
     }
 }
@@ -716,6 +719,12 @@ struct ActiveSession {
     total_cycles: u64,
     total_energy_mj: f64,
     evictions: usize,
+    /// Request id stamped onto trace events. Defaults to the session id;
+    /// serving layers override it with the global arrival index
+    /// ([`Engine::set_next_trace_id`]) so one request keeps one id across
+    /// shards, swaps, and migrations (the id travels with
+    /// [`Engine::extract`]/[`Engine::adopt`]).
+    trace_id: u64,
 }
 
 impl ActiveSession {
@@ -970,6 +979,14 @@ pub struct Engine {
     batched_energy_mj: f64,
     sequential_cycles: u64,
     max_concurrency: usize,
+    /// Observation-only trace emitter (`None` = zero-cost, byte-identical
+    /// to an engine without the telemetry plane). All emission happens on
+    /// the coordinator thread, never inside the decode fan-out, so the
+    /// event stream is deterministic for any thread count.
+    tracer: Option<Tracer>,
+    /// Trace id consumed by the next [`Engine::submit`] (set by serving
+    /// layers just before submitting; see [`ActiveSession::trace_id`]).
+    next_trace_id: Option<u64>,
 }
 
 impl Engine {
@@ -1123,6 +1140,7 @@ impl Engine {
         let idx = self.active.iter().position(|s| s.id == session)?;
         let s = self.active.remove(idx);
         let bytes = s.state.fp16_bytes() as u64;
+        self.trace(s.trace_id, TraceEventKind::Paused);
         self.paused.push(s);
         Some(bytes)
     }
@@ -1135,6 +1153,7 @@ impl Engine {
         let idx = self.paused.iter().position(|s| s.id == session)?;
         let s = self.paused.remove(idx);
         let bytes = s.state.fp16_bytes() as u64;
+        self.trace(s.trace_id, TraceEventKind::Resumed);
         self.active.push(s);
         Some(bytes)
     }
@@ -1161,6 +1180,7 @@ impl Engine {
         let idx = self.paused.iter().position(|s| s.id == session)?;
         let mut s = self.paused.remove(idx);
         s.state.clear_shared_marker();
+        self.trace(s.trace_id, TraceEventKind::Extracted);
         Some(MigratedSession { inner: s, config: self.model.config().clone() })
     }
 
@@ -1193,6 +1213,7 @@ impl Engine {
             s.prefix_obs = None;
         }
         let id = s.id;
+        self.trace(s.trace_id, TraceEventKind::Adopted);
         self.paused.push(s);
         Ok(id)
     }
@@ -1211,6 +1232,46 @@ impl Engine {
         let s = self.active.iter_mut().chain(&mut self.paused).find(|s| s.id == session)?;
         s.resident_cap = s.resident_cap.min(new_cap.max(1));
         Some(s.resident_cap)
+    }
+
+    /// Installs an observation-only trace emitter. Every lifecycle event
+    /// the engine produces from here on — prefill chunks, first tokens,
+    /// decode ticks, pause/resume, extract/adopt, finishes — flows into
+    /// the tracer's sink, stamped with the engine cycle clock and the
+    /// tick set via [`Engine::set_trace_now`]. With no tracer installed
+    /// the engine's behavior and outputs are byte-identical to a build
+    /// without the telemetry plane (determinism invariant #8).
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Updates the virtual tick stamped onto subsequent trace events.
+    /// Serving layers call this once per clock tick; a no-op without a
+    /// tracer.
+    pub fn set_trace_now(&mut self, now: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.set_now(now);
+        }
+    }
+
+    /// Sets the request id the next [`Engine::submit`] stamps onto its
+    /// session's trace events (consumed by that one submit). Without
+    /// this, events carry the engine-local session id.
+    pub fn set_next_trace_id(&mut self, id: u64) {
+        self.next_trace_id = Some(id);
+    }
+
+    /// Emit `kind` for `trace_id` at the current cycle clock (no-op
+    /// without a tracer).
+    fn trace(&self, trace_id: u64, kind: TraceEventKind) {
+        if let Some(t) = &self.tracer {
+            t.emit(self.batched_cycles, trace_id, kind);
+        }
     }
 
     /// Whether `session` has finished (report available).
@@ -1282,6 +1343,7 @@ impl Engine {
             total_cycles: 0,
             total_energy_mj: 0.0,
             evictions: 0,
+            trace_id: self.next_trace_id.take().unwrap_or(self.next_id as u64),
         };
         session.state.reserve(reserve_tokens, self.model.config().d_model);
         self.next_id += 1;
@@ -1315,6 +1377,12 @@ impl Engine {
             let tokens = session.prompt.len() - session.prefilled;
             run_prefill(&self.model, &mut session, tokens);
             self.harvest_prefix(&mut session);
+            if tokens > 0 {
+                self.trace(
+                    session.trace_id,
+                    TraceEventKind::PrefillChunk { tokens: tokens as u32, remaining: 0 },
+                );
+            }
             if session.max_new_tokens == 0 {
                 self.retire(session);
                 return Ok(id);
@@ -1456,6 +1524,12 @@ impl Engine {
             });
         }
 
+        // Charge the tick's batched cost up front so the trace events
+        // emitted from the drain below carry the post-tick cycle clock
+        // (nothing in the drain reads these accumulators).
+        self.batched_cycles += batch_report.total_cycles;
+        self.batched_energy_mj += batch_energy_mj;
+
         // Retire finished sessions (frees their KV state and policies). No
         // user code runs past this point, so draining here is panic-safe.
         let sessions: Vec<ActiveSession> = self.active.drain(..).collect();
@@ -1481,6 +1555,24 @@ impl Engine {
                     }
                 }
             }
+            if self.tracer.is_some() {
+                let kind = match &event {
+                    TokenEvent::Generated { evictions, cache_len, .. } => {
+                        if session.generated.len() == 1 {
+                            TraceEventKind::FirstToken
+                        } else {
+                            TraceEventKind::DecodeTick {
+                                evictions: *evictions as u32,
+                                cache_len: *cache_len as u32,
+                            }
+                        }
+                    }
+                    TokenEvent::PrefillProgress { tokens, remaining, .. } => {
+                        TraceEventKind::PrefillChunk { tokens: *tokens as u32, remaining: *remaining as u32 }
+                    }
+                };
+                self.trace(session.trace_id, kind);
+            }
             let finished = event.finished();
             events.push(event);
             if finished {
@@ -1493,8 +1585,6 @@ impl Engine {
         self.ticks += 1;
         self.tokens_emitted += decode_tokens;
         self.prefill_tokens += prefill_tokens;
-        self.batched_cycles += batch_report.total_cycles;
-        self.batched_energy_mj += batch_energy_mj;
         self.max_concurrency = self.max_concurrency.max(events.len());
 
         EngineTick {
@@ -1566,6 +1656,10 @@ impl Engine {
     /// Finalizes a session into its per-request report and frees its KV
     /// state.
     fn retire(&mut self, mut session: ActiveSession) {
+        self.trace(
+            session.trace_id,
+            TraceEventKind::Finished { generated_tokens: session.generated.len() as u32 },
+        );
         let seconds = session.total_cycles as f64 / (self.arch.clock_ghz * 1e9);
         let report = SimulationReport {
             tokens_per_second: if seconds > 0.0 { session.generated.len() as f64 / seconds } else { 0.0 },

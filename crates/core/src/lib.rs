@@ -202,4 +202,5 @@ pub use veda_cost as cost;
 pub use veda_eviction as eviction;
 pub use veda_mem as mem;
 pub use veda_model as model;
+pub use veda_telemetry as telemetry;
 pub use veda_tensor as tensor;

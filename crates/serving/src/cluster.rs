@@ -41,12 +41,13 @@
 use veda::Engine;
 use veda_eviction::BudgetController;
 use veda_mem::{HostLinkConfig, SwapDirection, TransferKind};
+use veda_telemetry::{MetricsRegistry, SinkHandle, StageWaterfall, TraceEvent, TraceEventKind};
 
 use crate::admission::AdmissionConfig;
-use crate::report::{LatencySummary, ServingReport};
+use crate::report::{LatencySummary, ServingReport, StageSummaries};
 use crate::router::{RouterKind, RouterPolicy};
 use crate::scheduler::SchedKind;
-use crate::shard::{RecordRef, SessionEntry, Shard, SwapInEntry};
+use crate::shard::{RecordRef, SessionEntry, Shard, SwapInEntry, WaitKind};
 use crate::workload::Workload;
 
 /// Opt-in cross-shard migration thresholds.
@@ -95,6 +96,11 @@ pub struct ClusterConfig {
     /// Safety valve: the run stops after this many virtual ticks even if
     /// work remains.
     pub max_ticks: u64,
+    /// Observation-only trace sink, shared by every shard (the exporter
+    /// demuxes shards into separate tracks). `None` (the default) keeps
+    /// the run byte-identical to a build without the telemetry plane —
+    /// see determinism invariant #8.
+    pub trace: Option<SinkHandle>,
 }
 
 impl Default for ClusterConfig {
@@ -110,6 +116,7 @@ impl Default for ClusterConfig {
             shrink: None,
             migration: None,
             max_ticks: 1_000_000,
+            trace: None,
         }
     }
 }
@@ -134,6 +141,9 @@ pub struct Cluster {
     /// Per-shard reserved-KV-bytes series, sampled after each executed
     /// tick.
     reserved_series: Vec<Vec<u64>>,
+    /// Trace sink for cluster-plane events (migration starts); each shard
+    /// holds its own clone for shard-plane events.
+    trace: Option<SinkHandle>,
 }
 
 impl Cluster {
@@ -171,7 +181,12 @@ impl Cluster {
             .into_iter()
             .enumerate()
             .map(|(id, engine)| {
-                Shard::new(id, engine, admission, config.host_link, config.sched, config.shrink)
+                let mut shard =
+                    Shard::new(id, engine, admission, config.host_link, config.sched, config.shrink);
+                if let Some(sink) = &config.trace {
+                    shard.install_trace(sink.clone());
+                }
+                shard
             })
             .collect();
         Self {
@@ -187,6 +202,7 @@ impl Cluster {
             migration_bytes: 0,
             migration_cycles: 0,
             reserved_series: vec![Vec::new(); n],
+            trace: config.trace,
         }
     }
 
@@ -342,15 +358,27 @@ impl Cluster {
         // Extraction privatized any shared-prefix span, so the payload —
         // and the target-side reservation — is the full session state.
         let payload = migrated.kv_bytes();
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent {
+                tick: self.now,
+                cycles: source.elapsed_cycles,
+                shard: src as u32,
+                request: entry.arrival as u64,
+                kind: TraceEventKind::MigrationStart { to_shard: tgt as u32, bytes: payload },
+            });
+        }
         source.admission.release(entry.est_bytes);
         let out_cycles = source.link.transfer_tagged(payload, SwapDirection::Out, TransferKind::Migration);
         let in_cycles = target.link.transfer_tagged(payload, SwapDirection::In, TransferKind::Migration);
         let session = target.engine.adopt(migrated).expect("cluster shards share one model geometry");
         target.admission.reserve(entry.full_bytes);
         // The record stays on its home shard: local entries become
-        // foreign references, already-foreign entries keep pointing home.
+        // foreign references, already-foreign entries keep pointing home —
+        // and a session migrating *back* to its home shard becomes local
+        // again (otherwise it would post outbox updates to itself).
         let record = match entry.record {
             RecordRef::Local(index) => RecordRef::Foreign { shard: src, index },
+            RecordRef::Foreign { shard, index } if shard == tgt => RecordRef::Local(index),
             foreign @ RecordRef::Foreign { .. } => foreign,
         };
         debug_assert!(
@@ -367,6 +395,7 @@ impl Cluster {
                 full_bytes: entry.full_bytes,
                 preemptions: entry.preemptions,
                 cap: entry.cap,
+                wait_since: Some((WaitKind::Migration { from: src }, self.now)),
             },
             ready_at: target.elapsed_cycles + in_cycles,
         });
@@ -491,6 +520,34 @@ impl ClusterReport {
         )
     }
 
+    /// Latency waterfalls of every completed request on every shard.
+    pub fn waterfalls(&self) -> Vec<StageWaterfall> {
+        self.shards.iter().flat_map(ServingReport::waterfalls).collect()
+    }
+
+    /// Pooled per-stage latency summaries over every completed request
+    /// on every shard; `None` on a zero-completion run.
+    pub fn stages(&self) -> Option<StageSummaries> {
+        StageSummaries::of(&self.waterfalls())
+    }
+
+    /// Folds the run into one [`MetricsRegistry`]: every shard's
+    /// registry merged (counters add, histograms merge), plus the
+    /// cluster-plane counters that only exist between shards.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for shard in &self.shards {
+            m.merge(&shard.metrics());
+        }
+        m.counter_add("cluster_migrations", self.migrations);
+        m.counter_add("cluster_migration_bytes", self.migration_bytes);
+        m.counter_add("cluster_migration_link_cycles", self.migration_cycles);
+        for (i, n) in self.routed.iter().enumerate() {
+            m.counter_add(&format!("cluster_routed_shard_{i}"), *n as u64);
+        }
+        m
+    }
+
     /// Cluster-wide prefix-cache hits.
     pub fn prefix_hits(&self) -> u64 {
         self.shards.iter().map(|s| s.engine.prefix.hits).sum()
@@ -559,6 +616,13 @@ impl std::fmt::Display for ClusterReport {
         };
         row("ttft", self.ttft())?;
         row("e2e", self.e2e())?;
+        if let Some(stages) = self.stages() {
+            row("wf queueing", Some(stages.queueing))?;
+            row("wf prefill", Some(stages.prefill))?;
+            row("wf decode", Some(stages.decode))?;
+            row("wf swap wait", Some(stages.swap_wait))?;
+            row("wf migration wait", Some(stages.migration_wait))?;
+        }
         for shard in &self.shards {
             writeln!(
                 f,

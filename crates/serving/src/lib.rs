@@ -61,6 +61,16 @@
 //!   [`ClusterReport`]: per-shard [`ServingReport`]s plus routing
 //!   counts, migration traffic, per-shard KV-residency series, and
 //!   global latency aggregates.
+//! * **Observability** ([`veda_telemetry`], re-exported here) — an
+//!   optional [`TraceSink`] ([`ServerConfig::trace`] /
+//!   [`ClusterConfig::trace`]) receives every request's typed lifecycle
+//!   [`TraceEvent`]s; [`chrome_trace_json`] renders them as a
+//!   Perfetto-loadable Chrome trace, [`ServingReport::stages`] splits
+//!   each request's latency into a [`StageWaterfall`] (stages sum
+//!   exactly to e2e), and [`ServingReport::metrics`] folds a run into a
+//!   deterministic [`MetricsRegistry`]. Observation-only: no sink means
+//!   a byte-identical run, and the trace bytes themselves are
+//!   thread-invariant (determinism invariant #8).
 //!
 //! ## Example
 //!
@@ -94,11 +104,18 @@ pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, MigrationConfig};
-pub use report::{LatencySummary, RequestRecord, ServingReport};
+pub use report::{LatencySummary, RequestRecord, ServingReport, StageSummaries};
+// The observability plane: re-exported so serving callers can wire a
+// sink, export Chrome traces, and read waterfalls without naming the
+// telemetry crate.
 pub use router::{ParseRouterKindError, RouterKind, RouterPolicy, ShardView};
 pub use scheduler::{
     ParseSchedKindError, QueuedView, RunningView, SchedKind, SchedulerPolicy, MAX_PREEMPTIONS,
 };
 pub use server::{Server, ServerConfig};
 pub use shard::Shard;
+pub use veda_telemetry::{
+    chrome_trace_json, MetricsRegistry, RecordingSink, SinkHandle, StageWaterfall, TraceEvent,
+    TraceEventKind, TraceSink,
+};
 pub use workload::{ArrivalKind, ParseArrivalKindError, RequestMix, ServingRequest, Workload};

@@ -1,6 +1,7 @@
 //! Per-request timing records and aggregate serving metrics.
 
 use veda::{EngineReport, Session};
+use veda_telemetry::{summarize, MetricsRegistry, StageWaterfall};
 
 use crate::admission::RejectReason;
 use crate::scheduler::SchedKind;
@@ -27,6 +28,15 @@ pub struct RequestRecord {
     pub generated_tokens: usize,
     /// Times the session was preempted (paused + swapped out).
     pub preemptions: u32,
+    /// Ticks spent swapped out to the host across all preemptions
+    /// (each wait counted from the pause to the rejoin tick).
+    pub swap_wait_ticks: u64,
+    /// Ticks spent in flight between shards across all migrations.
+    pub migration_wait_ticks: u64,
+    /// Of all off-device wait ticks, those that elapsed before the first
+    /// generated token (used to split waits out of the prefill vs decode
+    /// stages in [`RequestRecord::waterfall`]).
+    pub wait_before_first_ticks: u64,
     /// Why the request was rejected, if it was.
     pub rejected: Option<RejectReason>,
 }
@@ -51,13 +61,34 @@ impl RequestRecord {
             None
         }
     }
-}
 
-/// Nearest-rank percentile of a sorted slice. `q` in [0, 1].
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    assert!(!sorted.is_empty(), "percentile of an empty set");
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    /// The completed request's latency waterfall: five disjoint stages
+    /// that sum exactly to [`RequestRecord::e2e`]. `None` until the
+    /// request finishes. Off-device waits are subtracted from whichever
+    /// of prefill / decode they interrupted ("prefill" and "decode" are
+    /// on-device time), using the before/after-first-token split the
+    /// shard accounted at each rejoin.
+    pub fn waterfall(&self) -> Option<StageWaterfall> {
+        let admitted = self.admitted?;
+        let first = self.first_token?;
+        let finished = self.finished?;
+        let before = self.wait_before_first_ticks;
+        let after = (self.swap_wait_ticks + self.migration_wait_ticks).saturating_sub(before);
+        let w = StageWaterfall {
+            queueing: admitted - self.submitted,
+            prefill: (first - admitted).saturating_sub(before),
+            decode: (finished - first).saturating_sub(after),
+            swap_wait: self.swap_wait_ticks,
+            migration_wait: self.migration_wait_ticks,
+        };
+        debug_assert_eq!(
+            w.e2e(),
+            finished - self.submitted,
+            "stage durations must sum to e2e (arrival {})",
+            self.arrival
+        );
+        Some(w)
+    }
 }
 
 /// Latency summary of one metric: p50/p95/p99/max over completed requests.
@@ -75,17 +106,57 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a set of latencies; `None` when the set is empty.
-    pub fn of(mut values: Vec<u64>) -> Option<Self> {
-        if values.is_empty() {
+    /// Routes through [`veda_telemetry::summarize`] — the workspace's
+    /// single nearest-rank percentile implementation, total by
+    /// construction (no caller can panic on a zero-completion run).
+    pub fn of(values: Vec<u64>) -> Option<Self> {
+        let s = summarize(values)?;
+        Some(Self { p50: s.p50, p95: s.p95, p99: s.p99, max: s.max })
+    }
+}
+
+/// Per-stage latency summaries over all completed requests' waterfalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSummaries {
+    /// Queueing stage (submission → admission).
+    pub queueing: LatencySummary,
+    /// On-device prefill stage (admission → first token, waits removed).
+    pub prefill: LatencySummary,
+    /// On-device decode stage (first token → finish, waits removed).
+    pub decode: LatencySummary,
+    /// Swap-wait stage (ticks off-device across preemptions).
+    pub swap_wait: LatencySummary,
+    /// Migration-wait stage (ticks in flight between shards).
+    pub migration_wait: LatencySummary,
+}
+
+impl StageSummaries {
+    /// Summarizes each stage column of `waterfalls`; `None` when empty.
+    pub fn of(waterfalls: &[StageWaterfall]) -> Option<Self> {
+        if waterfalls.is_empty() {
             return None;
         }
-        values.sort_unstable();
+        let col = |pick: fn(&StageWaterfall) -> u64| {
+            LatencySummary::of(waterfalls.iter().map(pick).collect()).expect("non-empty")
+        };
         Some(Self {
-            p50: percentile(&values, 0.50),
-            p95: percentile(&values, 0.95),
-            p99: percentile(&values, 0.99),
-            max: *values.last().expect("non-empty"),
+            queueing: col(|w| w.queueing),
+            prefill: col(|w| w.prefill),
+            decode: col(|w| w.decode),
+            swap_wait: col(|w| w.swap_wait),
+            migration_wait: col(|w| w.migration_wait),
         })
+    }
+
+    /// `(stage name, summary)` rows in waterfall order.
+    pub fn rows(&self) -> [(&'static str, LatencySummary); 5] {
+        [
+            ("queueing", self.queueing),
+            ("prefill", self.prefill),
+            ("decode", self.decode),
+            ("swap_wait", self.swap_wait),
+            ("migration_wait", self.migration_wait),
+        ]
     }
 }
 
@@ -206,6 +277,68 @@ impl ServingReport {
             self.queue_depth.iter().sum::<usize>() as f64 / self.queue_depth.len() as f64
         }
     }
+
+    /// Latency waterfalls of all completed requests, in arrival order.
+    pub fn waterfalls(&self) -> Vec<StageWaterfall> {
+        self.records.iter().filter_map(RequestRecord::waterfall).collect()
+    }
+
+    /// Per-stage latency summaries over completed requests; `None` on a
+    /// zero-completion run.
+    pub fn stages(&self) -> Option<StageSummaries> {
+        StageSummaries::of(&self.waterfalls())
+    }
+
+    /// Folds the run into a [`MetricsRegistry`]: lifecycle counters,
+    /// pressure gauges, and log2-bucket latency histograms (overall and
+    /// per waterfall stage). Deterministic: same report, same registry,
+    /// same [`MetricsRegistry::to_json`] bytes.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("requests_submitted", self.submitted as u64);
+        m.counter_add("requests_admitted", self.admitted as u64);
+        m.counter_add("requests_completed", self.completed as u64);
+        m.counter_add("rejected_never_fits", self.rejected_never_fits as u64);
+        m.counter_add("rejected_queue_full", self.rejected_queue_full as u64);
+        m.counter_add("rejected_invalid", self.rejected_invalid as u64);
+        m.counter_add("preemptions", self.preemptions);
+        m.counter_add("resumes", self.resumes);
+        m.counter_add("swap_out_bytes", self.swap_out_bytes);
+        m.counter_add("swap_in_bytes", self.swap_in_bytes);
+        m.counter_add("swap_link_cycles", self.swap_cycles);
+        m.counter_add("swap_wait_ticks", self.swap_wait_ticks);
+        m.counter_add("budget_shrinks", self.budget_shrinks);
+        m.counter_add("ticks", self.ticks);
+        m.counter_add("decode_ticks", self.decode_ticks);
+        m.counter_add("generated_tokens", self.engine.total_tokens as u64);
+        m.counter_add("prefill_tokens", self.engine.prefill_tokens as u64);
+        m.counter_add("prefix_cache_hits", self.engine.prefix.hits);
+        m.counter_add("prefix_saved_tokens", self.prefix_saved_tokens());
+        m.counter_add("kv_resident_peak_bytes", self.kv_resident_peak_bytes);
+        m.counter_add("kv_reserved_peak_bytes", self.kv_reserved_peak_bytes);
+        m.counter_add("capacity_bytes", self.capacity_bytes);
+        m.set_gauge("queue_depth_mean", self.queue_depth_mean());
+        m.set_gauge("prefix_hit_rate", self.prefix_hit_rate());
+        if let Some(tpot) = self.tpot_mean() {
+            m.set_gauge("tpot_mean_ticks", tpot);
+        }
+        for r in &self.records {
+            if let Some(v) = r.ttft() {
+                m.observe("ttft_ticks", v);
+            }
+            if let Some(v) = r.e2e() {
+                m.observe("e2e_ticks", v);
+            }
+            if let Some(w) = r.waterfall() {
+                m.observe("stage_queueing_ticks", w.queueing);
+                m.observe("stage_prefill_ticks", w.prefill);
+                m.observe("stage_decode_ticks", w.decode);
+                m.observe("stage_swap_wait_ticks", w.swap_wait);
+                m.observe("stage_migration_wait_ticks", w.migration_wait);
+            }
+        }
+        m
+    }
 }
 
 impl std::fmt::Display for ServingReport {
@@ -269,6 +402,13 @@ impl std::fmt::Display for ServingReport {
         row("ttft", self.ttft())?;
         row("queueing delay", self.queueing_delay())?;
         row("e2e", self.e2e())?;
+        if let Some(stages) = self.stages() {
+            row("wf queueing", Some(stages.queueing))?;
+            row("wf prefill", Some(stages.prefill))?;
+            row("wf decode", Some(stages.decode))?;
+            row("wf swap wait", Some(stages.swap_wait))?;
+            row("wf migration wait", Some(stages.migration_wait))?;
+        }
         match self.tpot_mean() {
             Some(tpot) => writeln!(f, "  time per output token  : {tpot:.2} ticks")?,
             None => writeln!(f, "  time per output token  : n/a")?,
@@ -283,12 +423,12 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 0.50), 50);
-        assert_eq!(percentile(&v, 0.95), 95);
-        assert_eq!(percentile(&v, 0.99), 99);
-        assert_eq!(percentile(&v, 1.0), 100);
-        assert_eq!(percentile(&[7], 0.5), 7);
+        // LatencySummary routes through veda_telemetry::summarize; the
+        // values must stay exactly nearest-rank (no log2 approximation).
+        let s = LatencySummary::of((1..=100).collect()).unwrap();
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (50, 95, 99, 100));
+        let one = LatencySummary::of(vec![7]).unwrap();
+        assert_eq!((one.p50, one.p95, one.p99, one.max), (7, 7, 7, 7));
     }
 
     #[test]
@@ -310,10 +450,68 @@ mod tests {
             finished: Some(23),
             generated_tokens: 5,
             preemptions: 1,
+            swap_wait_ticks: 0,
+            migration_wait_ticks: 0,
+            wait_before_first_ticks: 0,
             rejected: None,
         };
         assert_eq!(r.ttft(), Some(5));
         assert_eq!(r.e2e(), Some(13));
         assert_eq!(r.tpot(), Some(2.0));
+        let w = r.waterfall().unwrap();
+        assert_eq!((w.queueing, w.prefill, w.decode), (2, 3, 8));
+        assert_eq!(w.e2e(), 13);
+    }
+
+    #[test]
+    fn waterfall_splits_waits_around_first_token() {
+        // 4 wait ticks before the first token (during prefill), 6 after
+        // (during decode): the on-device stages shrink by exactly those
+        // amounts and the five stages still sum to e2e.
+        let r = RequestRecord {
+            arrival: 1,
+            session: None,
+            priority: 0,
+            submitted: 0,
+            admitted: Some(2),
+            first_token: Some(10),
+            finished: Some(30),
+            generated_tokens: 8,
+            preemptions: 2,
+            swap_wait_ticks: 7,
+            migration_wait_ticks: 3,
+            wait_before_first_ticks: 4,
+            rejected: None,
+        };
+        let w = r.waterfall().unwrap();
+        assert_eq!(w.queueing, 2);
+        assert_eq!(w.prefill, 8 - 4);
+        assert_eq!(w.decode, 20 - 6);
+        assert_eq!(w.swap_wait, 7);
+        assert_eq!(w.migration_wait, 3);
+        assert_eq!(w.e2e(), 30);
+        let stages = StageSummaries::of(&[w]).unwrap();
+        assert_eq!(stages.prefill.p50, 4);
+        assert!(StageSummaries::of(&[]).is_none());
+    }
+
+    #[test]
+    fn unfinished_record_has_no_waterfall() {
+        let r = RequestRecord {
+            arrival: 2,
+            session: None,
+            priority: 0,
+            submitted: 0,
+            admitted: Some(1),
+            first_token: Some(2),
+            finished: None,
+            generated_tokens: 1,
+            preemptions: 0,
+            swap_wait_ticks: 0,
+            migration_wait_ticks: 0,
+            wait_before_first_ticks: 0,
+            rejected: None,
+        };
+        assert!(r.waterfall().is_none());
     }
 }

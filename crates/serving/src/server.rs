@@ -55,6 +55,7 @@
 use veda::Engine;
 use veda_eviction::BudgetController;
 use veda_mem::HostLinkConfig;
+use veda_telemetry::SinkHandle;
 
 use crate::admission::AdmissionConfig;
 use crate::report::ServingReport;
@@ -78,6 +79,12 @@ pub struct ServerConfig {
     /// Safety valve: the run stops after this many virtual ticks even if
     /// work remains (the report then covers the truncated horizon).
     pub max_ticks: u64,
+    /// Observation-only trace sink. `None` (the default) keeps the run
+    /// byte-identical to a build without the telemetry plane; with a
+    /// sink, every lifecycle event of every request flows into it in
+    /// deterministic order (same seed, same event stream — see
+    /// determinism invariant #8).
+    pub trace: Option<SinkHandle>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +95,7 @@ impl Default for ServerConfig {
             sched: SchedKind::Fcfs,
             shrink: None,
             max_ticks: 1_000_000,
+            trace: None,
         }
     }
 }
@@ -108,12 +116,12 @@ impl Server {
     ///
     /// Panics if the engine already has in-flight sessions.
     pub fn new(engine: Engine, workload: Workload, config: ServerConfig) -> Self {
-        Self {
-            shard: Shard::new(0, engine, config.admission, config.host_link, config.sched, config.shrink),
-            workload,
-            max_ticks: config.max_ticks,
-            now: 0,
+        let mut shard =
+            Shard::new(0, engine, config.admission, config.host_link, config.sched, config.shrink);
+        if let Some(sink) = config.trace {
+            shard.install_trace(sink);
         }
+        Self { shard, workload, max_ticks: config.max_ticks, now: 0 }
     }
 
     /// The current virtual-clock tick.

@@ -32,6 +32,7 @@ use std::collections::VecDeque;
 use veda::{Engine, Request, Session, TokenEvent};
 use veda_eviction::BudgetController;
 use veda_mem::{HostLink, HostLinkConfig, SwapDirection, TransferKind};
+use veda_telemetry::{SinkHandle, TraceEvent, TraceEventKind, Tracer};
 
 use crate::admission::{AdmissionConfig, AdmissionController, RejectReason};
 use crate::report::{RequestRecord, ServingReport};
@@ -52,6 +53,18 @@ pub(crate) enum RecordRef {
     },
 }
 
+/// Why an admitted session spent ticks off the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitKind {
+    /// Preempted and swapped out to the host.
+    Swap,
+    /// In flight between shards (cross-shard migration).
+    Migration {
+        /// The source shard it was extracted from.
+        from: usize,
+    },
+}
+
 /// A deferred update to a foreign (home-shard) record.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum RecordDelta {
@@ -59,6 +72,26 @@ pub(crate) enum RecordDelta {
     Token { now: u64, finished: bool },
     /// The session was preempted on its hosting shard.
     Preempted,
+    /// The session finished an off-device wait spanning `[from, to)`.
+    Wait { kind: WaitKind, from: u64, to: u64 },
+}
+
+/// Folds one completed off-device wait interval `[from, to)` into the
+/// record's stage accounting. The interval is classified against the
+/// first-token tick for the waterfall split: a wait is "before first
+/// token" iff the first token had not yet been generated when the wait
+/// ended (waits never straddle the first token — a session generating at
+/// tick T cannot have been paused at T, so every interval lies entirely
+/// on one side).
+pub(crate) fn apply_wait(record: &mut RequestRecord, kind: WaitKind, from: u64, to: u64) {
+    let ticks = to.saturating_sub(from);
+    match kind {
+        WaitKind::Swap => record.swap_wait_ticks += ticks,
+        WaitKind::Migration { .. } => record.migration_wait_ticks += ticks,
+    }
+    if record.first_token.is_none_or(|f| f >= to) {
+        record.wait_before_first_ticks += ticks;
+    }
 }
 
 /// An outbox item: apply `delta` to record `index` on shard `shard`.
@@ -100,6 +133,10 @@ pub(crate) struct SessionEntry {
     pub(crate) preemptions: u32,
     /// Current resident-token cap (tracked for budget shrinking).
     pub(crate) cap: usize,
+    /// When the session is off the device (paused or swapping), the wait
+    /// kind and the tick the wait began; folded into the record's stage
+    /// accounting when the session rejoins the batch.
+    pub(crate) wait_since: Option<(WaitKind, u64)>,
 }
 
 /// A session whose KV state is moving in over the host link (swap-in or
@@ -148,6 +185,9 @@ pub struct Shard {
     pub(crate) decode_ticks: u64,
     pub(crate) kv_resident_peak: u64,
     pub(crate) kv_reserved_peak: u64,
+    /// Observation-only trace sink shared with the engine's tracer
+    /// (`None` = telemetry off, zero cost, byte-identical behavior).
+    pub(crate) trace: Option<SinkHandle>,
 }
 
 impl Shard {
@@ -196,6 +236,30 @@ impl Shard {
             decode_ticks: 0,
             kv_resident_peak: 0,
             kv_reserved_peak: 0,
+            trace: None,
+        }
+    }
+
+    /// Installs an observation-only trace sink on this shard *and* its
+    /// engine. Shard-level events (submit/queue/admit/reject, preemption,
+    /// swap and migration waits) and engine-level events (prefill chunks,
+    /// tokens, finishes) then flow into one stream, stamped with this
+    /// shard's id, the virtual tick, and the cycle clock.
+    pub fn install_trace(&mut self, sink: SinkHandle) {
+        self.engine.install_tracer(Tracer::new(sink.clone(), self.id as u32));
+        self.trace = Some(sink);
+    }
+
+    /// Emit one shard-level event (no-op without a sink).
+    fn emit(&self, now: u64, request: u64, kind: TraceEventKind) {
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent {
+                tick: now,
+                cycles: self.elapsed_cycles,
+                shard: self.id as u32,
+                request,
+                kind,
+            });
         }
     }
 
@@ -307,6 +371,15 @@ impl Shard {
     ) {
         let ServingRequest { request, priority } = arrival;
         let index = self.records.len();
+        self.emit(
+            now,
+            global_arrival as u64,
+            TraceEventKind::Submitted {
+                prompt_tokens: request.prompt.len() as u32,
+                max_new_tokens: request.max_new_tokens as u32,
+                priority: priority as u32,
+            },
+        );
         let discount_sound = request.never_evicts() && self.shrink.is_none();
         let shared_tokens = if discount_sound { self.engine.prefix_match_len(&request.prompt) } else { 0 };
         let est_bytes =
@@ -322,15 +395,20 @@ impl Shard {
             finished: None,
             generated_tokens: 0,
             preemptions: 0,
+            swap_wait_ticks: 0,
+            migration_wait_ticks: 0,
+            wait_before_first_ticks: 0,
             rejected: None,
         };
         let screened =
             self.validate(&request).and_then(|()| self.admission.screen(est_bytes, self.queue.len()));
         match screened {
             Ok(()) => {
+                self.emit(now, global_arrival as u64, TraceEventKind::Queued);
                 self.queue.push_back(QueuedEntry { record: index, request, priority, est_bytes, full_bytes });
             }
             Err(reason) => {
+                self.emit(now, global_arrival as u64, TraceEventKind::Rejected { reason: reason.as_str() });
                 record.rejected = Some(reason);
                 match reason {
                     RejectReason::NeverFits => self.rejected_never_fits += 1,
@@ -350,7 +428,10 @@ impl Shard {
     /// starts, then scheduler-driven admission (see [`crate::Server`]'s
     /// module docs for the ordering rationale).
     pub(crate) fn begin_tick(&mut self, now: u64) {
-        self.complete_swap_ins();
+        // Refresh the tick the engine's tracer stamps onto its events
+        // (prefill chunks, tokens, finishes) before any engine call.
+        self.engine.set_trace_now(now);
+        self.complete_swap_ins(now);
         self.start_swap_ins();
         self.admit_from_queue(now);
     }
@@ -406,6 +487,7 @@ impl Shard {
                 }
             }
             RecordDelta::Preempted => record.preemptions += 1,
+            RecordDelta::Wait { kind, from, to } => apply_wait(record, kind, from, to),
         }
     }
 
@@ -415,12 +497,34 @@ impl Shard {
     /// transfer charged when the swap *started*
     /// ([`Shard::start_swap_ins`]) or when the migration landed; this is
     /// where the latency finally releases the session into the batch.
-    fn complete_swap_ins(&mut self) {
+    fn complete_swap_ins(&mut self, now: u64) {
         let mut i = 0;
         while i < self.swapping.len() {
             if self.swapping[i].ready_at <= self.elapsed_cycles {
-                let SwapInEntry { entry, .. } = self.swapping.remove(i);
+                let SwapInEntry { mut entry, .. } = self.swapping.remove(i);
                 self.engine.resume(entry.session).expect("swapping entry tracks the engine");
+                if let Some((kind, from)) = entry.wait_since.take() {
+                    // The off-device wait ends here: fold `[from, now)`
+                    // into the record's stage accounting (directly for a
+                    // local record, via the outbox for a foreign one) and
+                    // emit the matching rejoin event.
+                    match entry.record {
+                        RecordRef::Local(r) => apply_wait(&mut self.records[r], kind, from, now),
+                        RecordRef::Foreign { shard, index } => self.outbox.push(ForeignUpdate {
+                            shard,
+                            index,
+                            delta: RecordDelta::Wait { kind, from, to: now },
+                        }),
+                    }
+                    let wait_ticks = now.saturating_sub(from);
+                    let rejoin = match kind {
+                        WaitKind::Swap => TraceEventKind::SwapInComplete { wait_ticks },
+                        WaitKind::Migration { from: src } => {
+                            TraceEventKind::MigrationLand { from_shard: src as u32, wait_ticks }
+                        }
+                    };
+                    self.emit(now, entry.arrival as u64, rejoin);
+                }
                 self.running.push(entry);
             } else {
                 i += 1;
@@ -491,7 +595,7 @@ impl Shard {
             while !self.admission.would_fit(needed) {
                 let victims = self.running_views();
                 let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
-                self.preempt(victim);
+                self.preempt(victim, now);
             }
             if !self.admission.would_fit(needed) {
                 break;
@@ -503,12 +607,13 @@ impl Shard {
     }
 
     /// Pauses the running session at `index` and swaps its KV state out.
-    fn preempt(&mut self, index: usize) {
+    fn preempt(&mut self, index: usize, now: u64) {
         let mut entry = self.running.remove(index);
         let bytes = self.engine.pause(entry.session).expect("running entry tracks the engine");
         self.link.transfer_tagged(bytes, SwapDirection::Out, TransferKind::Swap);
         self.admission.release(entry.est_bytes);
         entry.preemptions += 1;
+        entry.wait_since = Some((WaitKind::Swap, now));
         match entry.record {
             RecordRef::Local(r) => self.records[r].preemptions += 1,
             RecordRef::Foreign { shard, index } => {
@@ -516,6 +621,8 @@ impl Shard {
             }
         }
         self.preemptions += 1;
+        self.emit(now, entry.arrival as u64, TraceEventKind::Preempted);
+        self.emit(now, entry.arrival as u64, TraceEventKind::SwapOutStart { bytes });
         self.paused.push(entry);
     }
 
@@ -529,13 +636,17 @@ impl Shard {
         let prompt_len = entry.request.prompt.len();
         let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
         let cap = entry.request.budget.resolve(prompt_len).min(peak_tokens);
+        let arrival = self.records[entry.record].arrival;
+        // The engine stamps this request's global arrival index onto its
+        // trace events, so the request keeps one id across shards.
+        self.emit(now, arrival as u64, TraceEventKind::Admitted { est_bytes: entry.est_bytes });
+        self.engine.set_next_trace_id(arrival as u64);
         let session = self.engine.submit(entry.request).expect("accept() validated the request");
         self.admission.reserve(entry.est_bytes);
         self.admitted += 1;
         let record = &mut self.records[entry.record];
         record.session = Some(session);
         record.admitted = Some(now);
-        let arrival = record.arrival;
         debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
         self.running.push(SessionEntry {
             record: RecordRef::Local(entry.record),
@@ -546,6 +657,7 @@ impl Shard {
             full_bytes: entry.full_bytes,
             preemptions: 0,
             cap,
+            wait_since: None,
         });
     }
 

@@ -1,0 +1,276 @@
+//! Typed lifecycle events, the sink trait they flow into, and the
+//! engine-side [`Tracer`] that stamps them.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// What happened to a request at one point in its lifecycle.
+///
+/// Payload fields are deliberately plain integers / static strings so
+/// events are `Copy`-cheap, comparable, and render deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The request arrived at the serving layer.
+    Submitted {
+        /// Prompt length in tokens.
+        prompt_tokens: u32,
+        /// Generation cap in tokens.
+        max_new_tokens: u32,
+        /// Scheduling priority (higher = more urgent).
+        priority: u32,
+    },
+    /// Admission screening passed; the request joined the wait queue.
+    Queued,
+    /// The request left the queue and was submitted to an engine.
+    Admitted {
+        /// KV bytes reserved against device capacity at admission.
+        est_bytes: u64,
+    },
+    /// Admission turned the request away for good.
+    Rejected {
+        /// Stable reason label (`never_fits`, `queue_full`, `invalid`).
+        reason: &'static str,
+    },
+    /// A chunk of on-clock prefill work landed for this request.
+    PrefillChunk {
+        /// Prompt tokens consumed by this chunk.
+        tokens: u32,
+        /// Prompt tokens still waiting after this chunk.
+        remaining: u32,
+    },
+    /// The first generated token (end of the prefill stage).
+    FirstToken,
+    /// A subsequent decode step produced a token.
+    DecodeTick {
+        /// KV entries evicted while producing this token.
+        evictions: u32,
+        /// Resident KV cache length after this token.
+        cache_len: u32,
+    },
+    /// The scheduler paused this session to free capacity.
+    Preempted,
+    /// KV bytes started moving to the host after a preemption.
+    SwapOutStart {
+        /// Bytes crossing the host link.
+        bytes: u64,
+    },
+    /// A swapped-out session finished its costed swap-in and rejoined.
+    SwapInComplete {
+        /// Virtual ticks spent off the device (pause → rejoin).
+        wait_ticks: u64,
+    },
+    /// The cluster plane started migrating this session to another shard.
+    MigrationStart {
+        /// Destination shard id.
+        to_shard: u32,
+        /// KV bytes crossing both host links.
+        bytes: u64,
+    },
+    /// A migrated session landed and resumed on its destination shard.
+    MigrationLand {
+        /// Source shard id.
+        from_shard: u32,
+        /// Virtual ticks spent in flight (extract → resume).
+        wait_ticks: u64,
+    },
+    /// Terminal: the request produced its full token stream.
+    Finished {
+        /// Total generated tokens.
+        generated_tokens: u32,
+    },
+    /// Engine-level: the session was paused (`Engine::pause`).
+    Paused,
+    /// Engine-level: the session was resumed (`Engine::resume`).
+    Resumed,
+    /// Engine-level: the session was extracted for migration
+    /// (`Engine::extract`).
+    Extracted,
+    /// Engine-level: a migrated session was adopted
+    /// (`Engine::adopt`).
+    Adopted,
+}
+
+impl TraceEventKind {
+    /// Stable lowercase label for this event kind (used as the metrics
+    /// counter key and the Chrome-trace event name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Submitted { .. } => "submitted",
+            TraceEventKind::Queued => "queued",
+            TraceEventKind::Admitted { .. } => "admitted",
+            TraceEventKind::Rejected { .. } => "rejected",
+            TraceEventKind::PrefillChunk { .. } => "prefill_chunk",
+            TraceEventKind::FirstToken => "first_token",
+            TraceEventKind::DecodeTick { .. } => "decode_tick",
+            TraceEventKind::Preempted => "preempted",
+            TraceEventKind::SwapOutStart { .. } => "swap_out_start",
+            TraceEventKind::SwapInComplete { .. } => "swap_in_complete",
+            TraceEventKind::MigrationStart { .. } => "migration_start",
+            TraceEventKind::MigrationLand { .. } => "migration_land",
+            TraceEventKind::Finished { .. } => "finished",
+            TraceEventKind::Paused => "paused",
+            TraceEventKind::Resumed => "resumed",
+            TraceEventKind::Extracted => "extracted",
+            TraceEventKind::Adopted => "adopted",
+        }
+    }
+
+    /// Whether this event ends a request's lifecycle. Every submitted
+    /// request reaches exactly one terminal event on a drained run —
+    /// pinned by the event-conservation property test.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TraceEventKind::Finished { .. } | TraceEventKind::Rejected { .. })
+    }
+}
+
+/// One stamped lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual tick of the serving clock when the event fired.
+    pub tick: u64,
+    /// Engine cycle clock (accumulated batched cycles) at the event.
+    pub cycles: u64,
+    /// Shard the event fired on (0 for a standalone server).
+    pub shard: u32,
+    /// Request id: the global arrival index at the serving layer, so
+    /// one request keeps one id across shards, swaps, and migrations.
+    pub request: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Receives trace events. Implementations must be `Send` so a sink can
+/// be shared across shards, but all emission happens on the coordinator
+/// thread — implementations never see concurrent calls within one
+/// simulation.
+pub trait TraceSink: Send {
+    /// Record one event. Called in deterministic order.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// A sink that buffers every event in arrival order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecordingSink {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events recorded so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drain the recorded events, leaving the sink empty.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// A cloneable, shareable handle to a sink. Configs hold this so one
+/// sink can observe every shard of a cluster; the `Mutex` is only a
+/// sharing formality — emission is single-threaded by construction.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<Mutex<dyn TraceSink>>);
+
+impl SinkHandle {
+    /// Wrap any sink in a shareable handle.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Self(Arc::new(Mutex::new(sink)))
+    }
+
+    /// A handle backed by a [`RecordingSink`], plus the shared buffer so
+    /// the caller can read the events back after the run.
+    pub fn recording() -> (Self, Arc<Mutex<RecordingSink>>) {
+        let buffer = Arc::new(Mutex::new(RecordingSink::new()));
+        let erased: Arc<Mutex<dyn TraceSink>> = buffer.clone();
+        (Self(erased), buffer)
+    }
+
+    /// Deliver one event to the underlying sink.
+    pub fn record(&self, event: TraceEvent) {
+        self.0.lock().expect("trace sink poisoned").record(&event);
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
+/// The per-engine emitter: a sink handle plus the shard id and current
+/// virtual tick to stamp events with. The owning layer refreshes the
+/// tick each simulation step via [`Tracer::set_now`].
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    sink: SinkHandle,
+    shard: u32,
+    now: u64,
+}
+
+impl Tracer {
+    /// A tracer feeding `sink`, stamping events with `shard`.
+    pub fn new(sink: SinkHandle, shard: u32) -> Self {
+        Self { sink, shard, now: 0 }
+    }
+
+    /// Update the virtual tick stamped onto subsequent events.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// The virtual tick currently stamped onto events.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The shard id stamped onto events.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Emit one event at the current tick.
+    pub fn emit(&self, cycles: u64, request: u64, kind: TraceEventKind) {
+        self.sink.record(TraceEvent { tick: self.now, cycles, shard: self.shard, request, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_preserves_order() {
+        let (handle, buffer) = SinkHandle::recording();
+        let mut tracer = Tracer::new(handle, 3);
+        tracer.emit(10, 1, TraceEventKind::Queued);
+        tracer.set_now(5);
+        tracer.emit(20, 1, TraceEventKind::Admitted { est_bytes: 64 });
+        let events = buffer.lock().unwrap().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].tick, 0);
+        assert_eq!(events[0].shard, 3);
+        assert_eq!(events[1].tick, 5);
+        assert_eq!(events[1].cycles, 20);
+        assert_eq!(events[1].kind.label(), "admitted");
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(TraceEventKind::Finished { generated_tokens: 4 }.is_terminal());
+        assert!(TraceEventKind::Rejected { reason: "queue_full" }.is_terminal());
+        assert!(!TraceEventKind::Queued.is_terminal());
+        assert!(!TraceEventKind::Preempted.is_terminal());
+    }
+}

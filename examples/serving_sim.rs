@@ -24,13 +24,15 @@
 //! cargo run --release --example serving_sim -- --shards 2 --router load --migrate --capacity-kb 16
 //! ```
 
+use std::sync::{Arc, Mutex};
+
 use veda::{EngineBuilder, PrefixCacheConfig};
 use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 use veda_serving::{
-    AdmissionConfig, ArrivalKind, Cluster, ClusterConfig, MigrationConfig, RequestMix, RouterKind, SchedKind,
-    Server, ServerConfig, Workload,
+    chrome_trace_json, AdmissionConfig, ArrivalKind, Cluster, ClusterConfig, MigrationConfig, RecordingSink,
+    RequestMix, RouterKind, SchedKind, Server, ServerConfig, SinkHandle, Workload,
 };
 
 struct Args {
@@ -57,6 +59,11 @@ struct Args {
     router: RouterKind,
     /// Enables cross-shard KV migration (multi-shard path only).
     migrate: bool,
+    /// Write a Chrome-trace-event JSON (Perfetto-loadable) of every
+    /// request's lifecycle to this path.
+    trace_out: Option<String>,
+    /// Write the run's metrics registry as JSON to this path.
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -76,6 +83,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         shards: 1,
         router: RouterKind::RoundRobin,
         migrate: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +105,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--shards" => parsed.shards = value()?.parse()?,
             "--router" => parsed.router = value()?.parse()?,
             "--migrate" => parsed.migrate = true,
+            "--trace-out" => parsed.trace_out = Some(value()?),
+            "--metrics-out" => parsed.metrics_out = Some(value()?),
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
@@ -109,7 +120,10 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                      \x20                  [--migrate]\n\
                      \x20                  (--shards > 1 runs N engines behind the routing plane;\n\
                      \x20                   --capacity-kb is then per shard, --migrate enables\n\
-                     \x20                   cross-shard KV migration when a shard runs hot)"
+                     \x20                   cross-shard KV migration when a shard runs hot)\n\
+                     \x20                  [--trace-out PATH]   (Chrome-trace-event JSON, one track\n\
+                     \x20                   per shard — load it in Perfetto / chrome://tracing)\n\
+                     \x20                  [--metrics-out PATH] (metrics registry as JSON)"
                 );
                 std::process::exit(0);
             }
@@ -181,18 +195,49 @@ fn build_engine(args: &Args) -> Result<veda::Engine, veda::BuildError> {
     builder.build()
 }
 
+/// Wires a recording sink when `--trace-out` asked for one. Returns the
+/// config-side handle and the recorder to drain after the run.
+fn make_sink(wanted: bool) -> (Option<SinkHandle>, Option<Arc<Mutex<RecordingSink>>>) {
+    if wanted {
+        let (handle, recorder) = SinkHandle::recording();
+        (Some(handle), Some(recorder))
+    } else {
+        (None, None)
+    }
+}
+
+/// Writes the Chrome trace (if recorded) and metrics JSON (if asked for).
+fn write_observability(
+    args: &Args,
+    recorder: Option<Arc<Mutex<RecordingSink>>>,
+    metrics_json: String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let (Some(path), Some(recorder)) = (&args.trace_out, recorder) {
+        let events = recorder.lock().expect("recorder lock").take_events();
+        std::fs::write(path, chrome_trace_json(&events))?;
+        println!("trace: {} events -> {path} (load in Perfetto / chrome://tracing)", events.len());
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, metrics_json)?;
+        println!("metrics: -> {path}");
+    }
+    Ok(())
+}
+
 /// The multi-shard path: N engines behind the routing plane on one clock.
 fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let engines: Vec<veda::Engine> =
         (0..args.shards).map(|_| build_engine(args)).collect::<Result<_, _>>()?;
     let kv_per_token = engines[0].kv_bytes_per_token();
     let workload = build_workload(args);
+    let (trace, recorder) = make_sink(args.trace_out.is_some());
     let config = ClusterConfig {
         shards: args.shards,
         per_shard_capacity_bytes: args.capacity_kb << 10,
         router: args.router,
         sched: args.sched,
         migration: args.migrate.then(MigrationConfig::default),
+        trace,
         ..ClusterConfig::default()
     };
     println!(
@@ -244,6 +289,7 @@ fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", shard);
     }
     println!("(per-shard reports above; each request's record lives on the shard that accepted it)");
+    write_observability(args, recorder, report.metrics().to_json())?;
     Ok(())
 }
 
@@ -255,9 +301,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = build_engine(&args)?;
     let kv_per_token = engine.kv_bytes_per_token();
     let workload = build_workload(&args);
+    let (trace, recorder) = make_sink(args.trace_out.is_some());
     let config = ServerConfig {
         admission: AdmissionConfig { capacity_bytes: args.capacity_kb << 10, ..AdmissionConfig::default() },
         sched: args.sched,
+        trace,
         ..ServerConfig::default()
     };
 
@@ -337,5 +385,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("(ticks are batched mixed prefill/decode steps of the virtual clock;");
     println!(" per-request tok/s in the engine report are single-sequence equivalents)");
+    write_observability(&args, recorder, report.metrics().to_json())?;
     Ok(())
 }
