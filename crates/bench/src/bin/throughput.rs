@@ -5,8 +5,11 @@
 //! decode tokens/s in *virtual* time), written to `BENCH_prefill.json` —
 //! and a cluster-plane sweep (shard count × routing policy over a
 //! shared-prefix workload → throughput, latency, rejection rate, prefix
-//! hit rate and migration traffic), written to `BENCH_cluster.json` — so
-//! future PRs have pinned perf references.
+//! hit rate and migration traffic), written to `BENCH_cluster.json` —
+//! and a fault-plane sweep (fault scenario × router × load shedding →
+//! goodput, p99 end-to-end latency, retries, dead letters, shed count
+//! and availability), written to `BENCH_faults.json` — so future PRs
+//! have pinned perf references.
 //!
 //! ```sh
 //! cargo run --release -p veda-bench --bin throughput            # full sweep
@@ -19,8 +22,9 @@ use veda::{Budget, EngineBuilder, PrefixCacheConfig, PrefixCacheStats, Request, 
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 use veda_serving::{
-    AdmissionConfig, Cluster, ClusterConfig, ClusterReport, MigrationConfig, RequestMix, RouterKind,
-    SchedKind, Server, ServerConfig, ServingRequest, StageSummaries, Workload,
+    AdmissionConfig, Cluster, ClusterConfig, ClusterReport, FaultConfig, FaultPlan, MigrationConfig,
+    RequestMix, RetryPolicy, RouterKind, SchedKind, Server, ServerConfig, ServingRequest, StageSummaries,
+    Workload,
 };
 use veda_telemetry::nearest_rank;
 
@@ -29,6 +33,7 @@ struct Args {
     json: String,
     prefill_json: String,
     cluster_json: String,
+    faults_json: String,
     gen_tokens: usize,
 }
 
@@ -38,6 +43,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         json: "BENCH_decode.json".to_string(),
         prefill_json: "BENCH_prefill.json".to_string(),
         cluster_json: "BENCH_cluster.json".to_string(),
+        faults_json: "BENCH_faults.json".to_string(),
         gen_tokens: 32,
     };
     let mut args = std::env::args().skip(1);
@@ -51,11 +57,14 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--cluster-json" => {
                 parsed.cluster_json = args.next().ok_or("missing value after --cluster-json")?;
             }
+            "--faults-json" => {
+                parsed.faults_json = args.next().ok_or("missing value after --faults-json")?;
+            }
             "--gen" => parsed.gen_tokens = args.next().ok_or("missing value after --gen")?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--quick] [--json PATH] [--prefill-json PATH] \
-                     [--cluster-json PATH] [--gen N]"
+                     [--cluster-json PATH] [--faults-json PATH] [--gen N]"
                 );
                 std::process::exit(0);
             }
@@ -411,6 +420,102 @@ fn measure_migration_demo() -> (ClusterPoint, Option<StageSummaries>) {
     (ClusterPoint::of(2, &report), report.stages())
 }
 
+struct FaultPoint {
+    scenario: &'static str,
+    router: RouterKind,
+    shed_on: bool,
+    completed: usize,
+    rejected: usize,
+    retries: u64,
+    timeouts: u64,
+    dead_letters: u64,
+    shed: u64,
+    goodput: f64,
+    e2e_p99_ticks: u64,
+    availability: f64,
+    recovery_p99_ticks: u64,
+    swap_link_cycles: u64,
+}
+
+impl FaultPoint {
+    fn json_row(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"router\": \"{}\", \"shed\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"retries\": {}, \"timeouts\": {}, \"dead_letters\": {}, \
+             \"shed_count\": {}, \"goodput_per_tick\": {:.4}, \"e2e_p99_ticks\": {}, \
+             \"availability\": {:.4}, \"recovery_p99_ticks\": {}, \"swap_link_cycles\": {}}}",
+            self.scenario,
+            self.router,
+            self.shed_on,
+            self.completed,
+            self.rejected,
+            self.retries,
+            self.timeouts,
+            self.dead_letters,
+            self.shed,
+            self.goodput,
+            self.e2e_p99_ticks,
+            self.availability,
+            self.recovery_p99_ticks,
+            self.swap_link_cycles,
+        )
+    }
+}
+
+/// Fault-plane sweep point: one scenario × router × shedding run over a
+/// 2-shard cluster under a pressured Poisson arrival stream. Scenarios
+/// reuse the same seed and workload, so every delta against `baseline`
+/// is the fault plane's doing. Virtual time; deterministic.
+fn measure_faults(scenario: &'static str, router: RouterKind, shed_on: bool, requests: usize) -> FaultPoint {
+    let plan = match scenario {
+        "baseline" => FaultPlan::default(),
+        "crash_recover" => FaultPlan::parse("crash@8:shard=1:recover=48:drain=2").expect("valid spec"),
+        "crash_permanent" => FaultPlan::parse("crash@8:shard=1").expect("valid spec"),
+        "degraded_link" => FaultPlan::parse("degrade@4-400:shard=0:bw=0.1").expect("valid spec"),
+        other => panic!("unknown fault scenario {other:?}"),
+    };
+    let engines: Vec<_> = (0..2)
+        .map(|_| {
+            EngineBuilder::new().model(ModelConfig::tiny()).prefill_chunk(4).build().expect("valid config")
+        })
+        .collect();
+    let workload = Workload::poisson(7, 2.5, requests, RequestMix::default());
+    let config = ClusterConfig {
+        shards: 2,
+        per_shard_capacity_bytes: 10 << 10,
+        max_queue_depth: 12,
+        router,
+        // Preemptive tiers + tight KV keep real swap DMA on the host
+        // link, so the degraded_link scenario has traffic to slow down.
+        sched: SchedKind::Priority,
+        faults: Some(FaultConfig {
+            plan,
+            retry: RetryPolicy::default(),
+            ttft_deadline: None,
+            e2e_deadline: Some(512),
+            shed_watermark: shed_on.then_some(0.6),
+        }),
+        ..ClusterConfig::default()
+    };
+    let report = Cluster::new(engines, workload, config).run();
+    FaultPoint {
+        scenario,
+        router,
+        shed_on,
+        completed: report.completed(),
+        rejected: report.rejected(),
+        retries: report.retries,
+        timeouts: report.timeouts,
+        dead_letters: report.dead_letters,
+        shed: report.shed,
+        goodput: report.goodput(),
+        e2e_p99_ticks: report.e2e().map_or(0, |s| s.p99),
+        availability: report.availability(),
+        recovery_p99_ticks: report.recovery().map_or(0, |s| s.p99),
+        swap_link_cycles: report.shards.iter().map(|s| s.swap_cycles).sum(),
+    }
+}
+
 struct ForwardPoint {
     label: &'static str,
     ns_per_token: f64,
@@ -717,6 +822,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster_json.push_str("  ]\n}\n");
     std::fs::write(&args.cluster_json, &cluster_json)?;
     println!("wrote {}", args.cluster_json);
+
+    // Fault-plane sweep: fault scenario × router × load shedding over a
+    // pressured 2-shard Poisson run. Virtual time — deterministic, so
+    // both modes run the same schedule and only scale the request count.
+    let fault_requests = if args.quick { 24 } else { 48 };
+    let fault_scenarios: &[&'static str] = &["baseline", "crash_recover", "crash_permanent", "degraded_link"];
+    let fault_routers = [RouterKind::RoundRobin, RouterKind::LeastLoaded];
+    println!("\n== fault plane ({fault_requests} requests, 2 shards, virtual time) ==");
+    println!(
+        "   {:>15} {:>12} {:>5} {:>9} {:>8} {:>7} {:>8} {:>12} {:>5} {:>9} {:>8} {:>6}",
+        "scenario",
+        "router",
+        "shed",
+        "completed",
+        "rejected",
+        "retries",
+        "timeouts",
+        "dead_letters",
+        "shed#",
+        "e2e_p99",
+        "goodput",
+        "avail"
+    );
+    // (swap_link_cycles rides in the JSON only — it is the degraded_link
+    // scenario's signal, noise for the rest.)
+    let mut fault_points: Vec<FaultPoint> = Vec::new();
+    for &scenario in fault_scenarios {
+        for router in fault_routers {
+            for shed_on in [false, true] {
+                let p = measure_faults(scenario, router, shed_on, fault_requests);
+                println!(
+                    "   {:>15} {:>12} {:>5} {:>9} {:>8} {:>7} {:>8} {:>12} {:>5} {:>9} {:>8.3} {:>6.3}",
+                    p.scenario,
+                    p.router.to_string(),
+                    p.shed_on,
+                    p.completed,
+                    p.rejected,
+                    p.retries,
+                    p.timeouts,
+                    p.dead_letters,
+                    p.shed,
+                    p.e2e_p99_ticks,
+                    p.goodput,
+                    p.availability,
+                );
+                fault_points.push(p);
+            }
+        }
+    }
+    let fault_of = |scenario: &str| {
+        fault_points
+            .iter()
+            .find(|p| p.scenario == scenario && p.router == RouterKind::RoundRobin && !p.shed_on)
+            .expect("swept scenario")
+    };
+    assert!(
+        fault_of("baseline").retries == 0 && fault_of("baseline").availability == 1.0,
+        "the baseline scenario must be fault-free"
+    );
+    assert!(
+        fault_of("crash_recover").retries > 0 && fault_of("crash_recover").availability < 1.0,
+        "the crash scenario must visibly retry and dent availability"
+    );
+    assert!(
+        fault_of("degraded_link").swap_link_cycles > fault_of("baseline").swap_link_cycles,
+        "the degraded link must make the same swap DMA cost more cycles"
+    );
+
+    let mut faults_json = String::new();
+    faults_json.push_str("{\n");
+    faults_json.push_str(&format!("  \"requests\": {fault_requests},\n"));
+    faults_json.push_str(
+        "  \"note\": \"virtual-time fault-plane sweep: scenario x router x shedding over the same \
+         pressured 2-shard Poisson run (seed 23, rate 1.2, chunked prefill, tight 14 KiB/shard KV, \
+         e2e deadline 512 ticks); baseline has an empty fault plan, crash_recover fail-stops shard 1 \
+         at tick 8 and recovers it at 48, crash_permanent never recovers it, degraded_link cuts \
+         shard 0's host-link bandwidth to 10% for ticks 4-400 (visible as swap_link_cycles — swap \
+         DMA costs more cycles over the slow link); shed=true arms a 0.6 queue watermark; every \
+         delta vs baseline is the fault plane's doing; latencies in virtual ticks\",\n",
+    );
+    faults_json.push_str("  \"sweep\": [\n");
+    for (i, p) in fault_points.iter().enumerate() {
+        faults_json.push_str(&p.json_row());
+        faults_json.push_str(if i + 1 == fault_points.len() { "\n" } else { ",\n" });
+    }
+    faults_json.push_str("  ]\n}\n");
+    std::fs::write(&args.faults_json, &faults_json)?;
+    println!("wrote {}", args.faults_json);
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();

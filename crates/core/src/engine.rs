@@ -1158,6 +1158,29 @@ impl Engine {
         Some(bytes)
     }
 
+    /// Discards an in-flight session — active or paused — without
+    /// producing a finished report: its KV state is dropped (device
+    /// memory freed), its partial token stream is lost, and it never
+    /// appears in [`Engine::drain_report`]. Returns the KV bytes freed,
+    /// or `None` if the session is not in flight.
+    ///
+    /// This is the fail-stop primitive of the serving fault plane: a
+    /// crashed shard's sessions are discarded (their requests re-enter
+    /// admission from the prompt), and a timed-out session is discarded
+    /// before its request retries or dead-letters. The engine's prefix
+    /// cache is untouched — cache entries own their bytes independently
+    /// of the sessions referencing them, which is exactly what makes
+    /// re-prefilling a recovered request cheap.
+    pub fn discard(&mut self, session: Session) -> Option<u64> {
+        let s = if let Some(idx) = self.active.iter().position(|s| s.id == session) {
+            self.active.remove(idx)
+        } else {
+            let idx = self.paused.iter().position(|s| s.id == session)?;
+            self.paused.remove(idx)
+        };
+        Some(s.state.fp16_bytes() as u64)
+    }
+
     /// Lifts a *paused* session out of this engine for adoption by
     /// another ([`Engine::adopt`]) — the engine half of cross-shard
     /// session migration. Returns `None` if the session is not paused
@@ -1931,6 +1954,36 @@ mod tests {
         assert!(engine.pause(s).is_none(), "paused session is not active");
         engine.resume(s).unwrap();
         engine.run_to_completion();
+    }
+
+    #[test]
+    fn discard_frees_kv_and_forgets_the_session() {
+        let mut engine = engine();
+        let a = engine.submit(Request::new(prompt(), 8)).unwrap();
+        let b = engine.submit(Request::new(vec![3, 6, 9, 12], 8)).unwrap();
+        engine.step();
+        let before = engine.kv_bytes_active();
+
+        // Discarding an active session frees its resident bytes and drops
+        // it from the batch without a finished report.
+        let freed = engine.discard(a).expect("a is in flight");
+        assert!(freed > 0);
+        assert_eq!(engine.kv_bytes_active(), before - freed);
+        assert!(!engine.is_active(a) && !engine.is_paused(a));
+        assert_eq!(engine.active_sessions(), 1);
+
+        // Discarding a paused session works the same way.
+        engine.pause(b).unwrap();
+        assert!(engine.discard(b).is_some());
+        assert_eq!(engine.kv_bytes_active(), 0);
+
+        // Unknown or already-discarded sessions are refused.
+        assert!(engine.discard(a).is_none());
+        assert!(engine.discard(Session(99)).is_none());
+
+        // Neither session ever reaches the report.
+        let report = engine.run_to_completion();
+        assert!(report.requests.is_empty(), "discarded sessions never finish");
     }
 
     #[test]

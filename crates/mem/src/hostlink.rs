@@ -109,17 +109,37 @@ pub struct HostLink {
     bytes: [[u64; 2]; 2],
     cycles: [[u64; 2]; 2],
     transfers: [[u64; 2]; 2],
+    /// Transient bandwidth multiplier in (0, 1]; `1.0` means healthy.
+    degradation: f64,
 }
 
 impl HostLink {
     /// Creates a model with the given configuration.
     pub fn new(config: HostLinkConfig) -> Self {
-        Self { config, bytes: [[0; 2]; 2], cycles: [[0; 2]; 2], transfers: [[0; 2]; 2] }
+        Self { config, bytes: [[0; 2]; 2], cycles: [[0; 2]; 2], transfers: [[0; 2]; 2], degradation: 1.0 }
     }
 
     /// The configuration.
     pub fn config(&self) -> &HostLinkConfig {
         &self.config
+    }
+
+    /// Sets the transient bandwidth multiplier applied by [`HostLink::cost`]
+    /// — the fault plane's link-degradation hook. A fraction of `0.25`
+    /// means transfers see a quarter of the configured sustained bandwidth
+    /// (setup latency is unaffected); `1.0` restores the healthy link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn set_degradation(&mut self, fraction: f64) {
+        assert!(fraction > 0.0 && fraction <= 1.0, "degradation fraction must be in (0, 1]");
+        self.degradation = fraction;
+    }
+
+    /// The current bandwidth multiplier (`1.0` when the link is healthy).
+    pub fn degradation(&self) -> f64 {
+        self.degradation
     }
 
     fn idx(direction: SwapDirection) -> usize {
@@ -136,12 +156,19 @@ impl HostLink {
         }
     }
 
-    /// Pure cost query (no state change): cycles to move `bytes` one way.
+    /// Pure cost query (no state change): cycles to move `bytes` one way
+    /// at the link's current (possibly degraded) sustained bandwidth.
     pub fn cost(&self, bytes: u64) -> u64 {
         if bytes == 0 {
             return 0;
         }
-        let data = (bytes as f64 / (self.config.bytes_per_cycle * self.config.efficiency)).ceil() as u64;
+        let mut bandwidth = self.config.bytes_per_cycle * self.config.efficiency;
+        // Only scale when actually degraded so a healthy link's costs are
+        // bit-identical to builds that never touch the fault plane.
+        if self.degradation != 1.0 {
+            bandwidth *= self.degradation;
+        }
+        let data = (bytes as f64 / bandwidth).ceil() as u64;
         self.config.setup_cycles + data
     }
 
@@ -303,6 +330,26 @@ mod tests {
         assert_eq!(link.total_cycles(), swap + mig);
         link.reset();
         assert_eq!(link.kind_total_bytes(TransferKind::Migration), 0);
+    }
+
+    #[test]
+    fn degradation_stretches_data_cycles_only() {
+        let mut link = HostLink::new(HostLinkConfig::default());
+        assert!((link.degradation() - 1.0).abs() < 1e-12);
+        let healthy = link.cost(1 << 20);
+        link.set_degradation(0.25);
+        let degraded = link.cost(1 << 20);
+        let data = ((1u64 << 20) as f64 / (32.0 * 0.85 * 0.25)).ceil() as u64;
+        assert_eq!(degraded, 1000 + data, "setup cycles are unaffected");
+        assert!(degraded > healthy);
+        link.set_degradation(1.0);
+        assert_eq!(link.cost(1 << 20), healthy, "recovery restores the healthy cost");
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation fraction")]
+    fn degradation_rejects_zero() {
+        HostLink::new(HostLinkConfig::default()).set_degradation(0.0);
     }
 
     #[test]

@@ -176,6 +176,13 @@ impl AdmissionController {
         debug_assert!(est_bytes <= self.reserved, "releasing more than reserved");
         self.reserved = self.reserved.saturating_sub(est_bytes);
     }
+
+    /// Drops every reservation at once — the fail-stop path: a crashed
+    /// shard's sessions are discarded wholesale, so its admission state
+    /// resets with them.
+    pub fn reset(&mut self) {
+        self.reserved = 0;
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +221,9 @@ mod tests {
         assert!(!ac.would_fit(401));
         ac.release(600);
         assert_eq!(ac.reserved_bytes(), 0);
+        ac.reserve(300);
+        ac.reset();
+        assert_eq!(ac.reserved_bytes(), 0, "reset drops every reservation");
     }
 
     #[test]

@@ -4,17 +4,26 @@
 //! A [`Cluster`] is the multi-engine deployment of the serving stack:
 //! each [`Shard`] is a full engine + admission controller + queue (the
 //! exact machinery a standalone [`crate::Server`] runs), and the cluster
-//! adds the two things that only exist *between* engines — routing and
-//! migration. One [`Cluster::tick`] is one virtual-clock step:
+//! adds the things that only exist *between* engines — routing,
+//! migration, and the fault plane. One [`Cluster::tick`] is one
+//! virtual-clock step:
 //!
+//! 0. **Fault transitions** (no-ops without a [`FaultConfig`]): scheduled
+//!    crashes fail their shard (in-flight work displaced into the retry
+//!    queue), recoveries return it to rotation, link-degradation windows
+//!    scale host-link bandwidth; then parked retries whose backoff has
+//!    elapsed re-route through the healthy shards.
 //! 1. **Route + screen**: each arrival due this tick is routed by the
-//!    [`RouterPolicy`] (which sees per-shard load and prefix-affinity
-//!    snapshots, never the RNG) and screened by the chosen shard's
-//!    admission control. The [`crate::Workload`] samples requests
-//!    centrally, in global arrival order, so the routing decision can
-//!    never perturb what a request *is* — only where it runs. That is
-//!    the cluster's RNG-stream discipline, pinned by the
-//!    `cluster_stack` tests.
+//!    [`RouterPolicy`] (which sees per-shard load, health, and
+//!    prefix-affinity snapshots, never the RNG) and screened by the
+//!    chosen shard's admission control. The [`crate::Workload`] samples
+//!    requests centrally, in global arrival order, so the routing
+//!    decision can never perturb what a request *is* — only where it
+//!    runs. That is the cluster's RNG-stream discipline, pinned by the
+//!    `cluster_stack` tests. When *no* shard is routable the arrival is
+//!    registered on a deterministic home shard and parked as a retry.
+//!    Then the overload watermark (if armed) sheds the lowest-priority
+//!    newest queued requests until the cluster is back under it.
 //! 2. **Pre-step**, per shard in index order: swap-in completions,
 //!    swap-in starts, scheduler-driven admission.
 //! 3. **Migration** (opt-in, [`MigrationConfig`]): if a shard is running
@@ -32,11 +41,18 @@
 //! 5. **Outbox drain**: record updates for migrated-in sessions are
 //!    applied to their home shards, in shard order — cross-shard state
 //!    flows through one deterministic channel, never mid-step.
+//! 6. **Deadline enforcement** (only with deadlines configured): every
+//!    attempt past its TTFT or e2e deadline is torn down and retried or
+//!    dead-lettered under the [`crate::RetryPolicy`].
 //!
 //! Determinism: same seed, same shard count, same policies ⇒
 //! bit-identical [`ClusterReport`]. A 1-shard cluster under round-robin
 //! routing is bit-identical to [`crate::Server`] on the same seed — the
-//! cluster plane is a strict generalization, not a fork.
+//! cluster plane is a strict generalization, not a fork. And a cluster
+//! whose [`ClusterConfig::faults`] is `None` is byte-identical to one
+//! configured with the default (no-op) [`FaultConfig`] — determinism
+//! invariant #9, by construction: the fault runtime is always present
+//! and every fault step no-ops identically on an empty plan.
 
 use veda::Engine;
 use veda_eviction::BudgetController;
@@ -44,11 +60,13 @@ use veda_mem::{HostLinkConfig, SwapDirection, TransferKind};
 use veda_telemetry::{MetricsRegistry, SinkHandle, StageWaterfall, TraceEvent, TraceEventKind};
 
 use crate::admission::AdmissionConfig;
+use crate::error::ServeError;
+use crate::faults::{FaultConfig, FaultRuntime, LostWork, RetryEntry, ShardHealth};
 use crate::report::{LatencySummary, ServingReport, StageSummaries};
 use crate::router::{RouterKind, RouterPolicy};
 use crate::scheduler::SchedKind;
 use crate::shard::{RecordRef, SessionEntry, Shard, SwapInEntry, WaitKind};
-use crate::workload::Workload;
+use crate::workload::{ServingRequest, Workload};
 
 /// Opt-in cross-shard migration thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +119,11 @@ pub struct ClusterConfig {
     /// the run byte-identical to a build without the telemetry plane —
     /// see determinism invariant #8.
     pub trace: Option<SinkHandle>,
+    /// The fault plane: scheduled crashes and link degradations, deadline
+    /// timeouts, retry policy, and the load-shedding watermark. `None`
+    /// (the default) is byte-identical to the default no-op
+    /// [`FaultConfig`] — determinism invariant #9.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -117,6 +140,7 @@ impl Default for ClusterConfig {
             migration: None,
             max_ticks: 1_000_000,
             trace: None,
+            faults: None,
         }
     }
 }
@@ -144,34 +168,60 @@ pub struct Cluster {
     /// Trace sink for cluster-plane events (migration starts); each shard
     /// holds its own clone for shard-plane events.
     trace: Option<SinkHandle>,
+    /// The fault plane's live state — always present; a cluster without
+    /// a configured plane runs the no-op default (invariant #9).
+    faults: FaultRuntime,
 }
 
 impl Cluster {
-    /// Creates a cluster from one idle engine per shard.
+    /// Creates a cluster from one idle engine per shard, panicking on
+    /// misconfiguration (the original constructor's contract; see
+    /// [`Cluster::try_new`] for the `Result`-returning form).
     ///
     /// # Panics
     ///
-    /// Panics if `engines.len() != config.shards`, if no engines are
-    /// given, if any engine has in-flight sessions, or if the engines do
-    /// not share one model geometry (migration moves KV state between
-    /// them, so their shapes must agree).
+    /// Panics on any [`ServeError`] that [`Cluster::try_new`] would
+    /// return: engine count mismatch, empty cluster, non-idle engines,
+    /// mixed model geometry, bad migration thresholds, or an invalid
+    /// fault plan.
     pub fn new(engines: Vec<Engine>, workload: Workload, config: ClusterConfig) -> Self {
-        assert_eq!(engines.len(), config.shards, "one engine per configured shard");
-        assert!(!engines.is_empty(), "a cluster needs at least one shard");
-        assert!(
-            engines.windows(2).all(|w| w[0].model_config() == w[1].model_config()),
-            "cluster shards must share one model geometry"
-        );
+        Self::try_new(engines, workload, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a cluster from one idle engine per shard, returning a
+    /// typed [`ServeError`] instead of panicking on misconfiguration.
+    pub fn try_new(
+        engines: Vec<Engine>,
+        workload: Workload,
+        config: ClusterConfig,
+    ) -> Result<Self, ServeError> {
+        if engines.len() != config.shards {
+            return Err(ServeError::EngineCountMismatch { engines: engines.len(), shards: config.shards });
+        }
+        if engines.is_empty() {
+            return Err(ServeError::EmptyCluster);
+        }
+        if let Some(engine) = engines.iter().position(|e| e.active_sessions() > 0 || e.paused_sessions() > 0)
+        {
+            return Err(ServeError::EngineNotIdle { engine });
+        }
+        if !engines.windows(2).all(|w| w[0].model_config() == w[1].model_config()) {
+            return Err(ServeError::ModelGeometryMismatch);
+        }
         if let Some(m) = &config.migration {
             // cold ≤ hot is the hysteresis that prevents a session from
             // ping-ponging: a landing that pushes the target past the
             // cold threshold is refused, so the target cannot have been
             // made hot by the migration itself.
-            assert!(
-                m.cold_fraction <= m.hot_fraction && m.hot_fraction <= 1.0 && m.cold_fraction > 0.0,
-                "migration thresholds must satisfy 0 < cold_fraction <= hot_fraction <= 1"
-            );
+            if !(m.cold_fraction <= m.hot_fraction && m.hot_fraction <= 1.0 && m.cold_fraction > 0.0) {
+                return Err(ServeError::InvalidMigrationThresholds {
+                    cold: m.cold_fraction,
+                    hot: m.hot_fraction,
+                });
+            }
         }
+        let faults = config.faults.clone().unwrap_or_default();
+        faults.plan.validate(engines.len())?;
         let n = engines.len();
         let admission = AdmissionConfig {
             capacity_bytes: config.per_shard_capacity_bytes,
@@ -189,7 +239,7 @@ impl Cluster {
                 shard
             })
             .collect();
-        Self {
+        Ok(Self {
             shards,
             workload,
             router: config.router.build(),
@@ -203,7 +253,8 @@ impl Cluster {
             migration_cycles: 0,
             reserved_series: vec![Vec::new(); n],
             trace: config.trace,
-        }
+            faults: FaultRuntime::new(faults, n),
+        })
     }
 
     /// The current virtual-clock tick.
@@ -232,14 +283,41 @@ impl Cluster {
     }
 
     /// Requests currently queued, running, preempted, or swapping in on
-    /// any shard.
+    /// any shard — plus requests parked in the cluster's retry queue
+    /// waiting out their backoff.
     pub fn in_flight(&self) -> usize {
-        self.shards.iter().map(Shard::in_flight).sum()
+        self.shards.iter().map(Shard::in_flight).sum::<usize>() + self.faults.retry.len()
     }
 
     /// Cross-shard migrations performed so far.
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Requests dead-lettered so far (terminal: retry budget exhausted).
+    pub fn dead_lettered(&self) -> usize {
+        self.faults.dead_letters as usize
+    }
+
+    /// Requests shed by the overload watermark so far (terminal).
+    pub fn shed(&self) -> usize {
+        self.faults.shed as usize
+    }
+
+    /// Retry attempts consumed so far (crash losses, deadline teardowns,
+    /// and requeue failures).
+    pub fn retries(&self) -> u64 {
+        self.faults.retries
+    }
+
+    /// Deadline violations that tore an attempt down so far.
+    pub fn timeouts(&self) -> u64 {
+        self.faults.timeouts
+    }
+
+    /// Current per-shard health, indexed by shard.
+    pub fn health(&self) -> &[ShardHealth] {
+        &self.faults.health
     }
 
     /// Whether all work (arrived and future) is finished.
@@ -249,15 +327,40 @@ impl Cluster {
 
     /// Executes one virtual-clock tick (see the [module docs](self)).
     pub fn tick(&mut self) {
+        self.apply_fault_transitions();
+        self.drain_retries();
         for arrival in self.workload.take_arrivals(self.now) {
-            let views: Vec<_> = self.shards.iter().map(|s| s.view(&arrival.request.prompt)).collect();
-            let pick = self.router.route(&views);
-            assert!(pick < self.shards.len(), "router returned an out-of-range shard");
-            self.routed[pick] += 1;
             let global = self.arrivals;
             self.arrivals += 1;
-            self.shards[pick].accept(arrival, global, self.now, &mut self.workload);
+            if self.faults.health.iter().any(|h| h.routable()) {
+                let views: Vec<_> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| s.view(&arrival.request.prompt, self.faults.health[i]))
+                    .collect();
+                let pick = self.router.route(&views);
+                assert!(pick < self.shards.len(), "router returned an out-of-range shard");
+                assert!(self.faults.health[pick].routable(), "router picked an unroutable shard");
+                self.routed[pick] += 1;
+                self.shards[pick].accept(arrival, global, self.now, &mut self.workload);
+            } else {
+                // Every shard is down or draining: the arrival cannot be
+                // routed anywhere. Register its record on a deterministic
+                // home shard and park it as a retry attempt (bounded, so
+                // a cluster that never recovers dead-letters it).
+                let ServingRequest { request, priority } = arrival;
+                let home = global % self.shards.len();
+                let index = self.shards[home].register_deferred(&request, priority, global, self.now);
+                self.retry_or_dead_letter(LostWork {
+                    home: (home, index),
+                    arrival: global,
+                    priority,
+                    request,
+                });
+            }
         }
+        self.shed_overload();
         for shard in &mut self.shards {
             shard.begin_tick(self.now);
         }
@@ -276,16 +379,243 @@ impl Cluster {
                 self.shards[update.shard].apply_record_delta(update.index, update.delta);
             }
         }
+        self.enforce_deadlines();
         for (i, shard) in self.shards.iter().enumerate() {
             self.reserved_series[i].push(shard.reserved_bytes());
         }
+        self.faults.shard_ticks += self.shards.len() as u64;
+        self.faults.alive_shard_ticks +=
+            self.faults.health.iter().filter(|h| **h != ShardHealth::Down).count() as u64;
 
         self.now += 1;
-        // Fast-forward idle spans to the next arrival.
-        if self.in_flight() == 0 {
-            if let Some(next) = self.workload.next_arrival_tick() {
+        // Fast-forward idle spans to the next thing that can happen: an
+        // arrival, a parked retry coming ready, or a scheduled fault
+        // transition (so no ShardDown/ShardUp edge is skipped over). A
+        // finished run never jumps — a fault transition past the last
+        // completion would only inflate the tick count it is judged by.
+        if !self.is_done() && self.shards.iter().map(Shard::in_flight).sum::<usize>() == 0 {
+            let mut next: Option<u64> = None;
+            for candidate in [
+                self.workload.next_arrival_tick(),
+                self.faults.next_retry_ready(),
+                self.faults.config.plan.next_transition_at(self.now),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                next = Some(next.map_or(candidate, |n| n.min(candidate)));
+            }
+            if let Some(next) = next {
                 self.now = self.now.max(next);
             }
+        }
+    }
+
+    /// Applies the fault plan's scheduled health and link transitions for
+    /// this tick: newly-down shards fail (their work re-enters through
+    /// the retry queue), recovered shards rejoin rotation, and each
+    /// shard's host-link bandwidth fraction is refreshed. A no-op on an
+    /// empty plan (invariant #9).
+    fn apply_fault_transitions(&mut self) {
+        for s in 0..self.shards.len() {
+            let health = self.faults.config.plan.health_at(s, self.now);
+            let was_down = self.faults.health[s] == ShardHealth::Down;
+            let is_down = health == ShardHealth::Down;
+            self.faults.health[s] = health;
+            if is_down && !was_down {
+                let sessions = (self.shards[s].running.len()
+                    + self.shards[s].paused.len()
+                    + self.shards[s].swapping.len()) as u64;
+                let lost = self.shards[s].fail();
+                self.faults.shard_downs += 1;
+                self.faults.lost_sessions += sessions;
+                self.faults.down_since[s] = Some(self.now);
+                // The event's request field carries the shard id: shard
+                // transitions are not tied to any one request.
+                self.shards[s].emit(
+                    self.now,
+                    s as u64,
+                    TraceEventKind::ShardDown { lost: lost.len() as u32 },
+                );
+                for work in lost {
+                    self.retry_or_dead_letter(work);
+                }
+            } else if was_down && !is_down {
+                self.faults.shard_ups += 1;
+                let down_ticks = self.faults.down_since[s].take().map_or(0, |t| self.now.saturating_sub(t));
+                self.shards[s].emit(self.now, s as u64, TraceEventKind::ShardUp { down_ticks });
+            }
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let fraction = self.faults.config.plan.link_fraction_at(s, self.now);
+            if fraction != shard.link.degradation() {
+                shard.link.set_degradation(fraction);
+            }
+        }
+    }
+
+    /// Re-routes every parked retry whose backoff has elapsed through the
+    /// currently-routable shards; a retry that still cannot land (no
+    /// routable shard, or screening failure) consumes another attempt.
+    fn drain_retries(&mut self) {
+        if self.faults.retry.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.faults.retry);
+        let mut parked = std::collections::VecDeque::new();
+        for entry in pending {
+            if entry.ready > self.now {
+                parked.push_back(entry);
+            } else {
+                self.place_retry(entry.work);
+            }
+        }
+        // place_retry may have parked fresh (backed-off) entries; keep
+        // the still-waiting ones first so drain order stays stable.
+        let fresh = std::mem::take(&mut self.faults.retry);
+        self.faults.retry = parked;
+        self.faults.retry.extend(fresh);
+    }
+
+    /// Routes one ready retry to a shard queue, or hands it back to the
+    /// retry/dead-letter path when nothing can take it.
+    fn place_retry(&mut self, work: LostWork) {
+        if !self.faults.health.iter().any(|h| h.routable()) {
+            self.retry_or_dead_letter(work);
+            return;
+        }
+        let views: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.view(&work.request.prompt, self.faults.health[i]))
+            .collect();
+        let pick = self.router.route(&views);
+        assert!(pick < self.shards.len(), "router returned an out-of-range shard");
+        assert!(self.faults.health[pick].routable(), "router picked an unroutable shard");
+        self.routed[pick] += 1;
+        if let Err((_reason, work)) = self.shards[pick].requeue(work, self.now) {
+            self.retry_or_dead_letter(work);
+        }
+    }
+
+    /// The bounded-retry state machine: resets the record's attempt
+    /// state, then either parks the work with its exponential backoff or
+    /// — once the retry budget is spent — dead-letters it (terminal,
+    /// disposing of the request for closed-loop workloads).
+    fn retry_or_dead_letter(&mut self, work: LostWork) {
+        let now = self.now;
+        let (home, index) = work.home;
+        let max_attempts = self.faults.config.retry.max_attempts;
+        let (exhausted, attempt) = {
+            let record = &mut self.shards[home].records[index];
+            record.reset_attempt(now);
+            if record.retries >= max_attempts {
+                record.dead_letter = Some(now);
+                record.lost_at = None;
+                (true, record.retries)
+            } else {
+                record.retries += 1;
+                (false, record.retries)
+            }
+        };
+        if exhausted {
+            self.faults.dead_letters += 1;
+            self.shards[home].emit(
+                now,
+                work.arrival as u64,
+                TraceEventKind::DeadLetter { attempts: attempt },
+            );
+            self.workload.notify_completion(now);
+        } else {
+            self.faults.retries += 1;
+            self.shards[home].emit(now, work.arrival as u64, TraceEventKind::Retried { attempt });
+            let ready = now + self.faults.config.retry.backoff(attempt);
+            self.faults.retry.push_back(RetryEntry { ready, work });
+        }
+    }
+
+    /// Sheds queued requests while the cluster-wide queue depth exceeds
+    /// the watermark fraction of total queue slots. Victims are the
+    /// lowest-priority tier's newest arrivals — the requests that would
+    /// wait longest anyway — and shedding is terminal (no retry): its
+    /// point is dropping work *cheaply* under overload.
+    fn shed_overload(&mut self) {
+        let Some(watermark) = self.faults.config.shed_watermark else { return };
+        let slots = self.shards.len() * self.shards[0].admission.config().max_queue_depth;
+        let threshold = (watermark * slots as f64) as usize;
+        loop {
+            let depth: usize = self.shards.iter().map(Shard::queue_len).sum();
+            if depth <= threshold {
+                break;
+            }
+            let (_, std::cmp::Reverse(arrival), shard) = self
+                .shards
+                .iter()
+                .flat_map(|s| s.queue.iter().map(move |e| (e.priority, std::cmp::Reverse(e.arrival), s.id)))
+                .min()
+                .expect("queue depth above threshold implies a non-empty queue");
+            let entry =
+                self.shards[shard].remove_queued(arrival).expect("victim was just seen in this queue");
+            let (home, index) = match entry.record {
+                RecordRef::Local(i) => (shard, i),
+                RecordRef::Foreign { shard, index } => (shard, index),
+            };
+            let record = &mut self.shards[home].records[index];
+            record.shed = Some(self.now);
+            record.lost_at = None;
+            self.faults.shed += 1;
+            self.shards[home].emit(self.now, arrival as u64, TraceEventKind::Shed);
+            self.workload.notify_completion(self.now);
+        }
+    }
+
+    /// Tears down every attempt past its TTFT or e2e deadline (measured
+    /// from the attempt's epoch, not the original submission) and feeds
+    /// it to the retry/dead-letter path. A no-op with no deadlines
+    /// configured.
+    fn enforce_deadlines(&mut self) {
+        let ttft = self.faults.config.ttft_deadline;
+        let e2e = self.faults.config.e2e_deadline;
+        if ttft.is_none() && e2e.is_none() {
+            return;
+        }
+        let now = self.now;
+        // Phase 1: scan immutably, in shard order, collecting violations.
+        let mut violations: Vec<(usize, usize, &'static str)> = Vec::new();
+        for si in 0..self.shards.len() {
+            let shard = &self.shards[si];
+            let entries = shard
+                .queue
+                .iter()
+                .map(|e| (e.record, e.arrival, e.submitted))
+                .chain(shard.running.iter().map(|e| (e.record, e.arrival, e.submitted)))
+                .chain(shard.paused.iter().map(|e| (e.record, e.arrival, e.submitted)))
+                .chain(shard.swapping.iter().map(|s| (s.entry.record, s.entry.arrival, s.entry.submitted)));
+            for (record_ref, arrival, submitted) in entries {
+                let (h, idx) = match record_ref {
+                    RecordRef::Local(i) => (si, i),
+                    RecordRef::Foreign { shard, index } => (shard, index),
+                };
+                let record = &self.shards[h].records[idx];
+                // e2e subsumes ttft: a request past both deadlines is
+                // one timeout, labeled with the stricter violation.
+                if e2e.is_some_and(|d| now >= submitted + d) && record.finished.is_none() {
+                    violations.push((si, arrival, "e2e"));
+                } else if ttft.is_some_and(|d| now >= submitted + d) && record.first_token.is_none() {
+                    violations.push((si, arrival, "ttft"));
+                }
+            }
+        }
+        // Phase 2: tear down in the order collected (deterministic).
+        for (si, arrival, deadline) in violations {
+            let Some(work) = self.shards[si].remove_timed_out(arrival, deadline, now) else {
+                continue;
+            };
+            let (h, idx) = work.home;
+            self.shards[h].records[idx].timeouts += 1;
+            self.faults.timeouts += 1;
+            self.retry_or_dead_letter(work);
         }
     }
 
@@ -311,7 +641,10 @@ impl Cluster {
             s.reserved_bytes() > threshold
         };
         // Hottest eligible source; ties go to the lowest shard index
-        // (max_by_key keeps the last max, so reverse the index in the key).
+        // (max_by_key keeps the last max, so reverse the index in the
+        // key). A Draining shard may still migrate sessions *away* —
+        // that is the point of the drain window — but a Down shard has
+        // nothing to offer (its running set is empty).
         let src = self
             .shards
             .iter()
@@ -326,12 +659,13 @@ impl Cluster {
             .max_by_key(|e| (e.full_bytes, std::cmp::Reverse(e.arrival)))
             .expect("source has running sessions");
         let need = victim.full_bytes;
-        // Coldest shard that can land the full (undiscounted) payload and
-        // stay under the cold-side threshold.
+        // Coldest *routable* shard that can land the full (undiscounted)
+        // payload and stay under the cold-side threshold — down and
+        // draining shards receive no landings.
         let tgt = self
             .shards
             .iter()
-            .filter(|s| s.id != src)
+            .filter(|s| s.id != src && self.faults.health[s.id].routable())
             .filter(|s| {
                 let cold_cap = (cfg.cold_fraction * s.capacity_bytes() as f64) as u64;
                 s.admission.would_fit(need.saturating_add(s.prefix_overhead()))
@@ -389,6 +723,8 @@ impl Cluster {
             entry: SessionEntry {
                 record,
                 arrival: entry.arrival,
+                submitted: entry.submitted,
+                request: entry.request,
                 session,
                 priority: entry.priority,
                 est_bytes: entry.full_bytes,
@@ -423,6 +759,15 @@ impl Cluster {
             migration_bytes: self.migration_bytes,
             migration_cycles: self.migration_cycles,
             kv_reserved_series: self.reserved_series,
+            shard_downs: self.faults.shard_downs,
+            shard_ups: self.faults.shard_ups,
+            lost_sessions: self.faults.lost_sessions,
+            retries: self.faults.retries,
+            timeouts: self.faults.timeouts,
+            dead_letters: self.faults.dead_letters,
+            shed: self.faults.shed,
+            alive_shard_ticks: self.faults.alive_shard_ticks,
+            shard_ticks: self.faults.shard_ticks,
             shards,
         }
     }
@@ -474,6 +819,28 @@ pub struct ClusterReport {
     /// Per-shard reserved-KV-bytes series, sampled after each executed
     /// tick, indexed by shard.
     pub kv_reserved_series: Vec<Vec<u64>>,
+    /// Fail-stop shard crashes executed by the fault plan.
+    pub shard_downs: u64,
+    /// Shard recoveries executed by the fault plan.
+    pub shard_ups: u64,
+    /// Admitted sessions lost to crashes (their KV state was discarded
+    /// and their requests re-prefilled on retry).
+    pub lost_sessions: u64,
+    /// Retry attempts consumed (crash losses, deadline teardowns, and
+    /// requeue failures).
+    pub retries: u64,
+    /// Deadline violations (TTFT or e2e) that tore an attempt down.
+    pub timeouts: u64,
+    /// Requests dead-lettered after exhausting their retry budget
+    /// (terminal).
+    pub dead_letters: u64,
+    /// Requests shed by the overload watermark (terminal).
+    pub shed: u64,
+    /// Shard-ticks spent not `Down` (availability numerator; a draining
+    /// shard still counts as available — it is serving its queue).
+    pub alive_shard_ticks: u64,
+    /// Total shard-ticks observed (availability denominator).
+    pub shard_ticks: u64,
     /// Per-shard serving reports, indexed by shard. Each request's
     /// record lives in the report of the shard that *accepted* it, even
     /// if the session later migrated.
@@ -499,6 +866,41 @@ impl ClusterReport {
     /// Requests rejected cluster-wide.
     pub fn rejected(&self) -> usize {
         self.shards.iter().map(ServingReport::rejected).sum()
+    }
+
+    /// Fraction of shard-ticks spent not `Down`, in `[0, 1]` (`1.0` for
+    /// a run that never executed a tick).
+    pub fn availability(&self) -> f64 {
+        if self.shard_ticks == 0 {
+            1.0
+        } else {
+            self.alive_shard_ticks as f64 / self.shard_ticks as f64
+        }
+    }
+
+    /// Recovery-latency summary (ticks from an attempt's loss to its
+    /// re-admission) over every request that survived at least one loss;
+    /// `None` when nothing recovered.
+    pub fn recovery(&self) -> Option<LatencySummary> {
+        LatencySummary::of(
+            self.shards
+                .iter()
+                .flat_map(|s| s.records.iter())
+                .filter(|r| r.recovery_wait_ticks > 0)
+                .map(|r| r.recovery_wait_ticks)
+                .collect(),
+        )
+    }
+
+    /// Completed requests per tick — the throughput that survives the
+    /// fault schedule (timed-out retries, dead letters and shed requests
+    /// all fall out of the numerator).
+    pub fn goodput(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.completed() as f64 / self.ticks as f64
+        }
     }
 
     /// Tokens generated cluster-wide.
@@ -542,6 +944,15 @@ impl ClusterReport {
         m.counter_add("cluster_migrations", self.migrations);
         m.counter_add("cluster_migration_bytes", self.migration_bytes);
         m.counter_add("cluster_migration_link_cycles", self.migration_cycles);
+        m.counter_add("cluster_shard_downs", self.shard_downs);
+        m.counter_add("cluster_shard_ups", self.shard_ups);
+        m.counter_add("cluster_lost_sessions", self.lost_sessions);
+        m.counter_add("cluster_retries", self.retries);
+        m.counter_add("cluster_timeouts", self.timeouts);
+        m.counter_add("cluster_dead_letters", self.dead_letters);
+        m.counter_add("cluster_shed", self.shed);
+        m.counter_add("cluster_alive_shard_ticks", self.alive_shard_ticks);
+        m.counter_add("cluster_shard_ticks", self.shard_ticks);
         for (i, n) in self.routed.iter().enumerate() {
             m.counter_add(&format!("cluster_routed_shard_{i}"), *n as u64);
         }
@@ -600,6 +1011,21 @@ impl std::fmt::Display for ClusterReport {
             "  migrations             : {} ({} B, {} link cycles)",
             self.migrations, self.migration_bytes, self.migration_cycles
         )?;
+        if self.shard_downs + self.retries + self.timeouts + self.dead_letters + self.shed > 0 {
+            writeln!(
+                f,
+                "  faults                 : {} crashes / {} recoveries, {} sessions lost, \
+                 {} retries, {} timeouts, {} dead-lettered, {} shed",
+                self.shard_downs,
+                self.shard_ups,
+                self.lost_sessions,
+                self.retries,
+                self.timeouts,
+                self.dead_letters,
+                self.shed
+            )?;
+            writeln!(f, "  availability           : {:.4}", self.availability())?;
+        }
         if self.prefix_lookups() > 0 {
             writeln!(
                 f,
@@ -616,6 +1042,9 @@ impl std::fmt::Display for ClusterReport {
         };
         row("ttft", self.ttft())?;
         row("e2e", self.e2e())?;
+        if let Some(recovery) = self.recovery() {
+            row("recovery", Some(recovery))?;
+        }
         if let Some(stages) = self.stages() {
             row("wf queueing", Some(stages.queueing))?;
             row("wf prefill", Some(stages.prefill))?;

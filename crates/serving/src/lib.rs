@@ -61,6 +61,18 @@
 //!   [`ClusterReport`]: per-shard [`ServingReport`]s plus routing
 //!   counts, migration traffic, per-shard KV-residency series, and
 //!   global latency aggregates.
+//! * **Fault plane** ([`faults`]) — a deterministic, virtual-clock-driven
+//!   [`FaultPlan`] injects fail-stop shard crashes (with optional
+//!   recovery and pre-crash drain), host-link bandwidth degradation
+//!   windows, per-attempt TTFT/e2e deadline timeouts, bounded
+//!   exponential-backoff retry ([`RetryPolicy`]) with a terminal
+//!   dead-letter state, and watermark load-shedding
+//!   ([`FaultConfig::shed_watermark`]). The router only sees healthy
+//!   shards ([`ShardHealth`]); recovered shards rejoin rotation
+//!   deterministically. An empty plan is byte-identical to a cluster
+//!   with no fault plane at all (determinism invariant #9), and
+//!   misconfiguration surfaces as a typed [`ServeError`] through
+//!   [`Cluster::try_new`].
 //! * **Observability** ([`veda_telemetry`], re-exported here) — an
 //!   optional [`TraceSink`] ([`ServerConfig::trace`] /
 //!   [`ClusterConfig::trace`]) receives every request's typed lifecycle
@@ -95,6 +107,8 @@
 
 pub mod admission;
 pub mod cluster;
+pub mod error;
+pub mod faults;
 pub mod report;
 pub mod router;
 pub mod scheduler;
@@ -104,6 +118,8 @@ pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionController, RejectReason};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, MigrationConfig};
+pub use error::ServeError;
+pub use faults::{FaultConfig, FaultPlan, LinkDegradation, RetryPolicy, ShardCrash, ShardHealth};
 pub use report::{LatencySummary, RequestRecord, ServingReport, StageSummaries};
 // The observability plane: re-exported so serving callers can wire a
 // sink, export Chrome traces, and read waterfalls without naming the

@@ -39,9 +39,52 @@ pub struct RequestRecord {
     pub wait_before_first_ticks: u64,
     /// Why the request was rejected, if it was.
     pub rejected: Option<RejectReason>,
+    /// Retries consumed so far (shard-crash losses and deadline
+    /// teardowns both count against [`crate::RetryPolicy::max_attempts`]).
+    pub retries: u32,
+    /// Deadline violations observed across all attempts.
+    pub timeouts: u32,
+    /// Tick the request was shed by the load-shedder (terminal).
+    pub shed: Option<u64>,
+    /// Tick the request was dead-lettered after exhausting its retry
+    /// budget (terminal).
+    pub dead_letter: Option<u64>,
+    /// Tick the current loss began (shard crash or deadline teardown);
+    /// cleared when the retried request is re-admitted.
+    pub lost_at: Option<u64>,
+    /// Cumulative ticks spent between losses and the re-admissions that
+    /// recovered them (the recovery-latency metric).
+    pub recovery_wait_ticks: u64,
 }
 
 impl RequestRecord {
+    /// Resets the run-state of a lost attempt so the record is ready for
+    /// a retry: placement, admission, token progress and wait accounting
+    /// all restart from scratch (a retry re-prefills from the prompt),
+    /// while the identity fields, the original `submitted` tick, and the
+    /// cumulative fault counters survive. Prior attempts therefore fold
+    /// into the queueing stage of the eventual waterfall — exactly where
+    /// time waiting to be served belongs.
+    pub(crate) fn reset_attempt(&mut self, now: u64) {
+        self.session = None;
+        self.admitted = None;
+        self.first_token = None;
+        self.generated_tokens = 0;
+        self.swap_wait_ticks = 0;
+        self.migration_wait_ticks = 0;
+        self.wait_before_first_ticks = 0;
+        self.lost_at = Some(now);
+    }
+
+    /// Whether the request reached a terminal state: finished, rejected,
+    /// shed, or dead-lettered.
+    pub fn is_terminal(&self) -> bool {
+        self.finished.is_some()
+            || self.rejected.is_some()
+            || self.shed.is_some()
+            || self.dead_letter.is_some()
+    }
+
     /// Time to first token in ticks (`first_token − submitted`).
     pub fn ttft(&self) -> Option<u64> {
         Some(self.first_token? - self.submitted)
@@ -224,6 +267,40 @@ impl ServingReport {
         self.rejected_never_fits + self.rejected_queue_full + self.rejected_invalid
     }
 
+    /// Requests homed here that were dead-lettered (retry budget
+    /// exhausted).
+    pub fn dead_lettered(&self) -> usize {
+        self.records.iter().filter(|r| r.dead_letter.is_some()).count()
+    }
+
+    /// Requests homed here that the load-shedder dropped.
+    pub fn shed(&self) -> usize {
+        self.records.iter().filter(|r| r.shed.is_some()).count()
+    }
+
+    /// Retries consumed by requests homed here.
+    pub fn retries(&self) -> u64 {
+        self.records.iter().map(|r| r.retries as u64).sum()
+    }
+
+    /// Deadline violations observed by requests homed here.
+    pub fn timeouts(&self) -> u64 {
+        self.records.iter().map(|r| r.timeouts as u64).sum()
+    }
+
+    /// Recovery-latency summary (ticks between a loss and the retry's
+    /// re-admission) over requests homed here that recovered at least
+    /// once; `None` when nothing was ever lost and re-admitted.
+    pub fn recovery(&self) -> Option<LatencySummary> {
+        LatencySummary::of(
+            self.records
+                .iter()
+                .filter(|r| r.recovery_wait_ticks > 0)
+                .map(|r| r.recovery_wait_ticks)
+                .collect(),
+        )
+    }
+
     /// TTFT summary over completed requests.
     pub fn ttft(&self) -> Option<LatencySummary> {
         LatencySummary::of(self.records.iter().filter_map(RequestRecord::ttft).collect())
@@ -308,6 +385,10 @@ impl ServingReport {
         m.counter_add("swap_link_cycles", self.swap_cycles);
         m.counter_add("swap_wait_ticks", self.swap_wait_ticks);
         m.counter_add("budget_shrinks", self.budget_shrinks);
+        m.counter_add("requests_dead_lettered", self.dead_lettered() as u64);
+        m.counter_add("requests_shed", self.shed() as u64);
+        m.counter_add("request_retries", self.retries());
+        m.counter_add("request_timeouts", self.timeouts());
         m.counter_add("ticks", self.ticks);
         m.counter_add("decode_ticks", self.decode_ticks);
         m.counter_add("generated_tokens", self.engine.total_tokens as u64);
@@ -368,6 +449,16 @@ impl std::fmt::Display for ServingReport {
             "  swap traffic           : {} B out, {} B in, {} link cycles, {} wait ticks",
             self.swap_out_bytes, self.swap_in_bytes, self.swap_cycles, self.swap_wait_ticks
         )?;
+        if self.retries() + self.timeouts() > 0 || self.dead_lettered() + self.shed() > 0 {
+            writeln!(
+                f,
+                "  faults                 : {} retries, {} timeouts, {} dead-lettered, {} shed",
+                self.retries(),
+                self.timeouts(),
+                self.dead_lettered(),
+                self.shed()
+            )?;
+        }
         writeln!(
             f,
             "  queue depth            : max {}, mean {:.2}",
@@ -454,6 +545,12 @@ mod tests {
             migration_wait_ticks: 0,
             wait_before_first_ticks: 0,
             rejected: None,
+            retries: 0,
+            timeouts: 0,
+            shed: None,
+            dead_letter: None,
+            lost_at: None,
+            recovery_wait_ticks: 0,
         };
         assert_eq!(r.ttft(), Some(5));
         assert_eq!(r.e2e(), Some(13));
@@ -482,6 +579,12 @@ mod tests {
             migration_wait_ticks: 3,
             wait_before_first_ticks: 4,
             rejected: None,
+            retries: 0,
+            timeouts: 0,
+            shed: None,
+            dead_letter: None,
+            lost_at: None,
+            recovery_wait_ticks: 0,
         };
         let w = r.waterfall().unwrap();
         assert_eq!(w.queueing, 2);
@@ -511,6 +614,12 @@ mod tests {
             migration_wait_ticks: 0,
             wait_before_first_ticks: 0,
             rejected: None,
+            retries: 0,
+            timeouts: 0,
+            shed: None,
+            dead_letter: None,
+            lost_at: None,
+            recovery_wait_ticks: 0,
         };
         assert!(r.waterfall().is_none());
     }

@@ -29,6 +29,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+use crate::faults::ShardHealth;
+
 /// Per-shard snapshot a [`RouterPolicy`] routes against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardView {
@@ -46,6 +48,11 @@ pub struct ShardView {
     /// shard's prefix cache, in tokens (`0` when the cache is disabled
     /// or cold).
     pub prefix_match_tokens: usize,
+    /// The shard's health: only [`ShardHealth::routable`] shards may be
+    /// picked. The cluster guarantees at least one routable view per
+    /// call (arrivals with no healthy shard bypass the router entirely
+    /// and park in the retry queue).
+    pub health: ShardHealth,
 }
 
 /// A routing policy: maps each arrival to a shard index.
@@ -147,7 +154,13 @@ impl RouterPolicy for RoundRobin {
     }
 
     fn route(&mut self, shards: &[ShardView]) -> usize {
-        let pick = self.cursor % shards.len();
+        // Rotate over the *routable* shards: a down shard leaves the
+        // rotation without desynchronizing the cursor, and a recovered
+        // shard deterministically rejoins at its index. With every shard
+        // alive this is exactly `cursor % shards.len()` — the form the
+        // 1-shard-cluster ≡ server pin was established under.
+        let routable: Vec<usize> = shards.iter().filter(|v| v.health.routable()).map(|v| v.shard).collect();
+        let pick = routable[self.cursor % routable.len()];
         self.cursor = self.cursor.wrapping_add(1);
         pick
     }
@@ -161,7 +174,12 @@ impl RouterPolicy for LeastLoaded {
     }
 
     fn route(&mut self, shards: &[ShardView]) -> usize {
-        shards.iter().min_by_key(|v| least_loaded_key(v)).expect("cluster has at least one shard").shard
+        shards
+            .iter()
+            .filter(|v| v.health.routable())
+            .min_by_key(|v| least_loaded_key(v))
+            .expect("cluster routes only when a routable shard exists")
+            .shard
     }
 }
 
@@ -175,7 +193,7 @@ impl RouterPolicy for PrefixAffinity {
     fn route(&mut self, shards: &[ShardView]) -> usize {
         let best = shards
             .iter()
-            .filter(|v| v.prefix_match_tokens > 0)
+            .filter(|v| v.health.routable() && v.prefix_match_tokens > 0)
             // max_by_key keeps the *last* max on ties; keying the shard
             // index in reverse makes the winner the lowest-indexed shard
             // with the longest match — deterministic and stable.
@@ -185,8 +203,9 @@ impl RouterPolicy for PrefixAffinity {
             None => {
                 shards
                     .iter()
+                    .filter(|v| v.health.routable())
                     .min_by_key(|v| least_loaded_key(v))
-                    .expect("cluster has at least one shard")
+                    .expect("cluster routes only when a routable shard exists")
                     .shard
             }
         }
@@ -205,7 +224,13 @@ mod tests {
             queue_depth: queue,
             running: 0,
             prefix_match_tokens: prefix,
+            health: ShardHealth::Alive,
         }
+    }
+
+    fn down(mut v: ShardView) -> ShardView {
+        v.health = ShardHealth::Down;
+        v
     }
 
     #[test]
@@ -214,6 +239,25 @@ mod tests {
         let shards = [view(0, 0, 0, 0), view(1, 0, 0, 0), view(2, 0, 0, 0)];
         let picks: Vec<usize> = (0..7).map(|_| p.route(&shards)).collect();
         assert_eq!(picks, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn policies_skip_unroutable_shards() {
+        // Round-robin rotates over the survivors only...
+        let mut p = RouterKind::RoundRobin.build();
+        let shards = [view(0, 0, 0, 0), down(view(1, 0, 0, 0)), view(2, 0, 0, 0)];
+        let picks: Vec<usize> = (0..4).map(|_| p.route(&shards)).collect();
+        assert_eq!(picks, [0, 2, 0, 2]);
+        // ...and a recovered shard rejoins the rotation deterministically.
+        let healthy = [view(0, 0, 0, 0), view(1, 0, 0, 0), view(2, 0, 0, 0)];
+        let picks: Vec<usize> = (0..3).map(|_| p.route(&healthy)).collect();
+        assert_eq!(picks, [1, 2, 0], "cursor kept advancing across the outage");
+        // Least-loaded never picks a down shard, even the emptiest one.
+        let mut p = RouterKind::LeastLoaded.build();
+        assert_eq!(p.route(&[down(view(0, 0, 0, 0)), view(1, 999, 9, 0)]), 1);
+        // Prefix affinity ignores a down shard's cached prefix.
+        let mut p = RouterKind::PrefixAffinity.build();
+        assert_eq!(p.route(&[down(view(0, 0, 0, 99)), view(1, 5, 0, 2)]), 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use veda_mem::{HostLink, HostLinkConfig, SwapDirection, TransferKind};
 use veda_telemetry::{SinkHandle, TraceEvent, TraceEventKind, Tracer};
 
 use crate::admission::{AdmissionConfig, AdmissionController, RejectReason};
+use crate::faults::LostWork;
 use crate::report::{RequestRecord, ServingReport};
 use crate::scheduler::{QueuedView, RunningView, SchedKind, SchedulerPolicy};
 use crate::workload::{ArrivalKind, ServingRequest, Workload};
@@ -74,6 +75,12 @@ pub(crate) enum RecordDelta {
     Preempted,
     /// The session finished an off-device wait spanning `[from, to)`.
     Wait { kind: WaitKind, from: u64, to: u64 },
+    /// The request was (re-)admitted on its hosting shard at tick `now`
+    /// — a retried request can land anywhere, so admission itself can
+    /// now be a cross-shard fact. The home shard stamps the record and,
+    /// if the request was recovering from a loss, folds the recovery
+    /// wait and emits the `Recovered` event.
+    Admitted { now: u64 },
 }
 
 /// Folds one completed off-device wait interval `[from, to)` into the
@@ -102,11 +109,20 @@ pub(crate) struct ForeignUpdate {
     pub(crate) delta: RecordDelta,
 }
 
-/// A request waiting for admission. Queue entries are always local —
-/// migration moves only admitted sessions.
+/// A request waiting for admission. Fresh arrivals queue on their home
+/// shard (a `Local` record); retried requests can land anywhere, so a
+/// queue entry can reference a foreign record.
 #[derive(Debug)]
 pub(crate) struct QueuedEntry {
-    pub(crate) record: usize,
+    pub(crate) record: RecordRef,
+    /// Global arrival index (mirrored so foreign entries need no
+    /// cross-shard lookup).
+    pub(crate) arrival: usize,
+    /// Tick this *attempt* entered the serving plane: the original
+    /// submission for a first attempt, the requeue tick for a retry.
+    /// Deadlines and scheduler ordering run against this epoch; the
+    /// record keeps the original submission tick for latency metrics.
+    pub(crate) submitted: u64,
     pub(crate) request: Request,
     pub(crate) priority: u8,
     /// Reserved peak KV bytes (shared-prefix discounted when sound).
@@ -125,6 +141,11 @@ pub(crate) struct SessionEntry {
     /// Global arrival index (mirrored from the record so foreign entries
     /// need no cross-shard lookup in scheduler views).
     pub(crate) arrival: usize,
+    /// This attempt's epoch tick (see [`QueuedEntry::submitted`]).
+    pub(crate) submitted: u64,
+    /// The original request, kept so a crash or deadline teardown can
+    /// re-queue the session from its prompt.
+    pub(crate) request: Request,
     pub(crate) session: Session,
     pub(crate) priority: u8,
     pub(crate) est_bytes: u64,
@@ -250,8 +271,10 @@ impl Shard {
         self.trace = Some(sink);
     }
 
-    /// Emit one shard-level event (no-op without a sink).
-    fn emit(&self, now: u64, request: u64, kind: TraceEventKind) {
+    /// Emit one shard-level event (no-op without a sink). The cluster
+    /// also calls this to stamp fault-plane events (retries, dead
+    /// letters, sheds) onto a request's home shard.
+    pub(crate) fn emit(&self, now: u64, request: u64, kind: TraceEventKind) {
         if let Some(sink) = &self.trace {
             sink.record(TraceEvent {
                 tick: now,
@@ -312,9 +335,13 @@ impl Shard {
         self.admission.config().capacity_bytes
     }
 
-    /// Snapshot for routing: load plus how much of `prompt` this shard's
-    /// prefix cache already holds.
-    pub(crate) fn view(&self, prompt: &[usize]) -> crate::router::ShardView {
+    /// Snapshot for routing: load, health, plus how much of `prompt`
+    /// this shard's prefix cache already holds.
+    pub(crate) fn view(
+        &self,
+        prompt: &[usize],
+        health: crate::faults::ShardHealth,
+    ) -> crate::router::ShardView {
         crate::router::ShardView {
             shard: self.id,
             reserved_bytes: self.admission.reserved_bytes(),
@@ -322,6 +349,7 @@ impl Shard {
             queue_depth: self.queue.len(),
             running: self.running.len(),
             prefix_match_tokens: self.engine.prefix_match_len(prompt),
+            health,
         }
     }
 
@@ -399,13 +427,27 @@ impl Shard {
             migration_wait_ticks: 0,
             wait_before_first_ticks: 0,
             rejected: None,
+            retries: 0,
+            timeouts: 0,
+            shed: None,
+            dead_letter: None,
+            lost_at: None,
+            recovery_wait_ticks: 0,
         };
         let screened =
             self.validate(&request).and_then(|()| self.admission.screen(est_bytes, self.queue.len()));
         match screened {
             Ok(()) => {
                 self.emit(now, global_arrival as u64, TraceEventKind::Queued);
-                self.queue.push_back(QueuedEntry { record: index, request, priority, est_bytes, full_bytes });
+                self.queue.push_back(QueuedEntry {
+                    record: RecordRef::Local(index),
+                    arrival: global_arrival,
+                    submitted: now,
+                    request,
+                    priority,
+                    est_bytes,
+                    full_bytes,
+                });
             }
             Err(reason) => {
                 self.emit(now, global_arrival as u64, TraceEventKind::Rejected { reason: reason.as_str() });
@@ -475,9 +517,9 @@ impl Shard {
     /// Applies one deferred update from another shard's outbox to a
     /// record homed here.
     pub(crate) fn apply_record_delta(&mut self, index: usize, delta: RecordDelta) {
-        let record = &mut self.records[index];
         match delta {
             RecordDelta::Token { now, finished } => {
+                let record = &mut self.records[index];
                 record.generated_tokens += 1;
                 if record.first_token.is_none() {
                     record.first_token = Some(now);
@@ -486,9 +528,220 @@ impl Shard {
                     record.finished = Some(now);
                 }
             }
-            RecordDelta::Preempted => record.preemptions += 1,
-            RecordDelta::Wait { kind, from, to } => apply_wait(record, kind, from, to),
+            RecordDelta::Preempted => self.records[index].preemptions += 1,
+            RecordDelta::Wait { kind, from, to } => apply_wait(&mut self.records[index], kind, from, to),
+            RecordDelta::Admitted { now } => self.note_admitted(index, now),
         }
+    }
+
+    /// Stamps a (re-)admission onto the record homed here: sets the
+    /// admitted tick and, if the request was recovering from a loss,
+    /// folds the recovery wait and emits the `Recovered` event. Called
+    /// locally from [`Shard::admit`] and via [`RecordDelta::Admitted`]
+    /// when a retried request was admitted on another shard.
+    fn note_admitted(&mut self, index: usize, now: u64) {
+        let (arrival, recovered) = {
+            let record = &mut self.records[index];
+            record.admitted = Some(now);
+            let recovered = record.lost_at.take().map(|lost| {
+                let ticks = now.saturating_sub(lost);
+                record.recovery_wait_ticks += ticks;
+                ticks
+            });
+            (record.arrival, recovered)
+        };
+        if let Some(recovery_ticks) = recovered {
+            self.emit(now, arrival as u64, TraceEventKind::Recovered { recovery_ticks });
+        }
+    }
+
+    /// Resolves a record reference to its `(home shard, record index)`.
+    fn home(&self, record: RecordRef) -> (usize, usize) {
+        match record {
+            RecordRef::Local(index) => (self.id, index),
+            RecordRef::Foreign { shard, index } => (shard, index),
+        }
+    }
+
+    /// Fail-stop: every queued request is orphaned and every admitted
+    /// session is discarded — KV freed, no finished report, partial
+    /// token streams lost — and the shard's admission state resets with
+    /// them. Returns the displaced work (queue first, then running,
+    /// paused and swapping sessions, all in entry order) for the cluster
+    /// to retry or dead-letter. The engine's prefix cache, link traffic
+    /// counters and elapsed cycles survive the crash: cache entries own
+    /// their bytes independently of sessions, which is exactly what
+    /// makes re-prefilling recovered requests cheap.
+    pub(crate) fn fail(&mut self) -> Vec<LostWork> {
+        let mut lost = Vec::new();
+        for entry in std::mem::take(&mut self.queue) {
+            lost.push(LostWork {
+                home: self.home(entry.record),
+                arrival: entry.arrival,
+                priority: entry.priority,
+                request: entry.request,
+            });
+        }
+        let running: Vec<SessionEntry> = std::mem::take(&mut self.running);
+        let paused: Vec<SessionEntry> = std::mem::take(&mut self.paused);
+        let swapping: Vec<SwapInEntry> = std::mem::take(&mut self.swapping);
+        for entry in running.into_iter().chain(paused).chain(swapping.into_iter().map(|s| s.entry)) {
+            self.engine.discard(entry.session).expect("in-flight entry tracks the engine");
+            lost.push(LostWork {
+                home: self.home(entry.record),
+                arrival: entry.arrival,
+                priority: entry.priority,
+                request: entry.request,
+            });
+        }
+        self.admission.reset();
+        lost
+    }
+
+    /// Queues a retried request on this shard (the fault-plane analogue
+    /// of [`Shard::accept`]: the record already exists on its home
+    /// shard, so only screening and queueing happen here). On screening
+    /// failure the work is handed back for another retry or a dead
+    /// letter.
+    pub(crate) fn requeue(&mut self, work: LostWork, now: u64) -> Result<(), (RejectReason, LostWork)> {
+        let record = if work.home.0 == self.id {
+            RecordRef::Local(work.home.1)
+        } else {
+            RecordRef::Foreign { shard: work.home.0, index: work.home.1 }
+        };
+        let discount_sound = work.request.never_evicts() && self.shrink.is_none();
+        let shared_tokens =
+            if discount_sound { self.engine.prefix_match_len(&work.request.prompt) } else { 0 };
+        let est_bytes = AdmissionController::estimate_unshared_bytes(
+            &work.request,
+            shared_tokens,
+            self.kv_bytes_per_token,
+        );
+        let full_bytes = AdmissionController::estimate_bytes(&work.request, self.kv_bytes_per_token);
+        match self.admission.screen(est_bytes, self.queue.len()) {
+            Ok(()) => {
+                self.emit(now, work.arrival as u64, TraceEventKind::Queued);
+                self.queue.push_back(QueuedEntry {
+                    record,
+                    arrival: work.arrival,
+                    submitted: now,
+                    request: work.request,
+                    priority: work.priority,
+                    est_bytes,
+                    full_bytes,
+                });
+                Ok(())
+            }
+            Err(reason) => Err((reason, work)),
+        }
+    }
+
+    /// Creates the record (and emits `Submitted`) for an arrival that
+    /// could not be routed anywhere — every shard down — and therefore
+    /// parks in the cluster's retry queue instead of a shard queue. This
+    /// shard becomes the request's home purely for record keeping.
+    pub(crate) fn register_deferred(
+        &mut self,
+        request: &Request,
+        priority: u8,
+        global_arrival: usize,
+        now: u64,
+    ) -> usize {
+        let index = self.records.len();
+        self.emit(
+            now,
+            global_arrival as u64,
+            TraceEventKind::Submitted {
+                prompt_tokens: request.prompt.len() as u32,
+                max_new_tokens: request.max_new_tokens as u32,
+                priority: priority as u32,
+            },
+        );
+        self.records.push(RequestRecord {
+            arrival: global_arrival,
+            session: None,
+            priority,
+            submitted: now,
+            admitted: None,
+            first_token: None,
+            finished: None,
+            generated_tokens: 0,
+            preemptions: 0,
+            swap_wait_ticks: 0,
+            migration_wait_ticks: 0,
+            wait_before_first_ticks: 0,
+            rejected: None,
+            retries: 0,
+            timeouts: 0,
+            shed: None,
+            dead_letter: None,
+            lost_at: None,
+            recovery_wait_ticks: 0,
+        });
+        index
+    }
+
+    /// Tears down one in-flight attempt that missed its `deadline`
+    /// (searched across the queue and the running/paused/swapping sets),
+    /// emitting `TimedOut` and returning the work for a retry or a dead
+    /// letter. Reservations are released where they are actually held:
+    /// running and swapping entries hold one, queued and paused entries
+    /// do not.
+    pub(crate) fn remove_timed_out(
+        &mut self,
+        arrival: usize,
+        deadline: &'static str,
+        now: u64,
+    ) -> Option<LostWork> {
+        let work = if let Some(pos) = self.queue.iter().position(|e| e.arrival == arrival) {
+            let e = self.queue.remove(pos).expect("pos indexes the queue");
+            LostWork {
+                home: self.home(e.record),
+                arrival: e.arrival,
+                priority: e.priority,
+                request: e.request,
+            }
+        } else if let Some(pos) = self.running.iter().position(|e| e.arrival == arrival) {
+            let e = self.running.remove(pos);
+            self.engine.discard(e.session).expect("running entry tracks the engine");
+            self.admission.release(e.est_bytes);
+            LostWork {
+                home: self.home(e.record),
+                arrival: e.arrival,
+                priority: e.priority,
+                request: e.request,
+            }
+        } else if let Some(pos) = self.paused.iter().position(|e| e.arrival == arrival) {
+            let e = self.paused.remove(pos);
+            self.engine.discard(e.session).expect("paused entry tracks the engine");
+            LostWork {
+                home: self.home(e.record),
+                arrival: e.arrival,
+                priority: e.priority,
+                request: e.request,
+            }
+        } else if let Some(pos) = self.swapping.iter().position(|e| e.entry.arrival == arrival) {
+            let e = self.swapping.remove(pos).entry;
+            self.engine.discard(e.session).expect("swapping entry tracks the engine");
+            self.admission.release(e.est_bytes);
+            LostWork {
+                home: self.home(e.record),
+                arrival: e.arrival,
+                priority: e.priority,
+                request: e.request,
+            }
+        } else {
+            return None;
+        };
+        self.emit(now, work.arrival as u64, TraceEventKind::TimedOut { deadline });
+        Some(work)
+    }
+
+    /// Removes one queued entry by arrival id (the load-shedder's
+    /// removal path; queued entries hold no reservation).
+    pub(crate) fn remove_queued(&mut self, arrival: usize) -> Option<QueuedEntry> {
+        let pos = self.queue.iter().position(|e| e.arrival == arrival)?;
+        self.queue.remove(pos)
     }
 
     /// Re-admits swapped-in sessions whose host-link transfer has
@@ -555,11 +808,13 @@ impl Shard {
         }
     }
 
-    fn queued_view(&self, entry: &QueuedEntry) -> QueuedView {
-        let record = &self.records[entry.record];
+    fn queued_view(entry: &QueuedEntry) -> QueuedView {
         QueuedView {
-            arrival: record.arrival,
-            submitted: record.submitted,
+            arrival: entry.arrival,
+            // Scheduler ordering runs on the attempt epoch: a retried
+            // request competes from its requeue tick, not its original
+            // submission (it already consumed its place in line once).
+            submitted: entry.submitted,
             priority: entry.priority,
             total_tokens: entry.request.max_new_tokens,
             est_bytes: entry.est_bytes,
@@ -586,7 +841,7 @@ impl Shard {
     /// after any preemption the policy offers).
     fn admit_from_queue(&mut self, now: u64) {
         while !self.queue.is_empty() {
-            let views: Vec<QueuedView> = self.queue.iter().map(|e| self.queued_view(e)).collect();
+            let views: Vec<QueuedView> = self.queue.iter().map(Self::queued_view).collect();
             let Some(pick) = self.policy.next_candidate(&views) else { break };
             let incoming = views[pick];
             // Admission must fit the reservation *and* the prefix cache's
@@ -633,10 +888,11 @@ impl Shard {
     /// subsequent on-clock ticks (instant prefill consumes it here,
     /// synchronously, as the pre-chunking stack did).
     fn admit(&mut self, entry: QueuedEntry, now: u64) {
-        let prompt_len = entry.request.prompt.len();
-        let peak_tokens = AdmissionController::peak_resident_tokens(&entry.request);
-        let cap = entry.request.budget.resolve(prompt_len).min(peak_tokens);
-        let arrival = self.records[entry.record].arrival;
+        let request = entry.request.clone();
+        let prompt_len = request.prompt.len();
+        let peak_tokens = AdmissionController::peak_resident_tokens(&request);
+        let cap = request.budget.resolve(prompt_len).min(peak_tokens);
+        let arrival = entry.arrival;
         // The engine stamps this request's global arrival index onto its
         // trace events, so the request keeps one id across shards.
         self.emit(now, arrival as u64, TraceEventKind::Admitted { est_bytes: entry.est_bytes });
@@ -644,13 +900,23 @@ impl Shard {
         let session = self.engine.submit(entry.request).expect("accept() validated the request");
         self.admission.reserve(entry.est_bytes);
         self.admitted += 1;
-        let record = &mut self.records[entry.record];
-        record.session = Some(session);
-        record.admitted = Some(now);
+        match entry.record {
+            RecordRef::Local(index) => {
+                self.records[index].session = Some(session);
+                self.note_admitted(index, now);
+            }
+            // A retried request admitted away from home: the home shard
+            // stamps the admission (and any recovery) via the outbox.
+            RecordRef::Foreign { shard, index } => {
+                self.outbox.push(ForeignUpdate { shard, index, delta: RecordDelta::Admitted { now } });
+            }
+        }
         debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
         self.running.push(SessionEntry {
-            record: RecordRef::Local(entry.record),
+            record: entry.record,
             arrival,
+            submitted: entry.submitted,
+            request,
             session,
             priority: entry.priority,
             est_bytes: entry.est_bytes,

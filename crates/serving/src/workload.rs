@@ -324,7 +324,9 @@ impl Workload {
         out
     }
 
-    /// Tells a closed-loop workload that one request completed at `now`:
+    /// Tells a closed-loop workload that one request was *disposed of*
+    /// at `now` — finished, rejected, dead-lettered, or shed (every
+    /// terminal state counts, or a closed-loop run could never drain):
     /// the freed user thinks, then submits the next request. A no-op for
     /// open-loop and trace workloads.
     pub fn notify_completion(&mut self, now: u64) {

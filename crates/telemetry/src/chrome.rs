@@ -163,6 +163,36 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 // Engine-internal; the serving-level events above already
                 // draw the corresponding spans.
             }
+            TraceEventKind::ShardDown { lost } => {
+                // Cluster-plane event: `req` carries the shard id, so it
+                // lands on a dedicated per-shard track.
+                instant(&mut parts, "shard down", pid, req, ts, &format!("\"lost\": {lost}"));
+            }
+            TraceEventKind::ShardUp { down_ticks } => {
+                instant(&mut parts, "shard up", pid, req, ts, &format!("\"down_ticks\": {down_ticks}"));
+            }
+            TraceEventKind::TimedOut { deadline } => {
+                close(&mut parts, &mut open, req, ts);
+                resume.remove(&req);
+                instant(&mut parts, "timed out", pid, req, ts, &format!("\"deadline\": \"{deadline}\""));
+            }
+            TraceEventKind::Retried { attempt } => {
+                instant(&mut parts, "retried", pid, req, ts, &format!("\"attempt\": {attempt}"));
+            }
+            TraceEventKind::Shed => {
+                close(&mut parts, &mut open, req, ts);
+                resume.remove(&req);
+                instant(&mut parts, "shed", pid, req, ts, "");
+            }
+            TraceEventKind::DeadLetter { attempts } => {
+                close(&mut parts, &mut open, req, ts);
+                resume.remove(&req);
+                instant(&mut parts, "dead letter", pid, req, ts, &format!("\"attempts\": {attempts}"));
+            }
+            TraceEventKind::Recovered { recovery_ticks } => {
+                let args = format!("\"recovery_ticks\": {recovery_ticks}");
+                instant(&mut parts, "recovered", pid, req, ts, &args);
+            }
         }
     }
 

@@ -88,6 +88,47 @@ pub enum TraceEventKind {
     /// Engine-level: a migrated session was adopted
     /// (`Engine::adopt`).
     Adopted,
+    /// Cluster-plane: a shard failed (fail-stop) and left routing; its
+    /// in-flight work was lost. The event's `request` field carries the
+    /// shard id — there is no single request this event belongs to.
+    ShardDown {
+        /// In-flight requests purged by the crash (queued + admitted).
+        lost: u32,
+    },
+    /// Cluster-plane: a failed shard recovered and rejoined routing.
+    /// The event's `request` field carries the shard id.
+    ShardUp {
+        /// Virtual ticks the shard spent down.
+        down_ticks: u64,
+    },
+    /// The request missed a deadline and was torn down. Not terminal:
+    /// the retry policy decides whether it re-enters admission
+    /// (`Retried`) or gives up (`DeadLetter`).
+    TimedOut {
+        /// Which deadline was missed (`ttft` or `e2e`).
+        deadline: &'static str,
+    },
+    /// The request re-entered the cluster's retry queue after a crash
+    /// loss or a deadline timeout, with exponential backoff.
+    Retried {
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// Terminal: the load-shedder dropped this queued request to keep
+    /// the cluster out of overload collapse.
+    Shed,
+    /// Terminal: the request exhausted its retry budget and was
+    /// dead-lettered.
+    DeadLetter {
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A previously lost request was re-admitted into an engine —
+    /// recovery complete; its token stream restarts from the prompt.
+    Recovered {
+        /// Ticks from the loss to this re-admission.
+        recovery_ticks: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -112,14 +153,29 @@ impl TraceEventKind {
             TraceEventKind::Resumed => "resumed",
             TraceEventKind::Extracted => "extracted",
             TraceEventKind::Adopted => "adopted",
+            TraceEventKind::ShardDown { .. } => "shard_down",
+            TraceEventKind::ShardUp { .. } => "shard_up",
+            TraceEventKind::TimedOut { .. } => "timed_out",
+            TraceEventKind::Retried { .. } => "retried",
+            TraceEventKind::Shed => "shed",
+            TraceEventKind::DeadLetter { .. } => "dead_letter",
+            TraceEventKind::Recovered { .. } => "recovered",
         }
     }
 
     /// Whether this event ends a request's lifecycle. Every submitted
     /// request reaches exactly one terminal event on a drained run —
-    /// pinned by the event-conservation property test.
+    /// pinned by the event-conservation property test. `TimedOut` is
+    /// *not* terminal (the request may retry); `DeadLetter` and `Shed`
+    /// are.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, TraceEventKind::Finished { .. } | TraceEventKind::Rejected { .. })
+        matches!(
+            self,
+            TraceEventKind::Finished { .. }
+                | TraceEventKind::Rejected { .. }
+                | TraceEventKind::Shed
+                | TraceEventKind::DeadLetter { .. }
+        )
     }
 }
 
@@ -270,7 +326,26 @@ mod tests {
     fn terminal_classification() {
         assert!(TraceEventKind::Finished { generated_tokens: 4 }.is_terminal());
         assert!(TraceEventKind::Rejected { reason: "queue_full" }.is_terminal());
+        assert!(TraceEventKind::Shed.is_terminal());
+        assert!(TraceEventKind::DeadLetter { attempts: 3 }.is_terminal());
         assert!(!TraceEventKind::Queued.is_terminal());
         assert!(!TraceEventKind::Preempted.is_terminal());
+        // A timeout may lead to a retry; only the dead letter ends the
+        // lifecycle.
+        assert!(!TraceEventKind::TimedOut { deadline: "ttft" }.is_terminal());
+        assert!(!TraceEventKind::Retried { attempt: 1 }.is_terminal());
+        assert!(!TraceEventKind::ShardDown { lost: 2 }.is_terminal());
+        assert!(!TraceEventKind::Recovered { recovery_ticks: 9 }.is_terminal());
+    }
+
+    #[test]
+    fn fault_labels_are_stable() {
+        assert_eq!(TraceEventKind::ShardDown { lost: 0 }.label(), "shard_down");
+        assert_eq!(TraceEventKind::ShardUp { down_ticks: 4 }.label(), "shard_up");
+        assert_eq!(TraceEventKind::TimedOut { deadline: "e2e" }.label(), "timed_out");
+        assert_eq!(TraceEventKind::Retried { attempt: 2 }.label(), "retried");
+        assert_eq!(TraceEventKind::Shed.label(), "shed");
+        assert_eq!(TraceEventKind::DeadLetter { attempts: 1 }.label(), "dead_letter");
+        assert_eq!(TraceEventKind::Recovered { recovery_ticks: 1 }.label(), "recovered");
     }
 }

@@ -16,12 +16,21 @@
 //! The run then ends with a `ClusterReport` (routing counts, migration
 //! traffic, global latency aggregates) plus each shard's `ServingReport`.
 //!
+//! The fault plane rides on the cluster path (`--fault-plan SPEC`
+//! schedules fail-stop crashes and link degradations; `--deadline-ticks`,
+//! `--shed-watermark`, `--retry-max`, `--retry-backoff` arm deadlines,
+//! load shedding and the retry policy). Any fault flag promotes a
+//! 1-shard run onto the cluster path, and the streamed ticks annotate
+//! `shard N DOWN` / `shard N UP` transitions live.
+//!
 //! ```sh
 //! cargo run --release --example serving_sim -- --arrival poisson --sched fcfs --seed 7
 //! cargo run --release --example serving_sim -- --arrival burst --sched priority --capacity-kb 16
 //! cargo run --release --example serving_sim -- --arrival closed --sched srb --requests 24 --rate 0.8
 //! cargo run --release --example serving_sim -- --shards 4 --router prefix --shared-prefix 24 --prefix-groups 3
 //! cargo run --release --example serving_sim -- --shards 2 --router load --migrate --capacity-kb 16
+//! cargo run --release --example serving_sim -- --shards 2 --fault-plan "crash@10:shard=1:recover=60" --requests 32
+//! cargo run --release --example serving_sim -- --shards 2 --deadline-ticks 200 --shed-watermark 0.8 --rate 2.0
 //! ```
 
 use std::sync::{Arc, Mutex};
@@ -31,8 +40,9 @@ use veda_accel::DataflowVariant;
 use veda_eviction::PolicyKind;
 use veda_model::ModelConfig;
 use veda_serving::{
-    chrome_trace_json, AdmissionConfig, ArrivalKind, Cluster, ClusterConfig, MigrationConfig, RecordingSink,
-    RequestMix, RouterKind, SchedKind, Server, ServerConfig, SinkHandle, Workload,
+    chrome_trace_json, AdmissionConfig, ArrivalKind, Cluster, ClusterConfig, FaultConfig, FaultPlan,
+    MigrationConfig, RecordingSink, RequestMix, RetryPolicy, RouterKind, SchedKind, Server, ServerConfig,
+    ShardHealth, SinkHandle, Workload,
 };
 
 struct Args {
@@ -64,6 +74,51 @@ struct Args {
     trace_out: Option<String>,
     /// Write the run's metrics registry as JSON to this path.
     metrics_out: Option<String>,
+    /// Fault-plan spec (`crash@T:shard=N[:recover=T2][:drain=D]` /
+    /// `degrade@T1-T2:shard=N:bw=F`, `;`-separated).
+    fault_plan: Option<String>,
+    /// Per-attempt end-to-end deadline, in ticks.
+    deadline_ticks: Option<u64>,
+    /// Load-shedding watermark fraction of total queue slots.
+    shed_watermark: Option<f64>,
+    /// Retry attempts before a request is dead-lettered.
+    retry_max: Option<u32>,
+    /// First-retry backoff in ticks (doubles per attempt).
+    retry_backoff: Option<u64>,
+}
+
+impl Args {
+    /// Whether any fault-plane flag was given (promotes a 1-shard run
+    /// onto the cluster path, where the fault plane lives).
+    fn faulted(&self) -> bool {
+        self.fault_plan.is_some()
+            || self.deadline_ticks.is_some()
+            || self.shed_watermark.is_some()
+            || self.retry_max.is_some()
+            || self.retry_backoff.is_some()
+    }
+
+    /// Builds the fault-plane configuration, or `None` when no fault
+    /// flag was given (keeping the run on invariant #9's no-plane side).
+    fn fault_config(&self) -> Result<Option<FaultConfig>, Box<dyn std::error::Error>> {
+        if !self.faulted() {
+            return Ok(None);
+        }
+        let defaults = RetryPolicy::default();
+        Ok(Some(FaultConfig {
+            plan: match &self.fault_plan {
+                Some(spec) => FaultPlan::parse(spec)?,
+                None => FaultPlan::default(),
+            },
+            retry: RetryPolicy {
+                max_attempts: self.retry_max.unwrap_or(defaults.max_attempts),
+                backoff_base: self.retry_backoff.unwrap_or(defaults.backoff_base),
+            },
+            ttft_deadline: None,
+            e2e_deadline: self.deadline_ticks,
+            shed_watermark: self.shed_watermark,
+        }))
+    }
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -85,6 +140,11 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         migrate: false,
         trace_out: None,
         metrics_out: None,
+        fault_plan: None,
+        deadline_ticks: None,
+        shed_watermark: None,
+        retry_max: None,
+        retry_backoff: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +167,11 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--migrate" => parsed.migrate = true,
             "--trace-out" => parsed.trace_out = Some(value()?),
             "--metrics-out" => parsed.metrics_out = Some(value()?),
+            "--fault-plan" => parsed.fault_plan = Some(value()?),
+            "--deadline-ticks" => parsed.deadline_ticks = Some(value()?.parse()?),
+            "--shed-watermark" => parsed.shed_watermark = Some(value()?.parse()?),
+            "--retry-max" => parsed.retry_max = Some(value()?.parse()?),
+            "--retry-backoff" => parsed.retry_backoff = Some(value()?.parse()?),
             "--help" | "-h" => {
                 println!(
                     "usage: serving_sim [--seed N] [--arrival poisson|burst|closed|trace] [--rate R]\n\
@@ -123,7 +188,16 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                      \x20                   cross-shard KV migration when a shard runs hot)\n\
                      \x20                  [--trace-out PATH]   (Chrome-trace-event JSON, one track\n\
                      \x20                   per shard — load it in Perfetto / chrome://tracing)\n\
-                     \x20                  [--metrics-out PATH] (metrics registry as JSON)"
+                     \x20                  [--metrics-out PATH] (metrics registry as JSON)\n\
+                     \x20                  [--fault-plan SPEC]  (seeded fault schedule, `;`-separated:\n\
+                     \x20                   crash@T:shard=N[:recover=T2][:drain=D] fail-stops shard N,\n\
+                     \x20                   degrade@T1-T2:shard=N:bw=F scales its host link)\n\
+                     \x20                  [--deadline-ticks N] (per-attempt end-to-end deadline)\n\
+                     \x20                  [--shed-watermark F] (shed newest low-priority queued work\n\
+                     \x20                   when global queue depth exceeds F of total slots)\n\
+                     \x20                  [--retry-max N] [--retry-backoff T]\n\
+                     \x20                  (any fault flag runs the cluster path even at --shards 1;\n\
+                     \x20                   streamed ticks report `shard N DOWN` / `shard N UP` live)"
                 );
                 std::process::exit(0);
             }
@@ -231,21 +305,24 @@ fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let kv_per_token = engines[0].kv_bytes_per_token();
     let workload = build_workload(args);
     let (trace, recorder) = make_sink(args.trace_out.is_some());
+    let faults = args.fault_config()?;
     let config = ClusterConfig {
         shards: args.shards,
         per_shard_capacity_bytes: args.capacity_kb << 10,
         router: args.router,
         sched: args.sched,
         migration: args.migrate.then(MigrationConfig::default),
+        faults,
         trace,
         ..ClusterConfig::default()
     };
     println!(
-        "== serving_sim: {} requests over {} shards, {} router{}, {} arrivals (rate {}), {} scheduler ==",
+        "== serving_sim: {} requests over {} shards, {} router{}{}, {} arrivals (rate {}), {} scheduler ==",
         args.requests,
         args.shards,
         args.router,
         if args.migrate { " + migration" } else { "" },
+        if args.faulted() { " + fault plane" } else { "" },
         args.arrival,
         args.rate,
         args.sched,
@@ -260,15 +337,24 @@ fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     // Stream the first stretch of the virtual clock, then run silently.
     const SHOWN_TICKS: usize = 24;
-    let mut cluster = Cluster::new(engines, workload, config);
+    let mut cluster = Cluster::try_new(engines, workload, config)?;
     println!(
         "{:<8} {:>9} {:>10} {:>12}  per-shard reserved B",
         "tick", "in-flight", "completed", "migrations"
     );
     let mut shown = 0;
+    let mut prev_health = cluster.health().to_vec();
     while !cluster.is_done() && shown < SHOWN_TICKS {
         cluster.tick();
         shown += 1;
+        for (shard, (before, after)) in prev_health.iter().zip(cluster.health()).enumerate() {
+            match (before == &ShardHealth::Down, after == &ShardHealth::Down) {
+                (false, true) => println!("{:<8} ** shard {shard} DOWN **", cluster.now()),
+                (true, false) => println!("{:<8} ** shard {shard} UP **", cluster.now()),
+                _ => {}
+            }
+        }
+        prev_health = cluster.health().to_vec();
         let reserved: Vec<String> = cluster.shards().iter().map(|s| s.reserved_bytes().to_string()).collect();
         println!(
             "{:<8} {:>9} {:>10} {:>12}  [{}]",
@@ -295,7 +381,9 @@ fn run_cluster(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args()?;
-    if args.shards > 1 {
+    if args.shards > 1 || args.faulted() {
+        // The fault plane lives on the cluster path; a faulted 1-shard
+        // run rides it too (bit-identical to the Server path otherwise).
         return run_cluster(&args);
     }
     let engine = build_engine(&args)?;
