@@ -51,6 +51,7 @@
 // Every public item in the accelerator model is documented; rustdoc
 // enforces it so the API surface cannot silently rot.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod arch;
 pub mod array;

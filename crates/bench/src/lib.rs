@@ -15,6 +15,11 @@
 //! | Table II (accelerator comparison) | [`veda_cost::table2()`] | `table2` |
 //! | hyper-parameter ablation (extension) | [`hparam_ablation`] | `ablation_hparams` |
 
+// Crate hygiene, enforced by veda-lint (rule crate-hygiene): no unsafe
+// code under the determinism pins, no undocumented public surface.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use veda_accel::arch::{ArchConfig, DataflowVariant};
 use veda_accel::attention::{average_generation_attention_cycles, eviction_speedup};
 use veda_eviction::PolicyKind;

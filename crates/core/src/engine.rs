@@ -66,7 +66,7 @@
 //! and [`Engine::tighten_budget`] shrinks a session's resident cap under
 //! memory pressure (the next tick evicts down to it).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use veda_accel::arch::{ArchConfig, DataflowVariant};
 use veda_accel::attention::decode_attention_cycles;
@@ -666,7 +666,7 @@ impl EngineBuilder {
             prefill_chunk: self.prefill_chunk.max(1),
             tick_token_budget: self.tick_token_budget.max(1),
             prefix_cache: self.prefix_cache.map(PrefixCache::new),
-            solo_cycles_by_len: HashMap::new(),
+            solo_cycles_by_len: BTreeMap::new(),
             active: Vec::new(),
             paused: Vec::new(),
             finished: Vec::new(),
@@ -966,8 +966,9 @@ pub struct Engine {
     prefix_cache: Option<PrefixCache>,
     /// Cross-tick memo of single-sequence decode cost per cache length,
     /// resolved on the coordinator before any fan-out (capped sessions
-    /// share a handful of lengths in steady state).
-    solo_cycles_by_len: HashMap<usize, u64>,
+    /// share a handful of lengths in steady state). Ordered so iteration
+    /// (should any future reader walk it) can never depend on hash seed.
+    solo_cycles_by_len: BTreeMap<usize, u64>,
     active: Vec<ActiveSession>,
     paused: Vec<ActiveSession>,
     finished: Vec<RequestOutcome>,

@@ -183,6 +183,11 @@
 //! # Ok::<(), veda::BuildError>(())
 //! ```
 
+// Crate hygiene, enforced by veda-lint (rule crate-hygiene): no unsafe
+// code under the determinism pins, no undocumented public surface.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod error;
 pub mod prefix;

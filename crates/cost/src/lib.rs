@@ -33,6 +33,7 @@
 // Every public item in the cost models is documented; rustdoc enforces
 // it so the API surface cannot silently rot.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod energy;
 pub mod gpu;

@@ -38,6 +38,11 @@
 //! assert!(matches!(victim, Some(1) | Some(2)));
 //! ```
 
+// Crate hygiene, enforced by veda-lint (rule crate-hygiene): no unsafe
+// code under the determinism pins, no undocumented public surface.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod decayed;
 pub mod full;
 pub mod h2o;

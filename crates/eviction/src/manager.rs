@@ -148,7 +148,7 @@ impl CacheSimulator {
             assert!(head.len() > token_idx, "full score vector shorter than token index");
             let mut proj: Vec<f32> = self.resident.iter().map(|&abs| head[abs]).collect();
             proj.push(head[token_idx]);
-            let sum: f32 = proj.iter().sum();
+            let sum = veda_tensor::stats::sum(&proj);
             if sum > 0.0 {
                 for v in &mut proj {
                     *v /= sum;

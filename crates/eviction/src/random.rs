@@ -113,7 +113,7 @@ mod tests {
         for _ in 0..10 {
             p.on_append();
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(p.select_victim(10).unwrap());
         }

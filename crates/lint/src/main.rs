@@ -1,0 +1,181 @@
+//! `veda-lint`: the determinism linter CLI.
+//!
+//! ```text
+//! veda-lint [--root PATH] [--json] [--fix] [--write-ratchet] [--quiet]
+//! ```
+//!
+//! * default: human-readable report, exit 1 on any violation;
+//! * `--json`: machine-readable report on stdout;
+//! * `--fix`: print unified-diff *suggestions* for the mechanical rules
+//!   (collection swaps, hygiene headers) — nothing is modified;
+//! * `--write-ratchet`: measure the live tree and rewrite
+//!   `lint-ratchet.toml` (review the diff before committing);
+//! * `--root PATH`: workspace root (default: walk up from the cwd).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use veda_lint::ratchet::{Ratchet, RATCHET_FILE};
+use veda_lint::rules::RULES;
+use veda_lint::workspace::find_root;
+use veda_lint::{lint_files, lint_workspace, to_json};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    fix: bool,
+    write_ratchet: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, json: false, fix: false, write_ratchet: false, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--fix" => args.fix = true,
+            "--write-ratchet" => args.write_ratchet = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "veda-lint: workspace determinism linter\n\n\
+         USAGE: veda-lint [--root PATH] [--json] [--fix] [--write-ratchet] [--quiet]\n\n\
+         Enforces the determinism invariants at the source level. Rules:"
+    );
+    for rule in RULES {
+        println!("  {:<26} guards {}", rule.name, rule.invariant);
+    }
+    println!(
+        "\nEscape hatch: // lint:allow(rule-name): reason  (same or next line)\n\
+         Ratchet baseline: {RATCHET_FILE} at the workspace root."
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("veda-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.clone().or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("veda-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_ratchet {
+        let lint = match lint_files(&root) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("veda-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path = root.join(RATCHET_FILE);
+        let text = Ratchet::from_counts(&lint.counts).serialize();
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("veda-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!(
+                "wrote {} ({} crates, {} files scanned) — review the diff before committing",
+                path.display(),
+                lint.counts.len(),
+                lint.files_scanned
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let lint = match lint_workspace(&root) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("veda-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", to_json(&lint));
+        return if lint.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if args.fix {
+        let mut suggested = 0usize;
+        for v in &lint.violations {
+            let Some(s) = &v.suggestion else { continue };
+            suggested += 1;
+            println!("--- {}:{}", v.path, s.line);
+            println!("+++ {}:{} (suggested)", v.path, s.line);
+            if let Some(before) = &s.before {
+                println!("-{before}");
+            }
+            println!("+{}", s.after);
+        }
+        if !args.quiet {
+            eprintln!(
+                "{} mechanical suggestion(s) printed (nothing was modified); \
+                 {} violation(s) total",
+                suggested,
+                lint.violations.len()
+            );
+        }
+        return if lint.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    for v in &lint.violations {
+        if v.line > 0 {
+            println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+        } else {
+            println!("{}: [{}] {}", v.path, v.rule, v.message);
+        }
+    }
+    if !args.quiet {
+        for note in &lint.improvements {
+            eprintln!("note: {note}");
+        }
+        if lint.is_clean() {
+            eprintln!(
+                "veda-lint: clean — {} files, {} crates ratcheted",
+                lint.files_scanned,
+                lint.counts.len()
+            );
+        } else {
+            eprintln!(
+                "veda-lint: {} violation(s) across {} files (run with --fix for \
+                 mechanical suggestions; see docs/ARCHITECTURE.md \
+                 \"Statically enforced invariants\")",
+                lint.violations.len(),
+                lint.files_scanned
+            );
+        }
+    }
+    if lint.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

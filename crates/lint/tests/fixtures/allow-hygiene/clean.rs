@@ -1,0 +1,7 @@
+//! Fixture: a well-formed, live, explained allow.
+
+/// One excused wall-clock read.
+pub fn f() -> u32 {
+    // lint:allow(no-wall-clock): fixture exercising a live well-formed directive
+    std::time::Instant::now().elapsed().subsec_nanos()
+}

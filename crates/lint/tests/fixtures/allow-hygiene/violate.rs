@@ -1,0 +1,11 @@
+//! Fixture: every way an allow can go wrong.
+
+/// Unknown rule, missing reason, and a stale directive.
+pub fn f() -> u32 {
+    // lint:allow(no-such-rule): the rule name is wrong
+    let a = 1;
+    // lint:allow(no-wall-clock)
+    let b = std::time::Instant::now().elapsed().subsec_nanos();
+    // lint:allow(no-hash-collections): nothing here to excuse
+    a + b
+}

@@ -1,0 +1,12 @@
+//! Fixture: an excused worker-side trace token.
+
+/// A worker carries a disabled tracer handle it never emits through.
+pub fn tick(sessions: &mut [Session]) {
+    std::thread::scope(|scope| {
+        for s in sessions.iter_mut() {
+            // lint:allow(coordinator-only-tracing): handle is disabled in workers, checked by telemetry_stack tests
+            let t: Option<Tracer> = None;
+            scope.spawn(move || advance(s, t));
+        }
+    });
+}

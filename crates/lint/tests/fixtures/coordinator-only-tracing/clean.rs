@@ -1,0 +1,13 @@
+//! Fixture: emission stays on the coordinator; workers only compute.
+
+/// The coordinator drains outcomes after the scope joins.
+pub fn tick(tracer: &Tracer, sessions: &mut [Session]) {
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            sessions.chunks_mut(2).map(|chunk| scope.spawn(move || advance(chunk))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect::<Vec<_>>()
+    });
+    for outcome in outcomes {
+        tracer.emit(0, outcome, TraceEventKind::Finished);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: trace emission from inside a worker closure.
+
+/// Workers racing to emit would make trace bytes thread-dependent.
+pub fn tick(tracer: &Tracer, sessions: &mut [Session]) {
+    std::thread::scope(|scope| {
+        for s in sessions.iter_mut() {
+            scope.spawn(move || {
+                tracer.emit(0, s.id, TraceEventKind::Finished);
+            });
+        }
+    });
+}

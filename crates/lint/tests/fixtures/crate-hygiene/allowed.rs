@@ -1,0 +1,5 @@
+//! Fixture: a crate root excused from the hygiene headers.
+
+// lint:allow(crate-hygiene): fixture models a shim-like crate mirroring an external undocumented API
+/// Still documented, but the crate-level pins are waived.
+pub fn noop() {}

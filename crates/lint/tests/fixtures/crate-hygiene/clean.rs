@@ -1,0 +1,6 @@
+//! Fixture: a crate root carrying both hygiene headers.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Public and documented under the crate-level pins.
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root with neither hygiene header.
+
+/// Public and documented, but the crate-level pins are missing.
+pub fn noop() {}

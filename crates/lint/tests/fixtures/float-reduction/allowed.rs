@@ -1,0 +1,10 @@
+//! Fixture: an excused float reduction.
+
+/// Order-insensitive min-fold.
+pub fn tightest(fractions: &[f64]) -> f64 {
+    fractions
+        .iter()
+        .copied()
+        // lint:allow(float-reduction): f64::min fold is order-insensitive, not a summation
+        .fold(1.0, f64::min)
+}

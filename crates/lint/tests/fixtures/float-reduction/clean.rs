@@ -1,0 +1,22 @@
+//! Fixture: integer reductions and float field accesses stay clean.
+
+/// Integer sums are order-insensitive.
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+/// An explicit integer turbofish next to f64 casts is still integer math.
+pub fn mean_depth(depths: &[usize]) -> f64 {
+    depths.iter().sum::<usize>() as f64 / depths.len().max(1) as f64
+}
+
+/// A struct with a field named `sum` (field access is not a reduction).
+pub struct Acc {
+    /// Accumulated value.
+    pub sum: u64,
+}
+
+/// Reads the field.
+pub fn read(acc: &Acc) -> f64 {
+    acc.sum as f64
+}

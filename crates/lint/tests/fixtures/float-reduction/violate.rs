@@ -1,0 +1,7 @@
+//! Fixture: an inline float summation outside veda-tensor.
+
+/// Re-associating this sum would change the bits.
+pub fn mass(probs: &[f32]) -> f32 {
+    let total: f32 = probs.iter().sum();
+    total
+}

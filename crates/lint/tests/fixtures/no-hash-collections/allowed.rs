@@ -1,0 +1,8 @@
+//! Fixture: an excused HashMap.
+
+/// An interned scratch table that is never iterated.
+pub fn lookup(keys: &[u32]) -> usize {
+    // lint:allow(no-hash-collections): never iterated, lookup-only scratch table in a fixture
+    let m: std::collections::HashMap<u32, u32> = keys.iter().map(|&k| (k, k)).collect();
+    m.len()
+}

@@ -1,0 +1,22 @@
+//! Fixture: ordered collections, plus decoys the lexer must not trip on:
+//! a HashMap in this doc comment, one in a string, one in a test module.
+use std::collections::BTreeMap;
+
+/// Deterministic iteration order.
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    let _doc = "HashMap in a string literal is fine";
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scratch_map_is_exempt() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+    }
+}

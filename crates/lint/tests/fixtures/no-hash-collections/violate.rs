@@ -1,0 +1,11 @@
+//! Fixture: a HashMap in library code.
+use std::collections::HashMap;
+
+/// Nondeterministic iteration order lives here.
+pub fn histogram(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,7 @@
+//! Fixture: an excused wall-clock read.
+
+/// Coarse startup banner timing, never reaches any report.
+pub fn banner_nanos() -> u128 {
+    // lint:allow(no-wall-clock): display-only startup banner, value never reaches a report
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Fixture: virtual time only. `Instant` in this doc comment is fine.
+
+/// A virtual clock advanced by the engine, never by the host.
+pub fn advance(now: u64, cycles: u64) -> u64 {
+    now + cycles
+}

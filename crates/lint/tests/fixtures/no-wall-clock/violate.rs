@@ -1,0 +1,7 @@
+//! Fixture: a wall-clock read in a virtual-clock crate.
+use std::time::Instant;
+
+/// Leaks host speed into behavior.
+pub fn ticks() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,18 @@
+//! Fixture: the same logic with no panic surface.
+
+/// Errors are values; indexing is checked.
+pub fn safe(xs: &[u32]) -> Option<u32> {
+    let a = xs.first()?;
+    let b: u32 = "7".parse().ok()?;
+    Some(xs.first()? + a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_not_counted() {
+        super::safe(&[1]).unwrap();
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+    }
+}

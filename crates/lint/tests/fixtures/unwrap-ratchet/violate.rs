@@ -1,0 +1,8 @@
+//! Fixture: three panic sites (one of each kind) for the counter.
+
+/// unwrap + expect + indexing = 3 ratcheted sites.
+pub fn risky(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b: u32 = "7".parse().expect("digit");
+    xs[0] + a + b
+}

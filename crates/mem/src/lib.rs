@@ -50,6 +50,7 @@
 // Every public item in the memory substrates is documented; rustdoc
 // enforces it so the API surface cannot silently rot.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod fifo;
 pub mod hbm;

@@ -381,7 +381,7 @@ mod tests {
     fn copies_produce_repeated_segments() {
         let c = Corpus::new(CorpusConfig::default());
         let s = c.sample(5, 2048);
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for w in s.windows(8) {
             *seen.entry(w.to_vec()).or_insert(0usize) += 1;
         }

@@ -94,6 +94,7 @@ pub fn transformer_distortion(
             .iter()
             .zip(&lp_cut)
             .map(|(&a, &b)| (f64::from(a).exp()) * (f64::from(a) - f64::from(b)))
+            // lint:allow(float-reduction): f64 KL accumulation in vocab order; widening to f64 is the precision discipline here
             .sum();
         kl_sum += kl.max(0.0);
         count += 1;

@@ -191,11 +191,11 @@ impl InductionLm {
         config.validate().expect("valid induction config");
         let v = corpus.config().vocab_size;
         let mut unigram: Vec<f32> = (0..v).map(|t| corpus.unigram_weight(t)).collect();
-        let sum: f32 = unigram.iter().sum();
+        let sum = veda_tensor::stats::sum(&unigram);
         for u in &mut unigram {
             *u /= sum;
         }
-        let max_u = unigram.iter().cloned().fold(f32::MIN_POSITIVE, f32::max);
+        let max_u = veda_tensor::stats::max_or(f32::MIN_POSITIVE, &unigram);
         // Frequent tokens get only mild salience — their many duplicate
         // anchors are redundant; named entities get full salience.
         let mut salience: Vec<f32> = unigram.iter().map(|&u| 0.35 * (u / max_u).sqrt()).collect();
@@ -270,6 +270,7 @@ impl InductionLm {
     fn predict_weighted_scores(&self, scores: &[Vec<f32>]) -> Vec<f32> {
         let len = scores.first().map_or(0, Vec::len);
         let mut out = vec![0.0f32; len];
+        // lint:allow(float-reduction): head-count-bounded sum in fixed config order; a kernel call would force a per-token allocation
         let total: f32 = self.config.heads.iter().map(|h| h.predict_weight).sum();
         for (h, head_scores) in self.config.heads.iter().zip(scores) {
             let w = h.predict_weight / total.max(1e-9);

@@ -30,6 +30,11 @@
 //! `docs/ARCHITECTURE.md` at the workspace root for where this crate
 //! sits in the request lifecycle.
 
+// Crate hygiene, enforced by veda-lint (rule crate-hygiene): no unsafe
+// code under the determinism pins, no undocumented public surface.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod config;
 pub mod corpus;

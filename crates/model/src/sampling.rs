@@ -76,7 +76,7 @@ mod tests {
     fn high_temperature_spreads_mass() {
         let mut rng = seeded(3);
         let s = Sampler::Temperature(50.0);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(s.sample(&[0.0, 1.0, 0.5, 0.2], &mut rng));
         }

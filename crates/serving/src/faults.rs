@@ -295,6 +295,7 @@ impl FaultPlan {
             .iter()
             .filter(|d| d.shard == shard && now >= d.from && now < d.until)
             .map(|d| d.bandwidth_fraction)
+            // lint:allow(float-reduction): f64::min fold is order-insensitive (no rounding), not a summation
             .fold(1.0, f64::min)
     }
 

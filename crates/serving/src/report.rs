@@ -322,6 +322,7 @@ impl ServingReport {
         if tpots.is_empty() {
             None
         } else {
+            // lint:allow(float-reduction): f64 report aggregate in arrival-order record sequence, off the decode path
             Some(tpots.iter().sum::<f64>() / tpots.len() as f64)
         }
     }

@@ -42,6 +42,7 @@
 // Every public item in the numeric substrate is documented; rustdoc
 // enforces it so the API surface cannot silently rot.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod activation;
 pub mod error;

@@ -1,4 +1,26 @@
 //! Small statistics helpers over `f32` slices.
+//!
+//! This module is also the workspace's blessed home for **float
+//! reductions**: `veda-lint`'s `float-reduction` rule keeps float
+//! `.sum()`/`.fold()` out of the other library crates so the summation
+//! order — part of the bit-identity contract (determinism invariant
+//! #2) — is centralized here. Call [`sum`] / [`max_or`] instead of
+//! reducing inline.
+
+/// Left-to-right sum in slice order — *the* sanctioned f32 summation.
+///
+/// Keeping every sum in slice order is what lets the engine fan work
+/// across threads while staying bit-identical to the serial schedule:
+/// no caller ever re-associates a reduction.
+pub fn sum(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}
+
+/// Left-to-right maximum starting from `init` (`init` for an empty
+/// slice). NaN-free inputs assumed, as everywhere in the workspace.
+pub fn max_or(init: f32, xs: &[f32]) -> f32 {
+    xs.iter().cloned().fold(init, f32::max)
+}
 
 /// Arithmetic mean (0 for an empty slice).
 pub fn mean(xs: &[f32]) -> f32 {
@@ -102,6 +124,20 @@ pub fn quantile(xs: &[f32], q: f32) -> Option<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sum_is_left_to_right() {
+        // A permutation-sensitive triple: (a + b) + c != a + (b + c) in f32.
+        let xs = [1.0e8f32, -1.0e8, 1.0];
+        assert_eq!(sum(&xs), (1.0e8f32 + -1.0e8) + 1.0);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_or_uses_init_for_empty() {
+        assert_eq!(max_or(0.5, &[]), 0.5);
+        assert_eq!(max_or(0.0, &[0.25, 2.0, 1.0]), 2.0);
+    }
 
     #[test]
     fn mean_and_variance_known() {

@@ -4,5 +4,10 @@
 //! [`veda_serving`] stack layered on top); this root package hosts the
 //! runnable `examples/` and the cross-crate integration tests in `tests/`.
 
+// Crate hygiene, enforced by veda-lint (rule crate-hygiene): no unsafe
+// code under the determinism pins, no undocumented public surface.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use veda::*;
 pub use veda_serving as serving;
