@@ -8,8 +8,11 @@
 //! hit rate and migration traffic), written to `BENCH_cluster.json` —
 //! and a fault-plane sweep (fault scenario × router × load shedding →
 //! goodput, p99 end-to-end latency, retries, dead letters, shed count
-//! and availability), written to `BENCH_faults.json` — so future PRs
-//! have pinned perf references.
+//! and availability), written to `BENCH_faults.json` — and a
+//! prefix-cache churn sweep (cache byte bound × TTL × spill on/off over
+//! a pressured shared-prefix run → hit rate, admitted count and
+//! spill/fill/expiry traffic), written to `BENCH_prefix.json` — so
+//! future PRs have pinned perf references.
 //!
 //! ```sh
 //! cargo run --release -p veda-bench --bin throughput            # full sweep
@@ -34,6 +37,7 @@ struct Args {
     prefill_json: String,
     cluster_json: String,
     faults_json: String,
+    prefix_json: String,
     gen_tokens: usize,
 }
 
@@ -44,6 +48,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         prefill_json: "BENCH_prefill.json".to_string(),
         cluster_json: "BENCH_cluster.json".to_string(),
         faults_json: "BENCH_faults.json".to_string(),
+        prefix_json: "BENCH_prefix.json".to_string(),
         gen_tokens: 32,
     };
     let mut args = std::env::args().skip(1);
@@ -60,11 +65,14 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--faults-json" => {
                 parsed.faults_json = args.next().ok_or("missing value after --faults-json")?;
             }
+            "--prefix-json" => {
+                parsed.prefix_json = args.next().ok_or("missing value after --prefix-json")?;
+            }
             "--gen" => parsed.gen_tokens = args.next().ok_or("missing value after --gen")?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: throughput [--quick] [--json PATH] [--prefill-json PATH] \
-                     [--cluster-json PATH] [--faults-json PATH] [--gen N]"
+                     [--cluster-json PATH] [--faults-json PATH] [--prefix-json PATH] [--gen N]"
                 );
                 std::process::exit(0);
             }
@@ -516,6 +524,94 @@ fn measure_faults(scenario: &'static str, router: RouterKind, shed_on: bool, req
     }
 }
 
+struct PrefixChurnPoint {
+    cache_kb: u64,
+    ttl: u64,
+    spill: bool,
+    admitted: usize,
+    completed: usize,
+    rejected: usize,
+    stats: PrefixCacheStats,
+}
+
+impl PrefixChurnPoint {
+    fn json_row(&self) -> String {
+        format!(
+            "    {{\"cache_kb\": {}, \"ttl_ticks\": {}, \"spill\": {}, \"admitted\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"hit_rate\": {:.4}, \"hits\": {}, \
+             \"misses\": {}, \"evictions\": {}, \"expiries\": {}, \"spills\": {}, \"fills\": {}, \
+             \"spill_bytes\": {}, \"fill_bytes\": {}, \"host_entries\": {}}}",
+            self.cache_kb,
+            self.ttl,
+            self.spill,
+            self.admitted,
+            self.completed,
+            self.rejected,
+            self.stats.hit_rate(),
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.stats.expiries,
+            self.stats.spills,
+            self.stats.fills,
+            self.stats.spill_bytes,
+            self.stats.fill_bytes,
+            self.stats.host_entries,
+        )
+    }
+}
+
+/// Prefix-cache churn under admission pressure: a single pressured
+/// server (32 KiB HBM, queue depth 6) over Poisson shared-prefix
+/// traffic (2 groups, 16-token shared prefix, short private suffixes),
+/// with the engine's cache byte-starved so entries actually churn. The
+/// swept knobs are the v2 cache's: byte bound × TTL × spill on/off.
+/// With spill on, evicted-for-room entries move to the host tier and
+/// later arrivals still hit them (paying the fill DMA once), so their
+/// shared span skips on-clock prefill and the queue turns over faster —
+/// the drop-on-evict configuration re-prefills the whole prompt instead
+/// and screen-rejects more arrivals. Virtual time; deterministic.
+fn measure_prefix_churn(cache_kb: u64, ttl: u64, spill: bool, requests: usize) -> PrefixChurnPoint {
+    let engine = match EngineBuilder::new()
+        .model(ModelConfig::tiny())
+        .prefill_chunk(4)
+        .prefix_cache(PrefixCacheConfig {
+            min_match_tokens: 4,
+            max_entries: 16,
+            max_bytes: cache_kb << 10,
+            ttl_ticks: ttl,
+            spill,
+        })
+        .build()
+    {
+        Ok(engine) => engine,
+        Err(err) => panic!("churn-probe engine config is static and valid: {err}"),
+    };
+    let mix = RequestMix {
+        shared_prefix_len: 16,
+        prefix_groups: 2,
+        prompt_len: (4, 7),
+        budgets: vec![Budget::Unbounded],
+        ..RequestMix::default()
+    };
+    let workload = Workload::poisson(29, 0.8, requests, mix);
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes: 32 << 10, max_queue_depth: 6 },
+        sched: SchedKind::Fcfs,
+        ..ServerConfig::default()
+    };
+    let report = Server::new(engine, workload, config).run();
+    PrefixChurnPoint {
+        cache_kb,
+        ttl,
+        spill,
+        admitted: report.admitted,
+        completed: report.completed,
+        rejected: report.rejected(),
+        stats: report.engine.prefix,
+    }
+}
+
 struct ForwardPoint {
     label: &'static str,
     ns_per_token: f64,
@@ -910,6 +1006,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     faults_json.push_str("  ]\n}\n");
     std::fs::write(&args.faults_json, &faults_json)?;
     println!("wrote {}", args.faults_json);
+
+    // Prefix-cache churn sweep: cache byte bound × TTL × spill on/off
+    // over a pressured shared-prefix run. Virtual time — deterministic,
+    // so both modes run the same 40-request workload and quick mode only
+    // trims the grid.
+    let churn_requests = 40;
+    let (churn_cache_kbs, churn_ttls): (&[u64], &[u64]) =
+        if args.quick { (&[6], &[64]) } else { (&[6, 12], &[16, 64]) };
+    println!(
+        "\n== prefix-cache churn ({churn_requests} shared-prefix requests, 32 KiB HBM, virtual time) =="
+    );
+    println!(
+        "   {:>8} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>8}",
+        "cache_kb",
+        "ttl",
+        "spill",
+        "admitted",
+        "rejected",
+        "hit rate",
+        "evicted",
+        "expired",
+        "spills",
+        "fills"
+    );
+    let mut churn_points: Vec<PrefixChurnPoint> = Vec::new();
+    for &cache_kb in churn_cache_kbs {
+        for &ttl in churn_ttls {
+            for spill in [false, true] {
+                let p = measure_prefix_churn(cache_kb, ttl, spill, churn_requests);
+                println!(
+                    "   {:>8} {:>6} {:>6} {:>9} {:>9} {:>8.0}% {:>9} {:>7} {:>6} {:>8}",
+                    p.cache_kb,
+                    p.ttl,
+                    p.spill,
+                    p.admitted,
+                    p.rejected,
+                    100.0 * p.stats.hit_rate(),
+                    p.stats.evictions,
+                    p.stats.expiries,
+                    p.stats.spills,
+                    p.stats.fills,
+                );
+                churn_points.push(p);
+            }
+        }
+    }
+    let churn_of = |cache_kb: u64, ttl: u64, spill: bool| {
+        churn_points.iter().find(|p| p.cache_kb == cache_kb && p.ttl == ttl && p.spill == spill)
+    };
+    let (Some(starved_off), Some(starved_on)) = (churn_of(6, 64, false), churn_of(6, 64, true)) else {
+        panic!("the churn sweep always covers the 6 KiB / ttl 64 headline pair");
+    };
+    assert!(
+        starved_on.admitted > starved_off.admitted,
+        "at equal cache bytes the spill tier must admit strictly more than drop-on-evict \
+         under pressure ({} vs {})",
+        starved_on.admitted,
+        starved_off.admitted,
+    );
+    assert!(
+        starved_on.stats.spills > 0 && starved_on.stats.fills > 0 && starved_on.stats.evictions == 0,
+        "the starved spill-on point must actually spill and fill"
+    );
+    assert!(
+        starved_off.stats.evictions > 0 && starved_off.stats.spills == 0,
+        "the starved spill-off point must drop entries on eviction"
+    );
+
+    let mut prefix_json = String::new();
+    prefix_json.push_str("{\n");
+    prefix_json.push_str(&format!("  \"requests\": {churn_requests},\n"));
+    prefix_json.push_str(
+        "  \"note\": \"virtual-time prefix-cache churn sweep: cache byte bound x TTL x spill \
+         on/off over the same pressured single-server shared-prefix Poisson run (seed 29, rate \
+         0.8, 2 prefix groups, 16-token shared prefix, 32 KiB HBM, queue depth 6); with spill on, \
+         byte-pressure evictions move entries to the host tier where later arrivals still hit \
+         them (one fill DMA, then the shared span skips on-clock prefill), so the queue turns \
+         over faster and strictly more requests are admitted than with drop-on-evict at equal \
+         cache bytes — the delta the hard assert pins\",\n",
+    );
+    prefix_json.push_str("  \"prefix_churn\": [\n");
+    for (i, p) in churn_points.iter().enumerate() {
+        prefix_json.push_str(&p.json_row());
+        prefix_json.push_str(if i + 1 == churn_points.len() { "\n" } else { ",\n" });
+    }
+    prefix_json.push_str("  ]\n}\n");
+    std::fs::write(&args.prefix_json, &prefix_json)?;
+    println!("wrote {}", args.prefix_json);
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();

@@ -78,7 +78,9 @@ use veda_model::{ForwardScratch, ModelConfig, SequenceState, TransformerModel};
 use veda_telemetry::{TraceEventKind, Tracer};
 
 use crate::error::BuildError;
-use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
+use crate::prefix::{
+    PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixPin, PrefixTransfer, PrefixTransferKind,
+};
 use crate::simulator::SimulationReport;
 use veda_model::ScoreBuffer;
 
@@ -666,6 +668,7 @@ impl EngineBuilder {
             prefill_chunk: self.prefill_chunk.max(1),
             tick_token_budget: self.tick_token_budget.max(1),
             prefix_cache: self.prefix_cache.map(PrefixCache::new),
+            prefix_transfers: Vec::new(),
             solo_cycles_by_len: BTreeMap::new(),
             active: Vec::new(),
             paused: Vec::new(),
@@ -711,6 +714,11 @@ struct ActiveSession {
     /// prompts that *missed* the cache at submit (hit prompts insert
     /// nothing), so the recorded stream always covers the whole prompt.
     prefix_obs: Option<Vec<ScoreBuffer>>,
+    /// Id of the prefix-cache entry this session was seeded from, if
+    /// any. The session holds a *seed pin* on that entry from submit to
+    /// retirement (retire/discard/extract release it), so cache churn
+    /// can never evict, spill or expire rows a live session references.
+    seed_pin: Option<u64>,
     position: usize,
     max_new_tokens: usize,
     stop_tokens: Vec<usize>,
@@ -964,6 +972,12 @@ pub struct Engine {
     /// Shared-prefix KV cache (`None` = disabled, the default — the
     /// disabled engine is byte-identical to the pre-prefix-cache engine).
     prefix_cache: Option<PrefixCache>,
+    /// Host-link traffic produced by prefix-cache churn (spills from
+    /// eviction, fills from host-tier promotion), in the deterministic
+    /// order it happened. Serving layers drain it via
+    /// [`Engine::take_prefix_transfers`] to charge their host link; a
+    /// standalone engine just accumulates the record.
+    prefix_transfers: Vec<PrefixTransfer>,
     /// Cross-tick memo of single-sequence decode cost per cache length,
     /// resolved on the coordinator before any fan-out (capped sessions
     /// share a handful of lengths in steady state). Ordered so iteration
@@ -1105,13 +1119,89 @@ impl Engine {
     /// serve from the prefix cache (token-exact longest match, capped one
     /// short of the prompt, zero when disabled or below the minimum).
     ///
-    /// Serving layers call this at admission time to reserve only the
-    /// **unshared** peak KV bytes of a known-prefix request. The estimate
-    /// is conservative: entries are insert-only within a run, so by the
-    /// time the request is actually submitted the match can only have
-    /// grown, never shrunk.
+    /// Serving layers use this as a *probe*: under the v2 churn-capable
+    /// cache, an unpinned entry can be evicted, spilled or TTL-expired
+    /// between the probe and the eventual [`Engine::submit`], so the
+    /// match can shrink. A serving layer that reserves only the
+    /// **unshared** peak KV bytes of a known-prefix request must take a
+    /// [`Engine::pin_prefix`] pin on the matched entry and hold it until
+    /// the submit lands — the pin makes the entry ineligible for every
+    /// churn path, restoring the "match can only grow" guarantee the
+    /// admission discount depends on.
     pub fn prefix_match_len(&self, prompt: &[usize]) -> usize {
         self.prefix_cache.as_ref().map_or(0, |cache| cache.match_len(prompt))
+    }
+
+    /// Pins the prefix-cache entry that best matches `prompt` (the same
+    /// entry a [`Engine::submit`] would seed from right now) and returns
+    /// a [`PrefixPin`] receipt, or `None` when the cache is disabled or
+    /// nothing matches at or above the minimum. A pinned entry is immune
+    /// to LRU eviction, host spill and TTL expiry until every pin is
+    /// released via [`Engine::unpin_prefix`].
+    ///
+    /// This is the admission-side half of the discount-soundness
+    /// contract (see [`Engine::prefix_match_len`]): pin at accept, hold
+    /// across the queue, release once the submit has taken its own seed
+    /// pin. Pinning is accounting-neutral — it records neither a hit nor
+    /// a miss and never promotes a host-tier entry.
+    pub fn pin_prefix(&mut self, prompt: &[usize]) -> Option<PrefixPin> {
+        self.prefix_cache.as_mut().and_then(|cache| cache.pin(prompt))
+    }
+
+    /// Releases a pin taken with [`Engine::pin_prefix`]. The entry's LRU
+    /// clock is touched on release, so a just-unpinned entry is the
+    /// *freshest* eviction candidate, not the staleest.
+    pub fn unpin_prefix(&mut self, pin: PrefixPin) {
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.unpin(pin);
+        }
+    }
+
+    /// Host-link bytes a [`Engine::submit`] of this prompt would have to
+    /// fill back from the host spill tier before seeding — the size of
+    /// the best-matching entry when it currently lives on the host, zero
+    /// when it is device-resident, nothing matches, or the cache is
+    /// disabled. Admission controllers add this to a request's headroom
+    /// check so a discounted accept cannot be bankrupted by its own fill
+    /// traffic.
+    pub fn prefix_fill_bytes(&self, prompt: &[usize]) -> u64 {
+        self.prefix_cache.as_ref().map_or(0, |cache| cache.fill_bytes(prompt))
+    }
+
+    /// Advances the prefix cache's TTL clock to `now` (ticks, monotone —
+    /// stale values are ignored) and expires idle unpinned entries on
+    /// both tiers. Each expiry is traced as
+    /// [`TraceEventKind::PrefixExpired`] with the cache entry id in the
+    /// event's request field. No-op when the cache is disabled or
+    /// [`PrefixCacheConfig::ttl_ticks`] is `u64::MAX`.
+    ///
+    /// Serving layers call this once per tick *before* admission, so a
+    /// tick's accepts see post-expiry cache contents.
+    pub fn advance_prefix_clock(&mut self, now: u64) {
+        let Some(cache) = self.prefix_cache.as_mut() else { return };
+        let expiries = cache.advance_clock(now);
+        for expiry in expiries {
+            self.trace(expiry.entry, TraceEventKind::PrefixExpired { bytes: expiry.bytes });
+        }
+    }
+
+    /// Drains the spill/fill transfers the prefix cache generated since
+    /// the last call (submit-time promotions, capacity-pressure spills).
+    /// Serving layers charge each one to their host link — tagged
+    /// [`PrefixTransferKind::Spill`] traffic leaves the device
+    /// asynchronously, while `Fill` traffic must be serialized onto the
+    /// engine clock like a session swap-in before the hitting session
+    /// decodes. Standalone engine users may ignore the outbox; it grows
+    /// by one record per spill/fill until drained.
+    pub fn take_prefix_transfers(&mut self) -> Vec<PrefixTransfer> {
+        std::mem::take(&mut self.prefix_transfers)
+    }
+
+    /// FP16 bytes the prefix cache's spilled entries occupy in host
+    /// memory (zero when spill is disabled). Counterpart of
+    /// [`Engine::prefix_cache_bytes`], which counts the device tier.
+    pub fn prefix_host_bytes(&self) -> u64 {
+        self.prefix_cache.as_ref().map_or(0, PrefixCache::host_bytes)
     }
 
     /// Aggregate prefix-cache counters (all-zero when disabled). Also
@@ -1173,12 +1263,13 @@ impl Engine {
     /// of the sessions referencing them, which is exactly what makes
     /// re-prefilling a recovered request cheap.
     pub fn discard(&mut self, session: Session) -> Option<u64> {
-        let s = if let Some(idx) = self.active.iter().position(|s| s.id == session) {
+        let mut s = if let Some(idx) = self.active.iter().position(|s| s.id == session) {
             self.active.remove(idx)
         } else {
             let idx = self.paused.iter().position(|s| s.id == session)?;
             self.paused.remove(idx)
         };
+        self.release_seed_pin(&mut s);
         Some(s.state.fp16_bytes() as u64)
     }
 
@@ -1204,6 +1295,10 @@ impl Engine {
         let idx = self.paused.iter().position(|s| s.id == session)?;
         let mut s = self.paused.remove(idx);
         s.state.clear_shared_marker();
+        // Privatization severs the last reference into this engine's
+        // prefix cache, so the seed pin is released here rather than
+        // travelling with the session.
+        self.release_seed_pin(&mut s);
         self.trace(s.trace_id, TraceEventKind::Extracted);
         Some(MigratedSession { inner: s, config: self.model.config().clone() })
     }
@@ -1229,6 +1324,9 @@ impl Engine {
         let mut s = migrated.inner;
         s.id = Session(self.next_id);
         self.next_id += 1;
+        // Extraction released the source-engine seed pin; an adopted
+        // session must not carry a dangling pin id into this cache.
+        s.seed_pin = None;
         if self.prefix_cache.is_none() {
             // The source engine promised a prefix-cache insertion this
             // engine cannot honor; dropping the recorded observations
@@ -1359,6 +1457,7 @@ impl Engine {
             prompt: request.prompt,
             prefilled: 0,
             prefix_obs: None,
+            seed_pin: None,
             position: 0,
             max_new_tokens: request.max_new_tokens,
             stop_tokens: request.stop_tokens,
@@ -1389,11 +1488,19 @@ impl Engine {
                 session.state.seed_from(hit.state, hit.matched);
                 let matched = hit.matched;
                 let observations = hit.observations;
+                // The lookup took the entry's seed pin; the session holds
+                // it until retirement so churn can never invalidate the
+                // shared span it references.
+                session.seed_pin = Some(hit.entry);
                 replay_observations(&mut session, observations, matched);
             } else if cache.wants(&session.prompt, projected_entry_bytes) {
                 session.prefix_obs = Some(Vec::with_capacity(session.prompt.len()));
             }
         }
+        // A host-tier hit above promoted its entry (and may have spilled
+        // colder ones to make room): surface that traffic now, stamped
+        // with this session's trace id.
+        self.drain_prefix_traffic(session.trace_id);
 
         if self.prefill_chunk == usize::MAX {
             // Instant prefill: consume the whole prompt now, off the
@@ -1433,6 +1540,32 @@ impl Engine {
         state.seed_from(&session.state, session.prompt.len());
         state.clear_shared_marker();
         cache.insert(session.prompt.clone(), state, observations);
+        // The insertion may have spilled (or dropped) cold entries to
+        // make byte room: surface that traffic, attributed to the
+        // inserting session.
+        self.drain_prefix_traffic(session.trace_id);
+    }
+
+    /// Moves the cache's pending spill/fill transfers into the engine's
+    /// outbox ([`Engine::take_prefix_transfers`]), emitting one trace
+    /// event per transfer stamped with `trace_id` (the session whose
+    /// submit or prefill completion triggered the churn). Runs on the
+    /// coordinator only — submit, the post-fan-out drain and the clock
+    /// advance are all coordinator-side.
+    fn drain_prefix_traffic(&mut self, trace_id: u64) {
+        let Some(cache) = self.prefix_cache.as_mut() else { return };
+        let transfers = cache.take_transfers();
+        if transfers.is_empty() {
+            return;
+        }
+        for t in &transfers {
+            let kind = match t.kind {
+                PrefixTransferKind::Spill => TraceEventKind::PrefixSpill { bytes: t.bytes },
+                PrefixTransferKind::Fill => TraceEventKind::PrefixFill { bytes: t.bytes },
+            };
+            self.trace(trace_id, kind);
+        }
+        self.prefix_transfers.extend(transfers);
     }
 
     /// Executes one *mixed* tick: every decoding session advances by one
@@ -1677,9 +1810,22 @@ impl Engine {
         report
     }
 
+    /// Releases `session`'s seed pin on its prefix-cache entry, if it
+    /// holds one — the session no longer references the shared span, so
+    /// the entry becomes evictable/spillable/expirable again (its LRU
+    /// clock is touched on release).
+    fn release_seed_pin(&mut self, session: &mut ActiveSession) {
+        if let Some(id) = session.seed_pin.take() {
+            if let Some(cache) = self.prefix_cache.as_mut() {
+                cache.unpin_entry(id);
+            }
+        }
+    }
+
     /// Finalizes a session into its per-request report and frees its KV
     /// state.
     fn retire(&mut self, mut session: ActiveSession) {
+        self.release_seed_pin(&mut session);
         self.trace(
             session.trace_id,
             TraceEventKind::Finished { generated_tokens: session.generated.len() as u32 },

@@ -198,7 +198,10 @@ pub use engine::{
     Session, SessionPhase, TokenEvent,
 };
 pub use error::BuildError;
-pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats};
+pub use prefix::{
+    PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixExpiry, PrefixPin, PrefixTransfer,
+    PrefixTransferKind,
+};
 pub use simulator::{Simulation, SimulationBuilder, SimulationReport};
 
 // Re-export the workspace crates under one roof for downstream users.

@@ -35,10 +35,11 @@ impl std::fmt::Display for SwapDirection {
 }
 
 /// What a host-link transfer moves KV bytes *for* — preemption swap
-/// traffic or cross-shard session migration. The physical link is the
-/// same either way (same cost model, same per-direction accumulators);
-/// the kind only tags the accounting, so a cluster-level report can
-/// attribute interconnect bytes to scheduling churn vs. load balancing.
+/// traffic, cross-shard session migration, or prefix-cache spill/fill
+/// churn. The physical link is the same in every case (same cost model,
+/// same per-direction accumulators); the kind only tags the accounting,
+/// so a cluster-level report can attribute interconnect bytes to
+/// scheduling churn vs. load balancing vs. cache-tier management.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransferKind {
     /// Preemption swap: KV state parked on the host and brought back to
@@ -47,6 +48,13 @@ pub enum TransferKind {
     /// Cross-shard migration: KV state leaves one device and lands on
     /// another (charged on both shards' links, one direction each).
     Migration,
+    /// Prefix-cache spill: a cold cached prefix entry left HBM for the
+    /// host-memory tier under byte pressure (device → host only).
+    PrefixSpill,
+    /// Prefix-cache fill: a spilled prefix entry was promoted back to
+    /// the device on a hit (host → device only); its latency is
+    /// serialized onto the hitting session's clock like a swap-in.
+    PrefixFill,
 }
 
 impl TransferKind {
@@ -55,6 +63,8 @@ impl TransferKind {
         match self {
             TransferKind::Swap => "swap",
             TransferKind::Migration => "migration",
+            TransferKind::PrefixSpill => "prefix_spill",
+            TransferKind::PrefixFill => "prefix_fill",
         }
     }
 }
@@ -106,9 +116,9 @@ impl HostLinkConfig {
 pub struct HostLink {
     config: HostLinkConfig,
     /// Indexed `[kind][direction]`.
-    bytes: [[u64; 2]; 2],
-    cycles: [[u64; 2]; 2],
-    transfers: [[u64; 2]; 2],
+    bytes: [[u64; 2]; 4],
+    cycles: [[u64; 2]; 4],
+    transfers: [[u64; 2]; 4],
     /// Transient bandwidth multiplier in (0, 1]; `1.0` means healthy.
     degradation: f64,
 }
@@ -116,7 +126,7 @@ pub struct HostLink {
 impl HostLink {
     /// Creates a model with the given configuration.
     pub fn new(config: HostLinkConfig) -> Self {
-        Self { config, bytes: [[0; 2]; 2], cycles: [[0; 2]; 2], transfers: [[0; 2]; 2], degradation: 1.0 }
+        Self { config, bytes: [[0; 2]; 4], cycles: [[0; 2]; 4], transfers: [[0; 2]; 4], degradation: 1.0 }
     }
 
     /// The configuration.
@@ -153,6 +163,8 @@ impl HostLink {
         match kind {
             TransferKind::Swap => 0,
             TransferKind::Migration => 1,
+            TransferKind::PrefixSpill => 2,
+            TransferKind::PrefixFill => 3,
         }
     }
 
@@ -247,9 +259,9 @@ impl HostLink {
 
     /// Resets the accumulated counters, keeping the configuration.
     pub fn reset(&mut self) {
-        self.bytes = [[0; 2]; 2];
-        self.cycles = [[0; 2]; 2];
-        self.transfers = [[0; 2]; 2];
+        self.bytes = [[0; 2]; 4];
+        self.cycles = [[0; 2]; 4];
+        self.transfers = [[0; 2]; 4];
     }
 }
 
@@ -313,6 +325,25 @@ mod tests {
         assert_eq!(SwapDirection::In.to_string(), "swap_in");
         assert_eq!(TransferKind::Swap.to_string(), "swap");
         assert_eq!(TransferKind::Migration.to_string(), "migration");
+        assert_eq!(TransferKind::PrefixSpill.to_string(), "prefix_spill");
+        assert_eq!(TransferKind::PrefixFill.to_string(), "prefix_fill");
+    }
+
+    #[test]
+    fn prefix_kinds_accumulate_separately_from_swap_traffic() {
+        let mut link = HostLink::new(HostLinkConfig::default());
+        let spill = link.transfer_tagged(2000, SwapDirection::Out, TransferKind::PrefixSpill);
+        let fill = link.transfer_tagged(2000, SwapDirection::In, TransferKind::PrefixFill);
+        link.transfer(500, SwapDirection::Out);
+        assert_eq!(link.tagged_bytes(TransferKind::PrefixSpill, SwapDirection::Out), 2000);
+        assert_eq!(link.tagged_bytes(TransferKind::PrefixFill, SwapDirection::In), 2000);
+        assert_eq!(link.tagged_bytes(TransferKind::Swap, SwapDirection::Out), 500);
+        assert_eq!(link.bytes(SwapDirection::Out), 2500, "per-direction view sums all four kinds");
+        assert_eq!(link.kind_total_cycles(TransferKind::PrefixSpill), spill);
+        assert_eq!(link.kind_total_cycles(TransferKind::PrefixFill), fill);
+        assert_eq!(link.tagged_transfers(TransferKind::PrefixFill, SwapDirection::In), 1);
+        link.reset();
+        assert_eq!(link.kind_total_bytes(TransferKind::PrefixSpill), 0);
     }
 
     #[test]

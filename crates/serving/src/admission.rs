@@ -18,11 +18,19 @@
 //! it — those bytes are resident **once**, in the cache entry — so the
 //! server reserves only the *unshared* peak
 //! ([`AdmissionController::estimate_unshared_bytes`]). Two conditions
-//! make the discount sound:
+//! make the discount sound under the v2 churn-capable cache:
 //!
-//! 1. **The match cannot shrink.** Cache entries are insert-only within
-//!    a run, so the match observed at arrival can only grow by submit
-//!    time.
+//! 1. **The match cannot shrink.** Under LRU eviction, TTL expiry and
+//!    host spill, a probed match could vanish between arrival and
+//!    submit — so the shard does not probe, it **pins**: accepting a
+//!    discounted request takes a [`veda::Engine::pin_prefix`] pin on
+//!    the matched entry and holds it across the queue. A pinned entry
+//!    is ineligible for every churn path, so the discount's basis is
+//!    still resident at submit time; the pin is released only after
+//!    the submit has taken its own per-session seed pin (held until
+//!    the session retires), so the entry is covered for the request's
+//!    whole lifetime. Every queue-exit path — rejection, shed,
+//!    timeout, crash — releases the pin too.
 //! 2. **The span cannot be privatized.** An eviction *inside* a shared
 //!    span deep-copies it (the session then owns those bytes), which
 //!    would push the session past a discounted reservation — so the
@@ -35,13 +43,20 @@
 //! The cache's own resident bytes are charged too: the server subtracts
 //! [`veda::Engine::prefix_cache_bytes`] from the headroom admissions
 //! and swap-ins fit into, so cached prefixes are never free capacity.
-//! Because entries are never evicted, deployments should bound the
-//! cache with [`veda::PrefixCacheConfig::max_bytes`] well below
-//! `capacity_bytes` minus the largest single-request peak — otherwise
-//! the monotone cache overhead can crowd out admissions for good. This
-//! is what lets a shared-prefix workload admit strictly more sessions
-//! under the same capacity — pinned by the serving-stack tests —
-//! without moving bytes off the books.
+//! A request whose matched entry was spilled to the host tier also
+//! charges its fill cost ([`veda::Engine::prefix_fill_bytes`]) against
+//! headroom — promotion copies the entry back into device memory, and
+//! an admission that ignored those bytes could be bankrupted by its own
+//! fill traffic. With churn enabled,
+//! [`veda::PrefixCacheConfig::max_bytes`] bounds the cache's device
+//! overhead by construction (cold entries are evicted or spilled); with
+//! the unbounded default, entries are effectively insert-only and
+//! deployments should size `max_bytes` well below `capacity_bytes`
+//! minus the largest single-request peak — otherwise the monotone cache
+//! overhead can crowd out admissions for good. This is what lets a
+//! shared-prefix workload admit strictly more sessions under the same
+//! capacity — pinned by the serving-stack tests — without moving bytes
+//! off the books.
 
 use veda::Request;
 

@@ -982,6 +982,26 @@ impl ClusterReport {
         }
     }
 
+    /// Cluster-wide prefix-cache churn: `(evictions, expiries, spills,
+    /// fills)` summed over every shard's cache. All zero under the
+    /// default no-churn configuration.
+    pub fn prefix_churn(&self) -> (u64, u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0, 0), |acc, s| {
+            let p = &s.engine.prefix;
+            (acc.0 + p.evictions, acc.1 + p.expiries, acc.2 + p.spills, acc.3 + p.fills)
+        })
+    }
+
+    /// Cluster-wide bytes spilled device → host by prefix caches.
+    pub fn prefix_spill_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.prefix_spill_bytes).sum()
+    }
+
+    /// Cluster-wide bytes promoted host → device by prefix caches.
+    pub fn prefix_fill_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.prefix_fill_bytes).sum()
+    }
+
     /// Largest per-shard reserved-KV peak, in bytes.
     pub fn kv_reserved_peak_bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.kv_reserved_peak_bytes).max().unwrap_or(0)
@@ -1033,6 +1053,19 @@ impl std::fmt::Display for ClusterReport {
                 self.prefix_hits(),
                 self.prefix_lookups(),
                 100.0 * self.prefix_hit_rate()
+            )?;
+        }
+        let (evictions, expiries, spills, fills) = self.prefix_churn();
+        if evictions + expiries + spills + fills > 0 {
+            writeln!(
+                f,
+                "  prefix churn           : {} evicted, {} expired, {} spilled ({} B), {} filled ({} B)",
+                evictions,
+                expiries,
+                spills,
+                self.prefix_spill_bytes(),
+                fills,
+                self.prefix_fill_bytes(),
             )?;
         }
         writeln!(f, "  latency (ticks)        : {:>8} {:>8} {:>8} {:>8}", "p50", "p95", "p99", "max")?;

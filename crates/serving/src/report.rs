@@ -241,6 +241,15 @@ pub struct ServingReport {
     pub swap_in_bytes: u64,
     /// Host-link cycles spent on swap traffic.
     pub swap_cycles: u64,
+    /// Bytes the prefix cache spilled device → host under byte pressure
+    /// (zero unless [`veda::PrefixCacheConfig::spill`] is on).
+    pub prefix_spill_bytes: u64,
+    /// Bytes promoted host → device when spilled prefix entries were hit
+    /// again; each fill's latency was serialized onto the hitting
+    /// session's clock like a swap-in.
+    pub prefix_fill_bytes: u64,
+    /// Host-link cycles spent on prefix spill + fill traffic.
+    pub prefix_transfer_cycles: u64,
     /// Ticks sessions spent waiting for an in-flight swap-in transfer to
     /// complete (swap latency serialized into the clock): each tick, each
     /// session parked in the swap-in phase contributes one.
@@ -396,6 +405,13 @@ impl ServingReport {
         m.counter_add("prefill_tokens", self.engine.prefill_tokens as u64);
         m.counter_add("prefix_cache_hits", self.engine.prefix.hits);
         m.counter_add("prefix_saved_tokens", self.prefix_saved_tokens());
+        m.counter_add("prefix_evictions", self.engine.prefix.evictions);
+        m.counter_add("prefix_expiries", self.engine.prefix.expiries);
+        m.counter_add("prefix_spills", self.engine.prefix.spills);
+        m.counter_add("prefix_fills", self.engine.prefix.fills);
+        m.counter_add("prefix_spill_bytes", self.prefix_spill_bytes);
+        m.counter_add("prefix_fill_bytes", self.prefix_fill_bytes);
+        m.counter_add("prefix_transfer_cycles", self.prefix_transfer_cycles);
         m.counter_add("kv_resident_peak_bytes", self.kv_resident_peak_bytes);
         m.counter_add("kv_reserved_peak_bytes", self.kv_reserved_peak_bytes);
         m.counter_add("capacity_bytes", self.capacity_bytes);
@@ -484,6 +500,22 @@ impl std::fmt::Display for ServingReport {
                 self.prefix_saved_tokens(),
                 self.engine.prefix.entries,
                 self.engine.prefix.resident_bytes,
+            )?;
+        }
+        let p = &self.engine.prefix;
+        if p.evictions + p.expiries + p.spills + p.fills > 0 {
+            writeln!(
+                f,
+                "  prefix churn           : {} evicted, {} expired, {} spilled ({} B), {} filled ({} B), {} link cycles, {} host entries ({} B)",
+                p.evictions,
+                p.expiries,
+                p.spills,
+                self.prefix_spill_bytes,
+                p.fills,
+                self.prefix_fill_bytes,
+                self.prefix_transfer_cycles,
+                p.host_entries,
+                p.host_bytes,
             )?;
         }
         writeln!(f, "  latency (ticks)        : {:>8} {:>8} {:>8} {:>8}", "p50", "p95", "p99", "max")?;

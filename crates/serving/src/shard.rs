@@ -29,7 +29,7 @@
 
 use std::collections::VecDeque;
 
-use veda::{Engine, Request, Session, TokenEvent};
+use veda::{Engine, PrefixPin, PrefixTransferKind, Request, Session, TokenEvent};
 use veda_eviction::BudgetController;
 use veda_mem::{HostLink, HostLinkConfig, SwapDirection, TransferKind};
 use veda_telemetry::{SinkHandle, TraceEvent, TraceEventKind, Tracer};
@@ -130,6 +130,12 @@ pub(crate) struct QueuedEntry {
     /// Undiscounted peak KV bytes — what a migration target must
     /// reserve, since extraction privatizes any shared span.
     pub(crate) full_bytes: u64,
+    /// The admission pin on the prefix entry whose match discounted
+    /// `est_bytes` (None when the discount was unsound or nothing
+    /// matched). Held while the entry waits so churn cannot shrink the
+    /// match under the discounted reservation; released after the
+    /// submit takes its own seed pin, and on every queue-exit path.
+    pub(crate) prefix_pin: Option<PrefixPin>,
 }
 
 /// An admitted session — in the `running` set it is prefilling/decoding,
@@ -382,12 +388,14 @@ impl Shard {
     /// request. A prompt with a known shared prefix reserves only its
     /// *unshared* peak bytes — the shared span stays resident in the
     /// engine's prefix cache — provided the discount is sound for this
-    /// request: the match can only grow between this estimate and the
-    /// actual submit (entries are insert-only), only requests that can
-    /// never evict ([`veda::Request::never_evicts`]) qualify (an
-    /// eviction inside the shared span would privatize it and push the
-    /// session past a discounted reservation), and budget shrinking must
-    /// be off — [`veda::Engine::tighten_budget`] can force even an
+    /// request: the accept takes a [`veda::Engine::pin_prefix`] pin on
+    /// the matched entry (held until the submit lands, making the entry
+    /// immune to LRU eviction, host spill and TTL expiry — the match
+    /// cannot shrink), only requests that can never evict
+    /// ([`veda::Request::never_evicts`]) qualify (an eviction inside
+    /// the shared span would privatize it and push the session past a
+    /// discounted reservation), and budget shrinking must be off —
+    /// [`veda::Engine::tighten_budget`] can force even an
     /// unbounded-budget session to evict, retroactively breaking the
     /// never-evicts promise.
     pub(crate) fn accept(
@@ -409,7 +417,8 @@ impl Shard {
             },
         );
         let discount_sound = request.never_evicts() && self.shrink.is_none();
-        let shared_tokens = if discount_sound { self.engine.prefix_match_len(&request.prompt) } else { 0 };
+        let prefix_pin = if discount_sound { self.engine.pin_prefix(&request.prompt) } else { None };
+        let shared_tokens = prefix_pin.as_ref().map_or(0, PrefixPin::matched);
         let est_bytes =
             AdmissionController::estimate_unshared_bytes(&request, shared_tokens, self.kv_bytes_per_token);
         let full_bytes = AdmissionController::estimate_bytes(&request, self.kv_bytes_per_token);
@@ -447,9 +456,13 @@ impl Shard {
                     priority,
                     est_bytes,
                     full_bytes,
+                    prefix_pin,
                 });
             }
             Err(reason) => {
+                if let Some(pin) = prefix_pin {
+                    self.engine.unpin_prefix(pin);
+                }
                 self.emit(now, global_arrival as u64, TraceEventKind::Rejected { reason: reason.as_str() });
                 record.rejected = Some(reason);
                 match reason {
@@ -473,6 +486,9 @@ impl Shard {
         // Refresh the tick the engine's tracer stamps onto its events
         // (prefill chunks, tokens, finishes) before any engine call.
         self.engine.set_trace_now(now);
+        // TTL expiry runs first so this tick's swap-ins and admissions
+        // see post-expiry cache contents (and post-expiry overhead).
+        self.engine.advance_prefix_clock(now);
         self.complete_swap_ins(now);
         self.start_swap_ins();
         self.admit_from_queue(now);
@@ -494,6 +510,11 @@ impl Shard {
             for event in &tick.events {
                 self.observe(event, now, workload);
             }
+            // A chunked-prefill harvest may have inserted a new entry
+            // under byte pressure, evicting/spilling cold ones; bill the
+            // spill traffic now (harvests never generate fills, so there
+            // is no latency to serialize here).
+            self.charge_prefix_traffic();
             self.apply_pressure();
         }
         self.elapsed_cycles += stepped_cycles;
@@ -574,7 +595,10 @@ impl Shard {
     /// makes re-prefilling recovered requests cheap.
     pub(crate) fn fail(&mut self) -> Vec<LostWork> {
         let mut lost = Vec::new();
-        for entry in std::mem::take(&mut self.queue) {
+        for mut entry in std::mem::take(&mut self.queue) {
+            if let Some(pin) = entry.prefix_pin.take() {
+                self.engine.unpin_prefix(pin);
+            }
             lost.push(LostWork {
                 home: self.home(entry.record),
                 arrival: entry.arrival,
@@ -610,8 +634,8 @@ impl Shard {
             RecordRef::Foreign { shard: work.home.0, index: work.home.1 }
         };
         let discount_sound = work.request.never_evicts() && self.shrink.is_none();
-        let shared_tokens =
-            if discount_sound { self.engine.prefix_match_len(&work.request.prompt) } else { 0 };
+        let prefix_pin = if discount_sound { self.engine.pin_prefix(&work.request.prompt) } else { None };
+        let shared_tokens = prefix_pin.as_ref().map_or(0, PrefixPin::matched);
         let est_bytes = AdmissionController::estimate_unshared_bytes(
             &work.request,
             shared_tokens,
@@ -629,10 +653,16 @@ impl Shard {
                     priority: work.priority,
                     est_bytes,
                     full_bytes,
+                    prefix_pin,
                 });
                 Ok(())
             }
-            Err(reason) => Err((reason, work)),
+            Err(reason) => {
+                if let Some(pin) = prefix_pin {
+                    self.engine.unpin_prefix(pin);
+                }
+                Err((reason, work))
+            }
         }
     }
 
@@ -693,8 +723,12 @@ impl Shard {
         deadline: &'static str,
         now: u64,
     ) -> Option<LostWork> {
-        let work = if let Some(pos) = self.queue.iter().position(|e| e.arrival == arrival) {
-            let e = self.queue.remove(pos).expect("pos indexes the queue");
+        let work = if let Some(mut e) =
+            self.queue.iter().position(|e| e.arrival == arrival).and_then(|pos| self.queue.remove(pos))
+        {
+            if let Some(pin) = e.prefix_pin.take() {
+                self.engine.unpin_prefix(pin);
+            }
             LostWork {
                 home: self.home(e.record),
                 arrival: e.arrival,
@@ -738,10 +772,15 @@ impl Shard {
     }
 
     /// Removes one queued entry by arrival id (the load-shedder's
-    /// removal path; queued entries hold no reservation).
+    /// removal path; queued entries hold no reservation, but a
+    /// discounted one holds a prefix pin, released here).
     pub(crate) fn remove_queued(&mut self, arrival: usize) -> Option<QueuedEntry> {
         let pos = self.queue.iter().position(|e| e.arrival == arrival)?;
-        self.queue.remove(pos)
+        let mut entry = self.queue.remove(pos)?;
+        if let Some(pin) = entry.prefix_pin.take() {
+            self.engine.unpin_prefix(pin);
+        }
+        Some(entry)
     }
 
     /// Re-admits swapped-in sessions whose host-link transfer has
@@ -845,8 +884,13 @@ impl Shard {
             let Some(pick) = self.policy.next_candidate(&views) else { break };
             let incoming = views[pick];
             // Admission must fit the reservation *and* the prefix cache's
-            // own resident bytes inside capacity.
-            let needed = incoming.est_bytes.saturating_add(self.prefix_overhead());
+            // own resident bytes inside capacity — including the bytes a
+            // host-tier fill would promote back into device memory for
+            // this prompt (otherwise a discounted accept could be
+            // bankrupted by its own fill traffic).
+            let fill_bytes =
+                self.queue.get(pick).map_or(0, |e| self.engine.prefix_fill_bytes(&e.request.prompt));
+            let needed = incoming.est_bytes.saturating_add(self.prefix_overhead()).saturating_add(fill_bytes);
             while !self.admission.would_fit(needed) {
                 let victims = self.running_views();
                 let Some(victim) = self.policy.preemption_victim(&incoming, &victims) else { break };
@@ -887,7 +931,7 @@ impl Shard {
     /// [`veda::EngineBuilder::prefill_chunk`] the prompt is consumed by
     /// subsequent on-clock ticks (instant prefill consumes it here,
     /// synchronously, as the pre-chunking stack did).
-    fn admit(&mut self, entry: QueuedEntry, now: u64) {
+    fn admit(&mut self, mut entry: QueuedEntry, now: u64) {
         let request = entry.request.clone();
         let prompt_len = request.prompt.len();
         let peak_tokens = AdmissionController::peak_resident_tokens(&request);
@@ -899,6 +943,19 @@ impl Shard {
         self.engine.set_next_trace_id(arrival as u64);
         let session = self.engine.submit(entry.request).expect("accept() validated the request");
         self.admission.reserve(entry.est_bytes);
+        // The submit took its own seed pin on the matched entry (held
+        // until the session retires), so the admission pin can hand off
+        // now: the submit-time match is at least the pinned match, so
+        // the session's privately owned bytes fit the discounted
+        // reservation.
+        if let Some(pin) = entry.prefix_pin.take() {
+            self.engine.unpin_prefix(pin);
+        }
+        // A host-tier hit promoted its entry during submit; the fill
+        // bytes must cross the host link before the session's shared
+        // span is device-resident, so the session waits out the
+        // transfer like a swap-in instead of decoding instantly.
+        let fill_cycles = self.charge_prefix_traffic();
         self.admitted += 1;
         match entry.record {
             RecordRef::Local(index) => {
@@ -912,7 +969,7 @@ impl Shard {
             }
         }
         debug_assert!(self.engine.is_active(session), "validated requests have max_new_tokens >= 1");
-        self.running.push(SessionEntry {
+        let mut session_entry = SessionEntry {
             record: entry.record,
             arrival,
             submitted: entry.submitted,
@@ -924,7 +981,41 @@ impl Shard {
             preemptions: 0,
             cap,
             wait_since: None,
-        });
+        };
+        if fill_cycles > 0 {
+            // Park the session until the fill's cycles elapse on the
+            // shard clock — the same serialization path as a swap-in
+            // (its wait is accounted as swap wait).
+            assert!(self.engine.pause(session).is_some(), "a just-submitted session is always pausable");
+            session_entry.wait_since = Some((WaitKind::Swap, now));
+            self.swapping
+                .push(SwapInEntry { entry: session_entry, ready_at: self.elapsed_cycles + fill_cycles });
+        } else {
+            self.running.push(session_entry);
+        }
+    }
+
+    /// Drains the engine's prefix spill/fill outbox onto this shard's
+    /// host link. Spill traffic leaves the device asynchronously (no
+    /// latency on any session's critical path); fill traffic is
+    /// returned as cycles for the caller to serialize onto the clock.
+    fn charge_prefix_traffic(&mut self) -> u64 {
+        let mut fill_cycles = 0;
+        for transfer in self.engine.take_prefix_transfers() {
+            match transfer.kind {
+                PrefixTransferKind::Spill => {
+                    self.link.transfer_tagged(transfer.bytes, SwapDirection::Out, TransferKind::PrefixSpill);
+                }
+                PrefixTransferKind::Fill => {
+                    fill_cycles += self.link.transfer_tagged(
+                        transfer.bytes,
+                        SwapDirection::In,
+                        TransferKind::PrefixFill,
+                    );
+                }
+            }
+        }
+        fill_cycles
     }
 
     /// Applies one session's tick event to its record (or, for a
@@ -990,7 +1081,13 @@ impl Shard {
     /// Drains the engine and assembles this shard's [`ServingReport`].
     pub(crate) fn into_report(mut self, arrival: ArrivalKind, ticks: u64) -> ServingReport {
         // Safety valve: a truncated run still drains the engine so the
-        // batched accounting is complete and well-formed.
+        // batched accounting is complete and well-formed. Requests still
+        // queued release their admission pins (they will never submit).
+        for mut entry in std::mem::take(&mut self.queue) {
+            if let Some(pin) = entry.prefix_pin.take() {
+                self.engine.unpin_prefix(pin);
+            }
+        }
         let swapping: Vec<SwapInEntry> = std::mem::take(&mut self.swapping);
         for swap in swapping {
             self.engine.resume(swap.entry.session).expect("swapping entry tracks the engine");
@@ -1000,6 +1097,9 @@ impl Shard {
             self.engine.resume(entry.session).expect("paused entry tracks the engine");
         }
         let engine = self.engine.run_to_completion();
+        // Drain-time harvests can spill under byte pressure; bill the
+        // traffic so the link counters below are complete.
+        self.charge_prefix_traffic();
         ServingReport {
             shard_id: self.id,
             arrival,
@@ -1017,6 +1117,10 @@ impl Shard {
             swap_out_bytes: self.link.tagged_bytes(TransferKind::Swap, SwapDirection::Out),
             swap_in_bytes: self.link.tagged_bytes(TransferKind::Swap, SwapDirection::In),
             swap_cycles: self.link.kind_total_cycles(TransferKind::Swap),
+            prefix_spill_bytes: self.link.tagged_bytes(TransferKind::PrefixSpill, SwapDirection::Out),
+            prefix_fill_bytes: self.link.tagged_bytes(TransferKind::PrefixFill, SwapDirection::In),
+            prefix_transfer_cycles: self.link.kind_total_cycles(TransferKind::PrefixSpill)
+                + self.link.kind_total_cycles(TransferKind::PrefixFill),
             swap_wait_ticks: self.swap_wait_ticks,
             budget_shrinks: self.budget_shrinks,
             queue_depth: self.queue_depth,

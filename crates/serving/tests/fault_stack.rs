@@ -22,7 +22,7 @@
 use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
-use veda::EngineBuilder;
+use veda::{EngineBuilder, PrefixCacheConfig};
 use veda_model::ModelConfig;
 use veda_serving::{
     chrome_trace_json, Cluster, ClusterConfig, FaultConfig, FaultPlan, MigrationConfig, RecordingSink,
@@ -139,6 +139,110 @@ fn crash_with_recovery_completes_every_request_exactly_once() {
     // latency is observable on the surviving records.
     if report.lost_sessions > 0 {
         assert!(report.recovery().is_some(), "lost-then-recovered requests record their recovery wait");
+    }
+}
+
+/// Engine with a deliberately starved, spill-enabled prefix cache: a
+/// tiny byte bound and a short TTL force spill/fill/expiry churn while
+/// the fault plane crashes shards and retries displaced work.
+fn churny_engine(threads: usize) -> veda::Engine {
+    EngineBuilder::new()
+        .model(ModelConfig::tiny())
+        .prefill_chunk(4)
+        .decode_threads(threads)
+        .prefix_cache(PrefixCacheConfig {
+            min_match_tokens: 4,
+            max_entries: 8,
+            max_bytes: 13 << 10,
+            ttl_ticks: 10,
+            spill: true,
+        })
+        .build()
+        .expect("valid config")
+}
+
+/// Crash + retry + spill, end to end: a crashed shard discards its
+/// sessions (their seed pins release, so their entries become churnable
+/// again), the retries re-prefill through a cache that is actively
+/// spilling and expiring — and the run must still complete every
+/// request exactly once, conserve cache entries on every shard, and be
+/// bit-identical across decode thread counts.
+#[test]
+fn crash_retry_and_spill_churn_is_exactly_once_and_thread_invariant() {
+    let run = |threads: usize| {
+        let (handle, recorder) = SinkHandle::recording();
+        let config = ClusterConfig {
+            shards: 2,
+            per_shard_capacity_bytes: 40 << 10,
+            max_queue_depth: 32,
+            router: RouterKind::PrefixAffinity,
+            sched: SchedKind::Fcfs,
+            trace: Some(handle),
+            faults: Some(crash_and_recover()),
+            ..ClusterConfig::default()
+        };
+        let engines = (0..2).map(|_| churny_engine(threads)).collect();
+        let mix = RequestMix { shared_prefix_len: 12, prefix_groups: 3, ..RequestMix::default() };
+        let report = Cluster::new(engines, Workload::poisson(7, 0.8, 28, mix), config).run();
+        let events = recorder.lock().expect("recorder lock").take_events();
+        (report, events)
+    };
+    let (report, events) = run(1);
+
+    // The scenario actually exercises the churn plane.
+    let (evictions, expiries, spills, fills) = report.prefix_churn();
+    assert!(spills > 0, "the starved cache must spill under this load");
+    assert!(fills > 0, "at least one spilled entry must be promoted back (got f{fills})");
+    assert!(expiries > 0, "idle entries must hit the TTL (got x{expiries})");
+    assert_eq!(evictions, 0, "spill-on caches spill instead of dropping");
+    assert!(report.retries > 0, "the crash must displace work into retries");
+
+    // Exactly-once, crash and churn notwithstanding.
+    assert_eq!(
+        report.completed() + report.rejected() + report.dead_letters as usize + report.shed as usize,
+        report.submitted(),
+        "terminal states partition the arrivals"
+    );
+    let mut finished_per_arrival = std::collections::BTreeMap::new();
+    for event in &events {
+        if matches!(event.kind, TraceEventKind::Finished { .. }) {
+            *finished_per_arrival.entry(event.request).or_insert(0u32) += 1;
+        }
+    }
+    assert!(finished_per_arrival.values().all(|&n| n == 1), "no request finishes twice");
+    assert_eq!(finished_per_arrival.len(), report.completed(), "every completion has its event");
+
+    // Cache-entry conservation closes on every shard, and spill traffic
+    // was billed to the host links.
+    for shard in &report.shards {
+        assert!(
+            shard.engine.prefix.entries_conserved(),
+            "shard {}: cache entry conservation broke: {:?}",
+            shard.shard_id,
+            shard.engine.prefix
+        );
+        assert_eq!(
+            shard.prefix_spill_bytes, shard.engine.prefix.spill_bytes,
+            "shard {}: every spilled byte crosses the host link exactly once",
+            shard.shard_id
+        );
+        assert_eq!(
+            shard.prefix_fill_bytes, shard.engine.prefix.fill_bytes,
+            "shard {}: every filled byte crosses the host link exactly once",
+            shard.shard_id
+        );
+    }
+
+    // Bit-identical across decode thread counts, churn and all.
+    let trace = chrome_trace_json(&events);
+    for threads in [2, 8] {
+        let (other, other_events) = run(threads);
+        assert_eq!(report, other, "churny faulted report differs at {threads} decode threads");
+        assert_eq!(
+            trace,
+            chrome_trace_json(&other_events),
+            "churny faulted trace differs at {threads} decode threads"
+        );
     }
 }
 

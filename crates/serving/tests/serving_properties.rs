@@ -7,9 +7,16 @@
 //!   capacity, and the KV bytes actually resident never exceed the
 //!   reservation (so resident ≤ capacity transitively);
 //! * termination — every run drains within the tick budget.
+//!
+//! A second property re-checks the same invariants under *adversarial
+//! prefix-cache churn* — a byte-starved cache with a short TTL, spill on
+//! or off — where the shared-prefix admission discount is only sound if
+//! the pin plumbing works: evicting/expiring/spilling an entry out from
+//! under a discounted reservation would let resident KV bytes exceed
+//! what admission reserved.
 
 use proptest::prelude::*;
-use veda::EngineBuilder;
+use veda::{EngineBuilder, PrefixCacheConfig};
 use veda_model::ModelConfig;
 use veda_serving::{AdmissionConfig, RequestMix, SchedKind, Server, ServerConfig, Workload};
 
@@ -62,6 +69,101 @@ fn check_invariants_all_ticks(seed: u64, rate: f64, sched: SchedKind, capacity_b
     prop_assert_eq!(server.in_flight(), 0, "drained server holds nothing");
 }
 
+/// The churn-soundness property: drive a server whose engine runs a
+/// deliberately starved prefix cache (tiny byte bound, short TTL,
+/// optional spill) under a shared-prefix workload, and assert on every
+/// tick that the discounted admission accounting still closes.
+fn check_churn_soundness(seed: u64, rate: f64, capacity_bytes: u64, max_kb: u64, ttl: u64, spill: bool) {
+    let engine = EngineBuilder::new()
+        .model(ModelConfig::tiny())
+        .prefix_cache(PrefixCacheConfig {
+            min_match_tokens: 4,
+            max_entries: 8,
+            max_bytes: max_kb << 10,
+            ttl_ticks: ttl,
+            spill,
+        })
+        .build()
+        .expect("valid config");
+    let total = 12;
+    let mix = RequestMix { shared_prefix_len: 12, ..RequestMix::default() };
+    let workload = Workload::poisson(seed, rate, total, mix);
+    let config = ServerConfig {
+        admission: AdmissionConfig { capacity_bytes, max_queue_depth: 8 },
+        ..ServerConfig::default()
+    };
+    let mut server = Server::new(engine, workload, config);
+
+    let mut ticks = 0u64;
+    while !server.is_done() {
+        server.tick();
+        ticks += 1;
+        assert!(ticks < 20_000, "churny run must terminate (seed {seed})");
+
+        prop_assert_eq!(
+            server.submitted(),
+            server.completed() + server.rejected() + server.in_flight(),
+            "conservation broke at tick {} (seed {})",
+            server.now(),
+            seed
+        );
+        prop_assert!(
+            server.reserved_bytes() <= server.capacity_bytes(),
+            "reserved {} exceeds capacity {} at tick {} (seed {})",
+            server.reserved_bytes(),
+            server.capacity_bytes(),
+            server.now(),
+            seed
+        );
+        // The discount-soundness observable: a never-evicts request
+        // reserved only its unshared bytes; if churn could shrink the
+        // match between accept and submit, the session would privately
+        // own more than admission reserved and this would trip.
+        prop_assert!(
+            server.engine().kv_bytes_active() <= server.reserved_bytes(),
+            "resident {} exceeds reservation {} at tick {} (seed {}, ttl {}, spill {})",
+            server.engine().kv_bytes_active(),
+            server.reserved_bytes(),
+            server.now(),
+            seed,
+            ttl,
+            spill
+        );
+        // Entry conservation: insertions = resident (either tier) +
+        // evictions + expiries; spills/fills are tier moves, net zero.
+        let stats = server.engine().prefix_cache_stats();
+        prop_assert!(
+            stats.entries_conserved(),
+            "cache entry conservation broke at tick {}: {:?} (seed {})",
+            server.now(),
+            stats,
+            seed
+        );
+        if !spill {
+            prop_assert_eq!(
+                (stats.host_entries, stats.spills, stats.fills),
+                (0, 0, 0),
+                "spill-off cache grew a host tier at tick {} (seed {})",
+                server.now(),
+                seed
+            );
+        }
+    }
+    prop_assert_eq!(server.submitted(), total, "workload must deliver every request");
+    prop_assert_eq!(server.in_flight(), 0, "drained server holds nothing");
+
+    // Lookup conservation: every admission performs exactly one cache
+    // lookup, and expiry/spill churn must not mint or lose lookups.
+    let stats = server.engine().prefix_cache_stats();
+    let report = server.run();
+    prop_assert_eq!(
+        stats.hits + stats.misses,
+        report.admitted as u64,
+        "hits + misses must equal admissions (seed {seed})"
+    );
+    prop_assert!(stats.hit_rate().is_finite(), "hit rate is total, even with zero lookups");
+}
+
 proptest! {
     #[test]
     fn serving_invariants_hold_every_tick(
@@ -72,5 +174,21 @@ proptest! {
     ) {
         let sched = SchedKind::ALL[sched_index];
         check_invariants_all_ticks(seed, rate, sched, capacity_kb << 10);
+    }
+
+    /// Adversarial-churn soundness: tiny cache byte bounds and short
+    /// TTLs force eviction/expiry/spill traffic while discounted
+    /// admissions are in flight; every accounting invariant must still
+    /// hold on every tick.
+    #[test]
+    fn churny_prefix_cache_never_breaks_admission_soundness(
+        seed in 0u64..5_000,
+        rate in 0.2f64..2.0,
+        capacity_kb in 13u64..40,
+        max_kb in 1u64..8,
+        ttl in 2u64..40,
+        spill_sel in 0usize..2,
+    ) {
+        check_churn_soundness(seed, rate, capacity_kb << 10, max_kb, ttl, spill_sel == 1);
     }
 }

@@ -193,6 +193,17 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let args = format!("\"recovery_ticks\": {recovery_ticks}");
                 instant(&mut parts, "recovered", pid, req, ts, &args);
             }
+            TraceEventKind::PrefixSpill { bytes } => {
+                instant(&mut parts, "prefix spill", pid, req, ts, &format!("\"bytes\": {bytes}"));
+            }
+            TraceEventKind::PrefixFill { bytes } => {
+                instant(&mut parts, "prefix fill", pid, req, ts, &format!("\"bytes\": {bytes}"));
+            }
+            TraceEventKind::PrefixExpired { bytes } => {
+                // `req` carries the cache entry id, not a request id; the
+                // instant still lands on a per-id track on the shard.
+                instant(&mut parts, "prefix expired", pid, req, ts, &format!("\"bytes\": {bytes}"));
+            }
         }
     }
 

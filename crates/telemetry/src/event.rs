@@ -129,6 +129,29 @@ pub enum TraceEventKind {
         /// Ticks from the loss to this re-admission.
         recovery_ticks: u64,
     },
+    /// A cold prefix-cache entry left HBM for the host-memory tier
+    /// under byte pressure. Stamped with the trace id of the session
+    /// whose insertion (or promotion) displaced it. Emitted
+    /// coordinator-side only, like every engine event.
+    PrefixSpill {
+        /// KV bytes crossing the host link, device → host.
+        bytes: u64,
+    },
+    /// A spilled prefix-cache entry was promoted back to the device on
+    /// a hit; the serving layer serializes the fill latency onto the
+    /// hitting session's clock. Stamped with the hitting session's
+    /// trace id.
+    PrefixFill {
+        /// KV bytes crossing the host link, host → device.
+        bytes: u64,
+    },
+    /// An idle, unpinned prefix-cache entry hit its TTL and was
+    /// dropped. No single request owns the event, so its `request`
+    /// field carries the cache entry's stable id instead.
+    PrefixExpired {
+        /// KV bytes the expired entry freed.
+        bytes: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -160,6 +183,9 @@ impl TraceEventKind {
             TraceEventKind::Shed => "shed",
             TraceEventKind::DeadLetter { .. } => "dead_letter",
             TraceEventKind::Recovered { .. } => "recovered",
+            TraceEventKind::PrefixSpill { .. } => "prefix_spill",
+            TraceEventKind::PrefixFill { .. } => "prefix_fill",
+            TraceEventKind::PrefixExpired { .. } => "prefix_expired",
         }
     }
 
@@ -336,6 +362,16 @@ mod tests {
         assert!(!TraceEventKind::Retried { attempt: 1 }.is_terminal());
         assert!(!TraceEventKind::ShardDown { lost: 2 }.is_terminal());
         assert!(!TraceEventKind::Recovered { recovery_ticks: 9 }.is_terminal());
+    }
+
+    #[test]
+    fn prefix_labels_are_stable_and_not_terminal() {
+        assert_eq!(TraceEventKind::PrefixSpill { bytes: 64 }.label(), "prefix_spill");
+        assert_eq!(TraceEventKind::PrefixFill { bytes: 64 }.label(), "prefix_fill");
+        assert_eq!(TraceEventKind::PrefixExpired { bytes: 64 }.label(), "prefix_expired");
+        assert!(!TraceEventKind::PrefixSpill { bytes: 0 }.is_terminal());
+        assert!(!TraceEventKind::PrefixFill { bytes: 0 }.is_terminal());
+        assert!(!TraceEventKind::PrefixExpired { bytes: 0 }.is_terminal());
     }
 
     #[test]

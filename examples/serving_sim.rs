@@ -63,6 +63,12 @@ struct Args {
     shared_prefix: usize,
     /// Distinct shared-prefix groups requests rotate through.
     prefix_groups: usize,
+    /// Idle ticks before an unpinned prefix-cache entry expires
+    /// (`None` = entries never expire, the insert-only v1 behaviour).
+    prefix_ttl: Option<u64>,
+    /// Spill byte-pressure prefix-cache evictions to the host tier
+    /// instead of dropping them.
+    prefix_spill: bool,
     /// Engines behind the routing plane; 1 runs the standalone server.
     shards: usize,
     /// Routing policy for the multi-shard path.
@@ -135,6 +141,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         prefill_chunk: 0,
         shared_prefix: 0,
         prefix_groups: 1,
+        prefix_ttl: None,
+        prefix_spill: false,
         shards: 1,
         router: RouterKind::RoundRobin,
         migrate: false,
@@ -162,6 +170,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--prefill-chunk" => parsed.prefill_chunk = value()?.parse()?,
             "--shared-prefix" => parsed.shared_prefix = value()?.parse()?,
             "--prefix-groups" => parsed.prefix_groups = value()?.parse()?,
+            "--prefix-ttl" => parsed.prefix_ttl = Some(value()?.parse()?),
+            "--prefix-spill" => parsed.prefix_spill = true,
             "--shards" => parsed.shards = value()?.parse()?,
             "--router" => parsed.router = value()?.parse()?,
             "--migrate" => parsed.migrate = true,
@@ -181,6 +191,10 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                      \x20                  [--shared-prefix LEN] [--prefix-groups N]\n\
                      \x20                  (LEN > 0 prepends per-group shared prompt prefixes and\n\
                      \x20                   enables the engine's prefix cache)\n\
+                     \x20                  [--prefix-ttl TICKS] (expire prefix-cache entries idle\n\
+                     \x20                   that long; default: entries never expire)\n\
+                     \x20                  [--prefix-spill]     (spill byte-pressure prefix-cache\n\
+                     \x20                   evictions to a host-memory tier instead of dropping)\n\
                      \x20                  [--shards N] [--router round_robin|least_loaded|prefix_affinity]\n\
                      \x20                  [--migrate]\n\
                      \x20                  (--shards > 1 runs N engines behind the routing plane;\n\
@@ -256,14 +270,17 @@ fn build_engine(args: &Args) -> Result<veda::Engine, veda::BuildError> {
         builder = builder.prefill_chunk(args.prefill_chunk);
     }
     if args.shared_prefix > 0 {
-        // Bound the insert-only cache to half the admission capacity, the
-        // sizing rule the admission docs prescribe (its bytes are charged
-        // against headroom, so an unbounded cache could crowd out
-        // admissions).
+        // Bound the cache to half the admission capacity, the sizing rule
+        // the admission docs prescribe (its bytes are charged against
+        // headroom, so an unbounded cache could crowd out admissions).
+        // The churn knobs default to the v1 insert-only behaviour: no
+        // TTL, drop on byte-pressure eviction.
         builder = builder.prefix_cache(PrefixCacheConfig {
             min_match_tokens: (args.shared_prefix / 2).max(4),
             max_entries: 32,
             max_bytes: (args.capacity_kb << 10) / 2,
+            ttl_ticks: args.prefix_ttl.unwrap_or(u64::MAX),
+            spill: args.prefix_spill,
         });
     }
     builder.build()

@@ -382,13 +382,14 @@ fn shared_prefix_cache_admits_more_sessions_under_capacity_pressure() {
     let run = |prefix_cache: bool| {
         let mut builder = EngineBuilder::new().model(ModelConfig::tiny());
         if prefix_cache {
-            // Bound the (insert-only) cache to half the capacity so its
-            // overhead can never crowd admissions out — the sizing rule
-            // the admission docs prescribe.
+            // Bound the (churn-free: no TTL, no spill) cache to half the
+            // capacity so its overhead can never crowd admissions out —
+            // the sizing rule the admission docs prescribe.
             builder = builder.prefix_cache(PrefixCacheConfig {
                 min_match_tokens: 8,
                 max_entries: 8,
                 max_bytes: capacity / 2,
+                ..PrefixCacheConfig::default()
             });
         }
         let engine = builder.build().expect("valid config");
